@@ -1,0 +1,59 @@
+//! Design-choice ablations called out in DESIGN.md: register versioning
+//! vs write-synchronization, skip-table sizing, coalescer ports, rename
+//! pool size, and warp-scheduler policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darsie::DarsieConfig;
+use darsie_bench::{eval_gpu, gmean};
+use gpu_sim::{SchedulerPolicy, Technique};
+use workloads::{catalog, Scale};
+
+fn sweep(label: &str, cfg: &gpu_sim::GpuConfig, tech: Technique) {
+    let speedups: Vec<f64> = catalog(Scale::Test)
+        .iter()
+        .filter(|w| w.is_2d)
+        .map(|w| {
+            let base = w.run_unchecked(cfg, Technique::Base).cycles as f64;
+            let t = w.run_unchecked(cfg, tech.clone()).cycles as f64;
+            base / t.max(1.0)
+        })
+        .collect();
+    println!("ablation {label:28} gmean-2D speedup {:.3}", gmean(speedups));
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = eval_gpu(2);
+    // Versioning vs write-synchronization (paper Section 4.1 options).
+    sweep("versioning (default)", &cfg, Technique::darsie());
+    sweep("no-versioning", &cfg, Technique::Darsie(DarsieConfig::no_versioning()));
+    // Skip-table entries per TB.
+    for entries in [1usize, 2, 4, 8, 16] {
+        let d = DarsieConfig { skip_entries_per_tb: entries, ..DarsieConfig::default() };
+        sweep(&format!("skip_entries={entries}"), &cfg, Technique::Darsie(d));
+    }
+    // PC-coalescer / skip-table ports.
+    for ports in [1usize, 2, 4] {
+        let d = DarsieConfig { skip_table_ports: ports, ..DarsieConfig::default() };
+        sweep(&format!("skip_ports={ports}"), &cfg, Technique::Darsie(d));
+    }
+    // Rename registers per TB.
+    for regs in [8usize, 16, 32] {
+        let d = DarsieConfig { rename_regs_per_tb: regs, ..DarsieConfig::default() };
+        sweep(&format!("rename_regs={regs}"), &cfg, Technique::Darsie(d));
+    }
+    // Scheduler policy.
+    let lrr = gpu_sim::GpuConfig { scheduler: SchedulerPolicy::Lrr, ..cfg.clone() };
+    sweep("scheduler=GTO", &cfg, Technique::darsie());
+    sweep("scheduler=LRR", &lrr, Technique::darsie());
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    let w = workloads::by_abbr("BP", Scale::Test).expect("BP");
+    g.bench_function("bp_darsie_8_entries", |b| {
+        b.iter(|| w.run_unchecked(&cfg, Technique::darsie()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 10: instruction reduction on the 2D benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darsie_bench::{collect, eval_gpu, fig8_techniques};
+use gpu_sim::Technique;
+use workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    let cfg = eval_gpu(2);
+    println!("{}", collect(Scale::Test, &cfg, &fig8_techniques()).render_insn_reduction(true));
+    let mut g = c.benchmark_group("fig10_insn_reduction_2d");
+    g.sample_size(10);
+    let w = workloads::by_abbr("CONVTEX", Scale::Test).expect("CONVTEX");
+    g.bench_function("convtex_darsie", |b| {
+        b.iter(|| w.run_unchecked(&cfg, Technique::darsie()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

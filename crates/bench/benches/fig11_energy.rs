@@ -1,0 +1,23 @@
+//! Figure 11: energy reduction vs the baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darsie_bench::{collect, eval_gpu, fig8_techniques};
+use gpu_energy::EnergyModel;
+use workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    let cfg = eval_gpu(2);
+    let report = collect(Scale::Test, &cfg, &fig8_techniques());
+    println!("{}", report.render_fig11());
+    let mut g = c.benchmark_group("fig11_energy");
+    g.sample_size(20);
+    let model = EnergyModel::with_sms(cfg.num_sms);
+    let base = report.rows[0].stats("BASE").expect("BASE").clone();
+    g.bench_function("evaluate_model", |b| {
+        b.iter(|| model.evaluate(&base));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

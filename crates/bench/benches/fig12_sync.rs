@@ -1,0 +1,25 @@
+//! Figure 12: synchronization effects (DARSIE-NO-CF-SYNC, SILICON-SYNC).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darsie_bench::{collect, eval_gpu, fig12_techniques};
+use gpu_sim::Technique;
+use workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    let cfg = eval_gpu(2);
+    println!(
+        "{}",
+        collect(Scale::Test, &cfg, &fig12_techniques())
+            .render_speedups("Figure 12: effect of synchronization (speedup over BASE)")
+    );
+    let mut g = c.benchmark_group("fig12_sync");
+    g.sample_size(10);
+    let w = workloads::by_abbr("HS", Scale::Test).expect("HS");
+    g.bench_function("hs_silicon_sync", |b| {
+        b.iter(|| w.run_unchecked(&cfg, Technique::SiliconSync));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

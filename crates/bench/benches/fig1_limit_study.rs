@@ -1,0 +1,19 @@
+//! Figure 1: redundancy limit study at the grid / TB / warp levels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darsie_bench::{limit_study, render_fig1};
+use workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    // Print the figure once so `cargo bench` output contains the artifact.
+    println!("{}", render_fig1(&limit_study(Scale::Test)));
+    let mut g = c.benchmark_group("fig1_limit_study");
+    g.sample_size(10);
+    g.bench_function("limit_study_test_scale", |b| {
+        b.iter(|| limit_study(Scale::Test));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 2: per-benchmark taxonomy breakdown of TB-redundant work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darsie_bench::{limit_study, render_fig2};
+use workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", render_fig2(&limit_study(Scale::Test)));
+    let mut g = c.benchmark_group("fig2_taxonomy");
+    g.sample_size(10);
+    // Per-workload tracing (MM dominates; bench it separately).
+    g.bench_function("trace_mm", |b| {
+        let w = workloads::by_abbr("MM", Scale::Test).expect("MM");
+        b.iter(|| gpu_sim::trace_redundancy(&w.ck, &w.launch, w.memory.clone()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

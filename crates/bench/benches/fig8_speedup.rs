@@ -1,0 +1,23 @@
+//! Figure 8: speedup of UV / DAC-IDEAL / DARSIE / DARSIE-IGNORE-STORE.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darsie_bench::{collect, eval_gpu, fig8_techniques};
+use gpu_sim::Technique;
+use workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    let cfg = eval_gpu(2);
+    println!("{}", collect(Scale::Test, &cfg, &fig8_techniques()).render_fig8());
+    let mut g = c.benchmark_group("fig8_speedup");
+    g.sample_size(10);
+    for tech in [Technique::Base, Technique::darsie()] {
+        let w = workloads::by_abbr("MM", Scale::Test).expect("MM");
+        g.bench_function(format!("mm_{}", tech.label()), |b| {
+            b.iter(|| w.run_unchecked(&cfg, tech.clone()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

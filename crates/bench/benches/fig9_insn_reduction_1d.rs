@@ -1,0 +1,21 @@
+//! Figure 9: instruction reduction on the 1D benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darsie_bench::{collect, eval_gpu, fig8_techniques};
+use gpu_sim::Technique;
+use workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    let cfg = eval_gpu(2);
+    println!("{}", collect(Scale::Test, &cfg, &fig8_techniques()).render_insn_reduction(false));
+    let mut g = c.benchmark_group("fig9_insn_reduction_1d");
+    g.sample_size(10);
+    let w = workloads::by_abbr("LIB", Scale::Test).expect("LIB");
+    g.bench_function("lib_darsie", |b| {
+        b.iter(|| w.run_unchecked(&cfg, Technique::darsie()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Command-line simulator driver: run one benchmark under one technique
+//! and print the full statistics and energy breakdown.
+//!
+//! ```text
+//! darsie-sim MM --technique darsie --sms 4 --scale eval
+//! darsie-sim LIB --technique base --scheduler lrr
+//! darsie-sim --list
+//! ```
+
+use darsie::DarsieConfig;
+use gpu_energy::EnergyModel;
+use gpu_sim::{GpuConfig, SchedulerPolicy, Technique};
+use workloads::{by_abbr, catalog, Scale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: darsie-sim <ABBR> [options]   |   darsie-sim --list\n\
+         options:\n\
+           --technique base|uv|dac|darsie|darsie-ignore-store|darsie-no-cf-sync|silicon-sync\n\
+           --scale test|eval        (default eval)\n\
+           --sms N                  (default 4)\n\
+           --scheduler gto|lrr      (default gto)\n\
+           --skip-entries N         (default 8)\n\
+           --rename-regs N          (default 32)\n\
+           --skip-ports N           (default 2)\n\
+           --trace N                print the first N pipeline events\n\
+           --no-validate            skip the CPU-reference check"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for w in catalog(Scale::Test) {
+            println!(
+                "{:8} {:24} TB=({},{}) [{}]",
+                w.abbr,
+                w.name,
+                w.block.x,
+                w.block.y,
+                if w.is_2d { "2D" } else { "1D" }
+            );
+        }
+        return;
+    }
+    let Some(abbr) = args.first().filter(|a| !a.starts_with("--")) else { usage() };
+
+    let mut scale = Scale::Eval;
+    let mut sms = 4usize;
+    let mut scheduler = SchedulerPolicy::Gto;
+    let mut tech_name = "darsie".to_string();
+    let mut dcfg = DarsieConfig::default();
+    let mut validate = true;
+    let mut trace = 0usize;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = || it.next().cloned().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--technique" => tech_name = next(),
+            "--scale" => {
+                scale = match next().as_str() {
+                    "test" => Scale::Test,
+                    "eval" => Scale::Eval,
+                    _ => usage(),
+                }
+            }
+            "--sms" => sms = next().parse().unwrap_or_else(|_| usage()),
+            "--scheduler" => {
+                scheduler = match next().as_str() {
+                    "gto" => SchedulerPolicy::Gto,
+                    "lrr" => SchedulerPolicy::Lrr,
+                    _ => usage(),
+                }
+            }
+            "--skip-entries" => {
+                dcfg.skip_entries_per_tb = next().parse().unwrap_or_else(|_| usage());
+            }
+            "--rename-regs" => {
+                dcfg.rename_regs_per_tb = next().parse().unwrap_or_else(|_| usage());
+            }
+            "--skip-ports" => dcfg.skip_table_ports = next().parse().unwrap_or_else(|_| usage()),
+            "--no-validate" => validate = false,
+            "--trace" => trace = next().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    let technique = match tech_name.as_str() {
+        "base" => Technique::Base,
+        "uv" => Technique::Uv,
+        "dac" | "dac-ideal" => Technique::DacIdeal,
+        "darsie" => Technique::Darsie(dcfg),
+        "darsie-ignore-store" => {
+            Technique::Darsie(DarsieConfig { ignore_store: true, ..dcfg })
+        }
+        "darsie-no-cf-sync" => Technique::Darsie(DarsieConfig { no_cf_sync: true, ..dcfg }),
+        "silicon-sync" => Technique::SiliconSync,
+        _ => usage(),
+    };
+
+    let Some(w) = by_abbr(abbr, scale) else {
+        eprintln!("unknown benchmark `{abbr}` (try --list)");
+        std::process::exit(2);
+    };
+    let cfg = GpuConfig {
+        num_sms: sms,
+        scheduler,
+        shadow_check: false,
+        trace_events: trace > 0,
+        ..GpuConfig::pascal_gtx1080ti()
+    };
+
+    let start = std::time::Instant::now();
+    let r = if validate { w.run(&cfg, technique.clone()) } else { w.run_unchecked(&cfg, technique.clone()) };
+    let wall = start.elapsed();
+    let s = &r.stats;
+
+    println!("{} under {} ({} SMs, {:?}):", w.name, technique.label(), sms, scheduler);
+    println!("  cycles               {:>12}", r.cycles);
+    println!("  instructions fetched {:>12}", s.instrs_fetched);
+    println!("  instructions executed{:>12}", s.instrs_executed);
+    println!(
+        "  eliminated           {:>12}  (U {} / A {} / X {})",
+        s.instrs_skipped.total() + s.instrs_reused.total(),
+        s.instrs_skipped.uniform + s.instrs_reused.uniform,
+        s.instrs_skipped.affine + s.instrs_reused.affine,
+        s.instrs_skipped.unstructured + s.instrs_reused.unstructured,
+    );
+    println!("  i-cache accesses     {:>12}  ({} misses)", s.icache_accesses, s.icache_misses);
+    println!("  RF reads / writes    {:>12} / {}", s.rf_reads, s.rf_writes);
+    println!("  ALU / SFU ops        {:>12} / {}", s.alu_ops, s.sfu_ops);
+    println!(
+        "  global transactions  {:>12}  (L1 {}/{}, L2 {}/{})",
+        s.global_transactions,
+        s.l1_hits,
+        s.l1_hits + s.l1_misses,
+        s.l2_hits,
+        s.l2_hits + s.l2_misses
+    );
+    println!("  shared ops           {:>12}  ({} bank conflicts)", s.smem_ops, s.smem_bank_conflicts);
+    println!("  barrier waits        {:>12}", s.barrier_waits);
+    if s.darsie.skip_table_probes > 0 {
+        println!("  -- DARSIE --");
+        println!("  skip-table probes    {:>12}", s.darsie.skip_table_probes);
+        println!("  leaders / skips      {:>12} / {}", s.darsie.leaders_elected, s.darsie.instructions_skipped);
+        println!("  load invalidations   {:>12}", s.darsie.load_invalidations);
+        println!("  wait-for-leader cyc  {:>12}", s.darsie.wait_for_leader_cycles);
+        println!("  branch-sync cyc      {:>12}", s.darsie.branch_sync_cycles);
+        println!("  freelist stalls      {:>12}", s.darsie.freelist_stalls);
+    }
+    let e = EnergyModel::with_sms(sms).evaluate(s);
+    println!(
+        "  energy (pJ)          {:>12.0}  (dynamic {:.0}, darsie overhead {:.0})",
+        e.total(),
+        e.dynamic(),
+        e.darsie_overhead
+    );
+    println!("  wall time            {wall:>12.2?}");
+    if trace > 0 {
+        println!("  -- first {} pipeline events --", trace.min(r.events.len()));
+        for e in r.events.events().iter().take(trace) {
+            println!("  {e}");
+        }
+        if r.events.dropped > 0 {
+            println!("  ... ({} further events dropped)", r.events.dropped);
+        }
+    }
+    if validate {
+        println!("  validation           OK (matches CPU reference)");
+    }
+}

@@ -1,0 +1,94 @@
+//! The PC coalescer (paper Section 4.3.4).
+//!
+//! Multiple warps of a TB typically reach the same skippable PC in the same
+//! cycle. Like the global-memory coalescer merges addresses into cache
+//! lines, the PC coalescer merges exact-PC matches into one skip-table
+//! access, keeping the table's read-port requirement at two.
+
+use crate::stats::DarsieStats;
+
+/// Port-limited coalescer for skip-table probes.
+///
+/// Each cycle, call [`PcCoalescer::begin_cycle`], then [`PcCoalescer::request`]
+/// for every warp that wants to probe a PC. A request is granted when its
+/// PC already holds a port this cycle (coalesced) or a free port remains.
+#[derive(Debug, Clone)]
+pub struct PcCoalescer {
+    ports: usize,
+    granted_pcs: Vec<usize>,
+}
+
+impl PcCoalescer {
+    /// A coalescer in front of a table with `ports` read ports (paper: 2).
+    #[must_use]
+    pub fn new(ports: usize) -> PcCoalescer {
+        PcCoalescer { ports, granted_pcs: Vec::with_capacity(ports) }
+    }
+
+    /// Resets the per-cycle port allocation.
+    pub fn begin_cycle(&mut self) {
+        self.granted_pcs.clear();
+    }
+
+    /// Requests a probe of `pc`; returns true when granted this cycle.
+    pub fn request(&mut self, pc: usize, stats: &mut DarsieStats) -> bool {
+        if self.granted_pcs.contains(&pc) {
+            stats.coalesced_probes += 1;
+            return true;
+        }
+        if self.granted_pcs.len() < self.ports {
+            self.granted_pcs.push(pc);
+            true
+        } else {
+            stats.coalescer_rejections += 1;
+            false
+        }
+    }
+
+    /// Number of distinct PCs served this cycle.
+    #[must_use]
+    pub fn distinct_pcs(&self) -> usize {
+        self.granted_pcs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_pc_coalesces_beyond_port_count() {
+        let mut c = PcCoalescer::new(2);
+        let mut s = DarsieStats::default();
+        c.begin_cycle();
+        for _ in 0..8 {
+            assert!(c.request(64, &mut s));
+        }
+        assert_eq!(c.distinct_pcs(), 1);
+        assert_eq!(s.coalesced_probes, 7);
+        assert_eq!(s.coalescer_rejections, 0);
+    }
+
+    #[test]
+    fn distinct_pcs_limited_by_ports() {
+        let mut c = PcCoalescer::new(2);
+        let mut s = DarsieStats::default();
+        c.begin_cycle();
+        assert!(c.request(0, &mut s));
+        assert!(c.request(8, &mut s));
+        assert!(!c.request(16, &mut s), "third distinct PC rejected");
+        assert!(c.request(8, &mut s), "but coalescing still works");
+        assert_eq!(s.coalescer_rejections, 1);
+    }
+
+    #[test]
+    fn begin_cycle_resets_ports() {
+        let mut c = PcCoalescer::new(1);
+        let mut s = DarsieStats::default();
+        c.begin_cycle();
+        assert!(c.request(0, &mut s));
+        assert!(!c.request(8, &mut s));
+        c.begin_cycle();
+        assert!(c.request(8, &mut s), "fresh cycle, fresh ports");
+    }
+}

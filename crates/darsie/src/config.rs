@@ -1,0 +1,86 @@
+//! Configuration of the DARSIE hardware.
+
+/// Sizing and policy knobs for the DARSIE structures. Defaults match the
+/// paper's evaluation (Sections 5 and 6.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DarsieConfig {
+    /// PC skip table entries per threadblock (paper: 8, replaced
+    /// dynamically).
+    pub skip_entries_per_tb: usize,
+    /// Physical vector registers reserved per threadblock for renaming
+    /// (paper: up to 32).
+    pub rename_regs_per_tb: usize,
+    /// Read ports on the PC skip table; the PC coalescer keeps the
+    /// requirement at 2 (paper Section 4.3.4).
+    pub skip_table_ports: usize,
+    /// Maximum redundant instructions one warp can skip per cycle (each
+    /// skip is a `pc += 8`; bounded by the adders of Figure 7).
+    pub max_skips_per_warp_cycle: usize,
+    /// Do not invalidate load entries when stores execute
+    /// (the paper's `DARSIE-IGNORE-STORE` variant, Figure 8).
+    pub ignore_store: bool,
+    /// Disable TB-wide synchronization at branches
+    /// (the paper's `DARSIE-NO-CF-SYNC` idealized variant, Figure 12).
+    pub no_cf_sync: bool,
+    /// Use register versioning (the paper's option 2, Section 4.1). When
+    /// false, every write to a TB-redundant register synchronizes the TB
+    /// (option 1) — the ablation of DESIGN.md.
+    pub versioning: bool,
+}
+
+impl Default for DarsieConfig {
+    fn default() -> DarsieConfig {
+        DarsieConfig {
+            skip_entries_per_tb: 8,
+            rename_regs_per_tb: 32,
+            skip_table_ports: 2,
+            max_skips_per_warp_cycle: 4,
+            ignore_store: false,
+            no_cf_sync: false,
+            versioning: true,
+        }
+    }
+}
+
+impl DarsieConfig {
+    /// The paper's `DARSIE-IGNORE-STORE` variant.
+    #[must_use]
+    pub fn ignore_store() -> DarsieConfig {
+        DarsieConfig { ignore_store: true, ..DarsieConfig::default() }
+    }
+
+    /// The paper's `DARSIE-NO-CF-SYNC` idealized variant.
+    #[must_use]
+    pub fn no_cf_sync() -> DarsieConfig {
+        DarsieConfig { no_cf_sync: true, ..DarsieConfig::default() }
+    }
+
+    /// The write-synchronization ablation (versioning disabled).
+    #[must_use]
+    pub fn no_versioning() -> DarsieConfig {
+        DarsieConfig { versioning: false, ..DarsieConfig::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DarsieConfig::default();
+        assert_eq!(c.skip_entries_per_tb, 8);
+        assert_eq!(c.rename_regs_per_tb, 32);
+        assert_eq!(c.skip_table_ports, 2);
+        assert!(!c.ignore_store);
+        assert!(!c.no_cf_sync);
+        assert!(c.versioning);
+    }
+
+    #[test]
+    fn variants() {
+        assert!(DarsieConfig::ignore_store().ignore_store);
+        assert!(DarsieConfig::no_cf_sync().no_cf_sync);
+        assert!(!DarsieConfig::no_versioning().versioning);
+    }
+}

@@ -1,0 +1,106 @@
+//! Majority-path tracking (paper Section 4.3.3).
+//!
+//! One bit per warp in the TB indicates whether the warp is still executing
+//! on the TB-majority control-flow path. Bits are cleared when a warp
+//! deviates from the majority at a synchronized branch (or diverges within
+//! itself), and all bits are restored by `__syncthreads()`.
+
+use crate::WarpMask;
+
+/// Majority-path mask for one threadblock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MajorityMask {
+    mask: WarpMask,
+    all: WarpMask,
+}
+
+impl MajorityMask {
+    /// Creates the mask for a TB with `num_warps` warps, all initially on
+    /// the majority path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_warps` exceeds 32 (the paper's per-TB warp limit).
+    #[must_use]
+    pub fn new(num_warps: u32) -> MajorityMask {
+        assert!(num_warps <= crate::MAX_WARPS_PER_TB, "at most 32 warps per TB");
+        let all = if num_warps == 32 { WarpMask::MAX } else { (1 << num_warps) - 1 };
+        MajorityMask { mask: all, all }
+    }
+
+    /// The current majority mask.
+    #[must_use]
+    pub fn mask(&self) -> WarpMask {
+        self.mask
+    }
+
+    /// True when `warp` is on the majority path.
+    #[must_use]
+    pub fn contains(&self, warp: u32) -> bool {
+        self.mask & (1 << warp) != 0
+    }
+
+    /// Removes `warp` from the majority path (divergence).
+    pub fn remove(&mut self, warp: u32) {
+        self.mask &= !(1 << warp);
+    }
+
+    /// Restores every warp to the majority path (`__syncthreads()`,
+    /// Section 4.3.3: "These bits are all set back to one upon the
+    /// execution of syncthreads instructions").
+    pub fn reset(&mut self) {
+        self.mask = self.all;
+    }
+
+    /// Restricts the full-TB mask after warps exit (so `reset` no longer
+    /// revives them).
+    pub fn retire(&mut self, warp: u32) {
+        self.all &= !(1 << warp);
+        self.mask &= !(1 << warp);
+    }
+
+    /// Number of warps currently on the majority path.
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        self.mask.count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_all_on_path() {
+        let m = MajorityMask::new(4);
+        assert_eq!(m.mask(), 0b1111);
+        assert_eq!(m.count(), 4);
+        assert!(m.contains(3));
+    }
+
+    #[test]
+    fn thirty_two_warps_do_not_overflow() {
+        let m = MajorityMask::new(32);
+        assert_eq!(m.mask(), u32::MAX);
+    }
+
+    #[test]
+    fn remove_and_reset() {
+        let mut m = MajorityMask::new(4);
+        m.remove(1);
+        m.remove(3);
+        assert_eq!(m.mask(), 0b0101);
+        assert!(!m.contains(1));
+        m.reset();
+        assert_eq!(m.mask(), 0b1111, "syncthreads restores everyone");
+    }
+
+    #[test]
+    fn retired_warps_stay_out_after_reset() {
+        let mut m = MajorityMask::new(4);
+        m.retire(2);
+        m.remove(0);
+        m.reset();
+        assert_eq!(m.mask(), 0b1011, "warp 2 exited; others restored");
+    }
+}

@@ -1,0 +1,402 @@
+//! The PC skip table (paper Section 4.3.2).
+//!
+//! One bank per threadblock; each entry tracks a program counter currently
+//! being skipped. The paper's five fields map as follows:
+//!
+//! 1. *PC* — [`SkipEntry::pc`] plus [`SkipEntry::instance`], the dynamic
+//!    occurrence number of this PC in the warp's stream (our encoding of
+//!    the paper's register version numbers: a PC inside a loop is skipped
+//!    once per iteration, and slow warps must match the iteration they are
+//!    on);
+//! 2. *warps waiting bitmask* — [`SkipEntry::waiting_mask`];
+//! 3. *majority-path bitmask* — kept per-TB in
+//!    [`MajorityMask`](crate::MajorityMask), not per entry;
+//! 4. *IsLoad* — [`SkipEntry::is_load`], cleared entries on stores/atomics
+//!    via [`SkipTable::invalidate_loads`];
+//! 5. *LeaderWB* — [`SkipEntry::leader_wb`].
+//!
+//! Entries are removed when every live majority-path warp has passed the
+//! instruction, or recycled LRU under capacity pressure (always safe: a
+//! warp that misses its skip window simply executes the instruction, which
+//! is redundant, hence produces the same value).
+
+use crate::stats::DarsieStats;
+use crate::WarpMask;
+
+/// One skip table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkipEntry {
+    /// Static instruction index being skipped.
+    pub pc: usize,
+    /// Dynamic occurrence number (1-based): warps only match entries for
+    /// the occurrence they are about to execute.
+    pub instance: u32,
+    /// Warp slot (within the TB) elected leader.
+    pub leader: u32,
+    /// True when the instruction is a load from mutable memory; such
+    /// entries are flushed by stores and global atomics (Section 4.4).
+    pub is_load: bool,
+    /// Set once the leader has written the redundant value back; followers
+    /// may only skip afterwards.
+    pub leader_wb: bool,
+    /// Warps currently stalled at this PC waiting for the leader.
+    pub waiting_mask: WarpMask,
+    /// Warps (leader included) that have passed this occurrence.
+    pub passed_mask: WarpMask,
+    /// LRU timestamp.
+    pub last_use: u64,
+}
+
+/// Result of probing the table when a warp's next fetch PC is skippable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// No entry for this occurrence: the probing warp becomes the leader
+    /// and must execute the instruction.
+    BecomeLeader,
+    /// Entry exists and the leader has written back: skip the instruction.
+    Skip,
+    /// Entry exists but the leader has not written back yet: stall.
+    WaitForLeader,
+}
+
+/// A per-threadblock PC skip table bank.
+#[derive(Debug, Clone)]
+pub struct SkipTable {
+    capacity: usize,
+    entries: Vec<SkipEntry>,
+}
+
+impl SkipTable {
+    /// Creates a bank with room for `capacity` entries (paper: 8 per TB).
+    #[must_use]
+    pub fn new(capacity: usize) -> SkipTable {
+        SkipTable { capacity, entries: Vec::with_capacity(capacity) }
+    }
+
+    /// Current number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over live entries.
+    pub fn iter(&self) -> impl Iterator<Item = &SkipEntry> {
+        self.entries.iter()
+    }
+
+    /// Finds the entry for `(pc, instance)`.
+    #[must_use]
+    pub fn find(&self, pc: usize, instance: u32) -> Option<&SkipEntry> {
+        self.entries.iter().find(|e| e.pc == pc && e.instance == instance)
+    }
+
+    fn find_mut(&mut self, pc: usize, instance: u32) -> Option<&mut SkipEntry> {
+        self.entries.iter_mut().find(|e| e.pc == pc && e.instance == instance)
+    }
+
+    /// Probes the table for warp `warp` about to execute occurrence
+    /// `instance` of `pc`. Does not mutate state; the caller follows up
+    /// with [`SkipTable::insert_leader`], [`SkipTable::record_pass`] or
+    /// [`SkipTable::record_wait`] according to the outcome.
+    #[must_use]
+    pub fn probe(&self, pc: usize, instance: u32, stats: &mut DarsieStats) -> ProbeOutcome {
+        stats.skip_table_probes += 1;
+        match self.find(pc, instance) {
+            None => ProbeOutcome::BecomeLeader,
+            Some(e) if e.leader_wb => ProbeOutcome::Skip,
+            Some(_) => ProbeOutcome::WaitForLeader,
+        }
+    }
+
+    /// Installs a new entry with `warp` as leader, evicting the LRU entry
+    /// if the bank is full. Returns false (and installs nothing) when the
+    /// bank is full and every entry was used this very cycle.
+    pub fn insert_leader(
+        &mut self,
+        pc: usize,
+        instance: u32,
+        warp: u32,
+        is_load: bool,
+        now: u64,
+        stats: &mut DarsieStats,
+    ) -> bool {
+        debug_assert!(self.find(pc, instance).is_none(), "duplicate skip entry");
+        if self.entries.len() >= self.capacity {
+            // Recycle the least recently used entry. Warps that lose their
+            // window will execute the (redundant) instruction themselves.
+            // Entries with stalled followers are pinned: evicting them
+            // would strand the waiters.
+            let Some(lru) = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.last_use < now && e.waiting_mask == 0)
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(i, _)| i)
+            else {
+                return false;
+            };
+            self.entries.swap_remove(lru);
+            stats.skip_table_evictions += 1;
+        }
+        self.entries.push(SkipEntry {
+            pc,
+            instance,
+            leader: warp,
+            is_load,
+            leader_wb: false,
+            waiting_mask: 0,
+            passed_mask: 1 << warp,
+            last_use: now,
+        });
+        stats.leaders_elected += 1;
+        true
+    }
+
+    /// Marks the leader's writeback complete, releasing waiting followers.
+    /// Returns the mask of warps that were waiting (now free to skip).
+    ///
+    /// The writeback is ignored unless `warp` still matches the entry's
+    /// leader: after a load entry is flushed by a store and re-created, a
+    /// stale writeback from the original leader must not unlock followers
+    /// before the new leader produced a fresh value.
+    pub fn leader_writeback(&mut self, pc: usize, instance: u32, warp: u32, now: u64) -> WarpMask {
+        if let Some(e) = self.find_mut(pc, instance) {
+            if e.leader != warp {
+                return 0;
+            }
+            e.leader_wb = true;
+            e.last_use = now;
+            std::mem::take(&mut e.waiting_mask)
+        } else {
+            0
+        }
+    }
+
+    /// Records that `warp` is stalled at this entry waiting for the leader.
+    /// A warp that already passed this occurrence cannot be waiting on it;
+    /// such requests are ignored (defensive hardware).
+    pub fn record_wait(&mut self, pc: usize, instance: u32, warp: u32, now: u64) {
+        if let Some(e) = self.find_mut(pc, instance) {
+            if e.passed_mask & (1 << warp) == 0 {
+                e.waiting_mask |= 1 << warp;
+            }
+            e.last_use = now;
+        }
+    }
+
+    /// Records that `warp` skipped (or redundantly executed) this
+    /// occurrence; removes the entry once every warp in `must_pass` has
+    /// passed. Returns true if the entry was removed.
+    pub fn record_pass(
+        &mut self,
+        pc: usize,
+        instance: u32,
+        warp: u32,
+        must_pass: WarpMask,
+        now: u64,
+    ) -> bool {
+        let Some(idx) = self.entries.iter().position(|e| e.pc == pc && e.instance == instance)
+        else {
+            return false;
+        };
+        let e = &mut self.entries[idx];
+        e.passed_mask |= 1 << warp;
+        e.waiting_mask &= !(1 << warp);
+        e.last_use = now;
+        if e.passed_mask & must_pass == must_pass {
+            self.entries.swap_remove(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Re-evaluates entry liveness after the majority mask shrank (a warp
+    /// diverged or exited): entries everyone remaining has passed are
+    /// dropped. Returns how many entries were removed.
+    pub fn sweep(&mut self, must_pass: WarpMask) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.passed_mask & must_pass != must_pass);
+        before - self.entries.len()
+    }
+
+    /// Removes load entries (paper Section 4.4): on a store by this TB, or
+    /// on a global communication primitive anywhere on the SM. Returns the
+    /// number of entries flushed, and the mask of warps that were waiting
+    /// on them (they resume and execute the loads themselves).
+    pub fn invalidate_loads(&mut self, stats: &mut DarsieStats) -> (usize, WarpMask) {
+        let mut released = 0;
+        let mut waiting = 0;
+        self.entries.retain(|e| {
+            if e.is_load {
+                released += 1;
+                waiting |= e.waiting_mask;
+                false
+            } else {
+                true
+            }
+        });
+        stats.load_invalidations += released as u64;
+        (released, waiting)
+    }
+
+    /// Drops every entry (TB completion). Returns waiting warps.
+    pub fn clear(&mut self) -> WarpMask {
+        let waiting = self.entries.iter().fold(0, |m, e| m | e.waiting_mask);
+        self.entries.clear();
+        waiting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> DarsieStats {
+        DarsieStats::default()
+    }
+
+    #[test]
+    fn leader_then_followers_protocol() {
+        let mut t = SkipTable::new(8);
+        let mut s = stats();
+        // Warp 0 probes first: becomes leader.
+        assert_eq!(t.probe(4, 1, &mut s), ProbeOutcome::BecomeLeader);
+        assert!(t.insert_leader(4, 1, 0, false, 10, &mut s));
+        // Warp 1 arrives before writeback: must wait.
+        assert_eq!(t.probe(4, 1, &mut s), ProbeOutcome::WaitForLeader);
+        t.record_wait(4, 1, 1, 11);
+        // Leader writes back; warp 1 is released.
+        let released = t.leader_writeback(4, 1, 0, 12);
+        assert_eq!(released, 0b10);
+        // Warp 1 and 2 now skip.
+        assert_eq!(t.probe(4, 1, &mut s), ProbeOutcome::Skip);
+        assert!(!t.record_pass(4, 1, 1, 0b111, 13));
+        assert!(t.record_pass(4, 1, 2, 0b111, 14), "last warp removes entry");
+        assert!(t.is_empty());
+        assert_eq!(s.leaders_elected, 1);
+        assert_eq!(s.skip_table_probes, 3);
+    }
+
+    #[test]
+    fn instances_distinguish_loop_iterations() {
+        let mut t = SkipTable::new(8);
+        let mut s = stats();
+        assert!(t.insert_leader(4, 1, 0, false, 1, &mut s));
+        t.leader_writeback(4, 1, 0, 1);
+        // A fast warp 0 on iteration 2 creates a second instance while
+        // iteration 1's entry is still live for slow warps.
+        assert_eq!(t.probe(4, 2, &mut s), ProbeOutcome::BecomeLeader);
+        assert!(t.insert_leader(4, 2, 0, false, 2, &mut s));
+        assert_eq!(t.len(), 2);
+        // A slow warp on iteration 1 still skips the right version.
+        assert_eq!(t.probe(4, 1, &mut s), ProbeOutcome::Skip);
+    }
+
+    #[test]
+    fn entries_with_waiters_are_never_evicted() {
+        let mut t = SkipTable::new(1);
+        let mut s = stats();
+        assert!(t.insert_leader(0, 1, 0, false, 1, &mut s));
+        t.record_wait(0, 1, 2, 2);
+        assert!(!t.insert_leader(8, 1, 1, false, 9, &mut s), "pinned by waiter");
+        assert!(t.find(0, 1).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_under_capacity_pressure() {
+        let mut t = SkipTable::new(2);
+        let mut s = stats();
+        assert!(t.insert_leader(0, 1, 0, false, 1, &mut s));
+        assert!(t.insert_leader(8, 1, 0, false, 2, &mut s));
+        // Third entry evicts pc=0 (older use).
+        assert!(t.insert_leader(16, 1, 0, false, 3, &mut s));
+        assert_eq!(t.len(), 2);
+        assert!(t.find(0, 1).is_none());
+        assert!(t.find(8, 1).is_some());
+        assert_eq!(s.skip_table_evictions, 1);
+    }
+
+    #[test]
+    fn insert_fails_when_all_entries_are_current() {
+        let mut t = SkipTable::new(1);
+        let mut s = stats();
+        assert!(t.insert_leader(0, 1, 0, false, 5, &mut s));
+        // Same-cycle insert cannot evict the entry just used.
+        assert!(!t.insert_leader(8, 1, 1, false, 5, &mut s));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn store_invalidation_flushes_loads_only() {
+        let mut t = SkipTable::new(8);
+        let mut s = stats();
+        assert!(t.insert_leader(0, 1, 0, true, 1, &mut s));
+        assert!(t.insert_leader(8, 1, 0, false, 1, &mut s));
+        assert!(t.insert_leader(16, 1, 0, true, 1, &mut s));
+        t.record_wait(16, 1, 3, 2);
+        let (flushed, waiting) = t.invalidate_loads(&mut s);
+        assert_eq!(flushed, 2);
+        assert_eq!(waiting, 0b1000, "warp 3 resumes to execute the load itself");
+        assert_eq!(t.len(), 1);
+        assert!(t.find(8, 1).is_some());
+        assert_eq!(s.load_invalidations, 2);
+    }
+
+    #[test]
+    fn sweep_drops_entries_after_divergence() {
+        let mut t = SkipTable::new(8);
+        let mut s = stats();
+        assert!(t.insert_leader(0, 1, 0, false, 1, &mut s));
+        t.leader_writeback(0, 1, 0, 1);
+        assert!(!t.record_pass(0, 1, 1, 0b111, 2));
+        // Warp 2 diverges off the majority path; remaining warps {0,1}
+        // have both passed.
+        assert_eq!(t.sweep(0b011), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn clear_reports_waiting_warps() {
+        let mut t = SkipTable::new(8);
+        let mut s = stats();
+        assert!(t.insert_leader(0, 1, 0, false, 1, &mut s));
+        t.record_wait(0, 1, 2, 2);
+        t.record_wait(0, 1, 3, 2);
+        assert_eq!(t.clear(), 0b1100);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn stale_leader_writeback_is_ignored() {
+        let mut t = SkipTable::new(8);
+        let mut s = stats();
+        assert!(t.insert_leader(0, 1, 0, true, 1, &mut s));
+        // Store flushes the load entry; warp 2 re-leads the same instance.
+        let _ = t.invalidate_loads(&mut s);
+        assert!(t.insert_leader(0, 1, 2, true, 2, &mut s));
+        t.record_wait(0, 1, 3, 3);
+        // The original leader's writeback arrives late: must not unlock.
+        assert_eq!(t.leader_writeback(0, 1, 0, 4), 0);
+        assert_eq!(t.probe(0, 1, &mut s), ProbeOutcome::WaitForLeader);
+        // The new leader's writeback does.
+        assert_eq!(t.leader_writeback(0, 1, 2, 5), 0b1000);
+    }
+
+    #[test]
+    fn waiting_warp_released_by_record_pass() {
+        let mut t = SkipTable::new(8);
+        let mut s = stats();
+        assert!(t.insert_leader(0, 1, 0, false, 1, &mut s));
+        t.record_wait(0, 1, 1, 2);
+        t.leader_writeback(0, 1, 0, 3);
+        assert!(t.record_pass(0, 1, 1, 0b011, 4), "entry removed once all pass");
+    }
+}

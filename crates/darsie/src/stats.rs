@@ -1,0 +1,78 @@
+//! Activity counters for the DARSIE structures, consumed by the energy
+//! model (each counter corresponds to a per-event energy charge).
+
+/// Counters accumulated while DARSIE hardware is active.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DarsieStats {
+    /// Skip-table probes issued (after coalescing).
+    pub skip_table_probes: u64,
+    /// Entries evicted under capacity pressure.
+    pub skip_table_evictions: u64,
+    /// Leader warps elected (entries created).
+    pub leaders_elected: u64,
+    /// Instructions skipped by follower warps.
+    pub instructions_skipped: u64,
+    /// Load entries flushed by stores / global communication (Section 4.4).
+    pub load_invalidations: u64,
+    /// Rename-table writes (leader allocations and follower rebinds).
+    pub rename_writes: u64,
+    /// Rename-table read probes (every register read checks it).
+    pub rename_reads: u64,
+    /// Versions allocated from the freelist.
+    pub version_allocations: u64,
+    /// Leader elections that failed because the freelist was empty.
+    pub freelist_stalls: u64,
+    /// Probes coalesced onto an already-granted PC this cycle.
+    pub coalesced_probes: u64,
+    /// Probes rejected for lack of skip-table ports (retried next cycle).
+    pub coalescer_rejections: u64,
+    /// Cycles warps spent stalled waiting for a leader writeback.
+    pub wait_for_leader_cycles: u64,
+    /// Cycles warps spent stalled at DARSIE branch synchronization.
+    pub branch_sync_cycles: u64,
+    /// Warps removed from the majority path at branches.
+    pub majority_evictions: u64,
+    /// Extra register-bank conflicts induced by follower reads of renamed
+    /// registers.
+    pub rename_bank_conflicts: u64,
+}
+
+impl DarsieStats {
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &DarsieStats) {
+        self.skip_table_probes += other.skip_table_probes;
+        self.skip_table_evictions += other.skip_table_evictions;
+        self.leaders_elected += other.leaders_elected;
+        self.instructions_skipped += other.instructions_skipped;
+        self.load_invalidations += other.load_invalidations;
+        self.rename_writes += other.rename_writes;
+        self.rename_reads += other.rename_reads;
+        self.version_allocations += other.version_allocations;
+        self.freelist_stalls += other.freelist_stalls;
+        self.coalesced_probes += other.coalesced_probes;
+        self.coalescer_rejections += other.coalescer_rejections;
+        self.wait_for_leader_cycles += other.wait_for_leader_cycles;
+        self.branch_sync_cycles += other.branch_sync_cycles;
+        self.majority_evictions += other.majority_evictions;
+        self.rename_bank_conflicts += other.rename_bank_conflicts;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = DarsieStats { instructions_skipped: 3, rename_reads: 5, ..Default::default() };
+        let b = DarsieStats {
+            instructions_skipped: 4,
+            leaders_elected: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.instructions_skipped, 7);
+        assert_eq!(a.leaders_elected, 2);
+        assert_eq!(a.rename_reads, 5);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests of the DARSIE hardware protocol: arbitrary event
+//! sequences against the skip table, rename state and majority mask must
+//! preserve the structural invariants the SM integration relies on.
+
+use darsie::{DarsieStats, MajorityMask, ProbeOutcome, RenameState, SkipTable};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+enum Event {
+    Probe { pc: u8, instance: u8, warp: u8 },
+    Writeback { pc: u8, instance: u8, warp: u8 },
+    Wait { pc: u8, instance: u8, warp: u8 },
+    Pass { pc: u8, instance: u8, warp: u8 },
+    InvalidateLoads,
+    Diverge { warp: u8 },
+    Barrier,
+    AllocVersion { warp: u8, reg: u8 },
+    Bind { warp: u8, reg: u8, version: u8 },
+    Unbind { warp: u8, reg: u8 },
+    ReleaseWarp { warp: u8 },
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0u8..6, 1u8..4, 0u8..8).prop_map(|(pc, i, w)| Event::Probe { pc, instance: i, warp: w }),
+        (0u8..6, 1u8..4, 0u8..8)
+            .prop_map(|(pc, i, w)| Event::Writeback { pc, instance: i, warp: w }),
+        (0u8..6, 1u8..4, 0u8..8).prop_map(|(pc, i, w)| Event::Wait { pc, instance: i, warp: w }),
+        (0u8..6, 1u8..4, 0u8..8).prop_map(|(pc, i, w)| Event::Pass { pc, instance: i, warp: w }),
+        Just(Event::InvalidateLoads),
+        (0u8..8).prop_map(|w| Event::Diverge { warp: w }),
+        Just(Event::Barrier),
+        (0u8..8, 0u8..5).prop_map(|(w, r)| Event::AllocVersion { warp: w, reg: r }),
+        (0u8..8, 0u8..5, 1u8..6).prop_map(|(w, r, v)| Event::Bind { warp: w, reg: r, version: v }),
+        (0u8..8, 0u8..5).prop_map(|(w, r)| Event::Unbind { warp: w, reg: r }),
+        (0u8..8).prop_map(|w| Event::ReleaseWarp { warp: w }),
+    ]
+}
+
+const CAPACITY: usize = 4;
+const RENAME: usize = 6;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    #[test]
+    fn protocol_invariants_hold(events in prop::collection::vec(arb_event(), 0..120)) {
+        let mut table = SkipTable::new(CAPACITY);
+        let mut rename = RenameState::new(RENAME);
+        let mut majority = MajorityMask::new(8);
+        let mut stats = DarsieStats::default();
+        let mut now = 0u64;
+
+        for e in events {
+            now += 1;
+            match e {
+                Event::Probe { pc, instance, warp } => {
+                    let pc = usize::from(pc);
+                    let outcome = table.probe(pc, u32::from(instance), &mut stats);
+                    if outcome == ProbeOutcome::BecomeLeader && majority.contains(u32::from(warp))
+                    {
+                        let _ = table.insert_leader(
+                            pc,
+                            u32::from(instance),
+                            u32::from(warp),
+                            pc % 2 == 0, // half the PCs are loads
+                            now,
+                            &mut stats,
+                        );
+                    }
+                }
+                Event::Writeback { pc, instance, warp } => {
+                    let released = table.leader_writeback(
+                        usize::from(pc),
+                        u32::from(instance),
+                        u32::from(warp),
+                        now,
+                    );
+                    // Released warps must have been registered as waiting.
+                    prop_assert_eq!(released & !0xFF, 0, "release outside warp range");
+                }
+                Event::Wait { pc, instance, warp } => {
+                    table.record_wait(usize::from(pc), u32::from(instance), u32::from(warp), now);
+                }
+                Event::Pass { pc, instance, warp } => {
+                    let must = majority.mask();
+                    let _ = table.record_pass(
+                        usize::from(pc),
+                        u32::from(instance),
+                        u32::from(warp),
+                        must,
+                        now,
+                    );
+                }
+                Event::InvalidateLoads => {
+                    let (_, waiting) = table.invalidate_loads(&mut stats);
+                    prop_assert_eq!(waiting & !0xFF, 0);
+                    // No load entries survive.
+                    prop_assert!(table.iter().all(|e| !e.is_load));
+                }
+                Event::Diverge { warp } => {
+                    majority.remove(u32::from(warp));
+                    rename.release_warp(u32::from(warp));
+                    let _ = table.sweep(majority.mask());
+                }
+                Event::Barrier => majority.reset(),
+                Event::AllocVersion { warp, reg } => {
+                    let _ = rename.allocate_version(u32::from(warp), reg, &mut stats);
+                }
+                Event::Bind { warp, reg, version } => {
+                    let _ = rename.bind(u32::from(warp), reg, u32::from(version), &mut stats);
+                }
+                Event::Unbind { warp, reg } => rename.unbind(u32::from(warp), reg),
+                Event::ReleaseWarp { warp } => rename.release_warp(u32::from(warp)),
+            }
+
+            // --- invariants after every event ---
+            prop_assert!(table.len() <= CAPACITY, "table overflows capacity");
+            let keys: HashSet<(usize, u32)> =
+                table.iter().map(|e| (e.pc, e.instance)).collect();
+            prop_assert_eq!(keys.len(), table.len(), "duplicate (pc, instance) entries");
+            for e in table.iter() {
+                prop_assert_eq!(
+                    e.waiting_mask & e.passed_mask & !(1 << e.leader),
+                    0,
+                    "a non-leader warp cannot both wait and have passed"
+                );
+            }
+            // Physical-register conservation: every live version holds
+            // exactly one preg; the rest are free.
+            prop_assert_eq!(
+                rename.free_regs() + rename.live_versions(),
+                RENAME,
+                "physical registers leaked or double-freed"
+            );
+        }
+    }
+
+    #[test]
+    fn leader_writeback_releases_exactly_the_waiters(
+        waiters in prop::collection::hash_set(0u8..8, 0..6)
+    ) {
+        let mut table = SkipTable::new(4);
+        let mut stats = DarsieStats::default();
+        prop_assume!(!waiters.contains(&0));
+        assert!(table.insert_leader(8, 1, 0, false, 1, &mut stats));
+        let mut expect = 0u32;
+        for &w in &waiters {
+            table.record_wait(8, 1, u32::from(w), 2);
+            expect |= 1 << w;
+        }
+        let released = table.leader_writeback(8, 1, 0, 3);
+        prop_assert_eq!(released, expect);
+        // Idempotent: a second writeback releases nobody.
+        prop_assert_eq!(table.leader_writeback(8, 1, 0, 4), 0);
+    }
+
+    #[test]
+    fn entry_removal_requires_every_must_pass_warp(
+        warps in prop::collection::vec(0u8..6, 1..12)
+    ) {
+        let mut table = SkipTable::new(4);
+        let mut stats = DarsieStats::default();
+        let must: u32 = 0b111111;
+        assert!(table.insert_leader(0, 1, 0, false, 1, &mut stats));
+        let mut passed = 1u32; // leader
+        let mut removed = false;
+        for w in warps {
+            removed = table.record_pass(0, 1, u32::from(w), must, 2);
+            passed |= 1 << w;
+            if removed {
+                break;
+            }
+        }
+        prop_assert_eq!(removed, passed & must == must);
+    }
+}

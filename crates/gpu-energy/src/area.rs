@@ -1,0 +1,152 @@
+//! The paper's Section 6.3 area estimate, reproduced bit for bit.
+//!
+//! One PC skip table entry is 82 bits (48-bit PC + 32-bit warp mask +
+//! IsLoad + LeaderWB); eight entries per TB and 32 TBs per SM give 256
+//! entries. The majority-path mask is 32 bits per TB. Each rename/version
+//! entry is 21 bits (8-bit named register + 8-bit physical tag + 5-bit
+//! version), 32 entries per TB. Altogether 5.31 kB — about 2.1% of the
+//! Pascal SM register file.
+
+/// Sizing inputs (paper defaults via [`AreaParams::default`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AreaParams {
+    /// PC width in bits.
+    pub pc_bits: u32,
+    /// Maximum warps per TB (warp-mask width).
+    pub warps_per_tb: u32,
+    /// Skip-table entries per TB.
+    pub skip_entries_per_tb: u32,
+    /// Maximum TBs per SM.
+    pub tbs_per_sm: u32,
+    /// Rename/version entries per TB.
+    pub rename_entries_per_tb: u32,
+    /// Bits to name an architectural register (CUDA: 255 names).
+    pub reg_name_bits: u32,
+    /// Bits for the physical register tag.
+    pub preg_bits: u32,
+    /// Bits for the version number.
+    pub version_bits: u32,
+    /// Vector registers per SM (for the percentage-of-RF figure).
+    pub vector_regs_per_sm: u32,
+    /// Bytes per vector register (32 lanes x 4 B).
+    pub vector_reg_bytes: u32,
+}
+
+impl Default for AreaParams {
+    fn default() -> AreaParams {
+        AreaParams {
+            pc_bits: 48,
+            warps_per_tb: 32,
+            skip_entries_per_tb: 8,
+            tbs_per_sm: 32,
+            rename_entries_per_tb: 32,
+            reg_name_bits: 8,
+            preg_bits: 8,
+            version_bits: 5,
+            vector_regs_per_sm: 2048,
+            vector_reg_bytes: 128,
+        }
+    }
+}
+
+/// Computed area figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaEstimate {
+    /// Bits of one skip-table entry.
+    pub skip_entry_bits: u32,
+    /// Total skip-table bits per SM.
+    pub skip_table_bits: u64,
+    /// Majority-path mask bits per SM.
+    pub majority_mask_bits: u64,
+    /// Rename + version table bits per SM.
+    pub rename_table_bits: u64,
+    /// Total added bytes per SM.
+    pub total_bytes: f64,
+    /// Fraction of the SM register file (percent).
+    pub percent_of_rf: f64,
+}
+
+impl AreaEstimate {
+    /// Evaluates the estimate for `p`.
+    #[must_use]
+    pub fn compute(p: &AreaParams) -> AreaEstimate {
+        // PC + warps-waiting mask + IsLoad + LeaderWB.
+        let skip_entry_bits = p.pc_bits + p.warps_per_tb + 1 + 1;
+        let skip_entries = u64::from(p.skip_entries_per_tb) * u64::from(p.tbs_per_sm);
+        let skip_table_bits = u64::from(skip_entry_bits) * skip_entries;
+        let majority_mask_bits = u64::from(p.warps_per_tb) * u64::from(p.tbs_per_sm);
+        let rename_entry_bits = p.reg_name_bits + p.preg_bits + p.version_bits;
+        let rename_table_bits = u64::from(rename_entry_bits)
+            * u64::from(p.rename_entries_per_tb)
+            * u64::from(p.tbs_per_sm);
+        let total_bits = skip_table_bits + majority_mask_bits + rename_table_bits;
+        let total_bytes = total_bits as f64 / 8.0;
+        let rf_bytes = f64::from(p.vector_regs_per_sm) * f64::from(p.vector_reg_bytes);
+        AreaEstimate {
+            skip_entry_bits,
+            skip_table_bits,
+            majority_mask_bits,
+            rename_table_bits,
+            total_bytes,
+            percent_of_rf: total_bytes / rf_bytes * 100.0,
+        }
+    }
+
+    /// Renders the Section-6.3 style report.
+    #[must_use]
+    pub fn report(&self) -> String {
+        format!(
+            "PC skip table entry: {} bits\n\
+             PC skip table:       {} bits ({} bytes)\n\
+             Majority path masks: {} bits ({} bytes)\n\
+             Rename/version:      {} bits ({} bytes)\n\
+             Total:               {:.2} kB ({:.1}% of the SM register file)",
+            self.skip_entry_bits,
+            self.skip_table_bits,
+            self.skip_table_bits / 8,
+            self.majority_mask_bits,
+            self.majority_mask_bits / 8,
+            self.rename_table_bits,
+            self.rename_table_bits / 8,
+            self.total_bytes / 1024.0,
+            self.percent_of_rf,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_section_6_3_numbers() {
+        let a = AreaEstimate::compute(&AreaParams::default());
+        assert_eq!(a.skip_entry_bits, 82);
+        // 82 bits x 256 entries.
+        assert_eq!(a.skip_table_bits, 20_992);
+        assert_eq!(a.skip_table_bits / 8, 2_624, "2624 bytes");
+        assert_eq!(a.majority_mask_bits, 1_024);
+        assert_eq!(a.majority_mask_bits / 8, 128, "128 bytes");
+        // 21 bits x 32 entries x 32 TBs.
+        assert_eq!(a.rename_table_bits, 21_504);
+        assert_eq!(a.rename_table_bits / 8, 2_688, "2688 bytes");
+        // 5.31 kB total, 2.1% of the 256 KB register file.
+        assert!((a.total_bytes / 1024.0 - 5.3125).abs() < 1e-9);
+        assert!((a.percent_of_rf - 2.075).abs() < 0.01);
+    }
+
+    #[test]
+    fn report_contains_headline_numbers() {
+        let r = AreaEstimate::compute(&AreaParams::default()).report();
+        assert!(r.contains("82 bits"), "{r}");
+        assert!(r.contains("5.31 kB"), "{r}");
+        assert!(r.contains("2624"), "{r}");
+    }
+
+    #[test]
+    fn area_scales_with_entries() {
+        let p = AreaParams { skip_entries_per_tb: 16, ..AreaParams::default() };
+        let a = AreaEstimate::compute(&p);
+        assert_eq!(a.skip_table_bits, 41_984);
+    }
+}

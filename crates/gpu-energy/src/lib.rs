@@ -1,0 +1,17 @@
+//! Energy and area models for the DARSIE reproduction.
+//!
+//! * [`energy`] — a GPUWattch-style activity-based energy model: every
+//!   counter in [`gpu_sim::SimStats`] is multiplied by a per-event energy,
+//!   plus per-cycle static power. The register-file energies are the
+//!   paper's Table 2 values (14.2 pJ/read, 25.9 pJ/write); the remaining
+//!   coefficients are GPUWattch-magnitude estimates. Absolute joules are
+//!   not meaningful — ratios against the baseline are what Figure 11
+//!   reports.
+//! * [`area`] — the paper's Section 6.3 bit-level arithmetic for the PC
+//!   skip table, majority-path masks and rename/version tables.
+
+pub mod area;
+pub mod energy;
+
+pub use area::{AreaEstimate, AreaParams};
+pub use energy::{EnergyBreakdown, EnergyModel};

@@ -1,0 +1,159 @@
+//! Pipeline event tracing: an optional per-cycle record of what the SMs
+//! did, for debugging kernels and inspecting the DARSIE protocol in
+//! action. Enabled with [`GpuConfig::trace_events`]; events come back in
+//! [`SimResult::events`](crate::SimResult) ordered by cycle.
+//!
+//! Tracing is meant for small runs (every event is a heap record).
+//!
+//! [`GpuConfig::trace_events`]: crate::GpuConfig::trace_events
+
+use std::fmt;
+
+/// One pipeline event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipeEvent {
+    /// Cycle the event occurred in.
+    pub cycle: u64,
+    /// SM index.
+    pub sm: usize,
+    /// Warp slot within the SM.
+    pub warp: usize,
+    /// Static instruction index involved.
+    pub pc: usize,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Kinds of traced events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Instruction fetched into the I-buffer.
+    Fetch,
+    /// Warp elected DARSIE leader for this PC.
+    Lead,
+    /// Instruction skipped before fetch (marker enqueued).
+    Skip,
+    /// Warp stalled waiting for a leader writeback.
+    WaitLeader,
+    /// Instruction issued to execution.
+    Issue,
+    /// Issue-stage reuse hit (UV).
+    Reuse,
+    /// Result written back (scoreboard cleared).
+    Writeback,
+    /// Warp arrived at a `bar.sync`.
+    BarrierArrive,
+    /// Warp blocked at DARSIE branch synchronization.
+    BranchSync,
+    /// Warp left the majority path.
+    MajorityEvict,
+    /// Warp finished.
+    WarpDone,
+}
+
+impl fmt::Display for PipeEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {:>6}  sm{} w{:<3} pc {:>4}  {:?}",
+            self.cycle, self.sm, self.warp, self.pc, self.kind
+        )
+    }
+}
+
+/// A bounded event buffer (keeps the first `capacity` events; counts the
+/// rest so callers know the trace was truncated).
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Vec<PipeEvent>,
+    capacity: usize,
+    /// Events dropped after the buffer filled.
+    pub dropped: u64,
+}
+
+impl EventLog {
+    /// A log keeping at most `capacity` events.
+    #[must_use]
+    pub fn new(capacity: usize) -> EventLog {
+        EventLog { events: Vec::new(), capacity, dropped: 0 }
+    }
+
+    /// Records one event.
+    pub fn push(&mut self, e: PipeEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(e);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events.
+    #[must_use]
+    pub fn events(&self) -> &[PipeEvent] {
+        &self.events
+    }
+
+    /// Consumes the log.
+    #[must_use]
+    pub fn into_events(self) -> Vec<PipeEvent> {
+        self.events
+    }
+
+    /// Merges another log (stable by cycle).
+    pub fn merge(&mut self, other: EventLog) {
+        self.dropped += other.dropped;
+        for e in other.events {
+            self.push(e);
+        }
+        self.events.sort_by_key(|e| e.cycle);
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, kind: EventKind) -> PipeEvent {
+        PipeEvent { cycle, sm: 0, warp: 1, pc: 2, kind }
+    }
+
+    #[test]
+    fn bounded_capacity_counts_drops() {
+        let mut log = EventLog::new(2);
+        log.push(ev(1, EventKind::Fetch));
+        log.push(ev(2, EventKind::Issue));
+        log.push(ev(3, EventKind::Writeback));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped, 1);
+    }
+
+    #[test]
+    fn merge_sorts_by_cycle() {
+        let mut a = EventLog::new(10);
+        a.push(ev(5, EventKind::Issue));
+        let mut b = EventLog::new(10);
+        b.push(ev(1, EventKind::Fetch));
+        a.merge(b);
+        assert_eq!(a.events()[0].cycle, 1);
+        assert_eq!(a.events()[1].cycle, 5);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = ev(7, EventKind::Skip).to_string();
+        assert!(s.contains("cycle"), "{s}");
+        assert!(s.contains("Skip"), "{s}");
+    }
+}

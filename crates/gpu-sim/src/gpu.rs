@@ -1,0 +1,261 @@
+//! Top level: the threadblock dispatcher, the shared L2/DRAM, and the
+//! simulation run loop.
+
+use crate::config::{GpuConfig, Technique};
+use crate::mem::{DramModel, GlobalMemory, TagCache};
+use crate::sm::{KernelData, Sm};
+use crate::stats::SimStats;
+use simt_compiler::CompiledKernel;
+use simt_isa::{Dim3, LaunchConfig};
+use std::sync::Arc;
+
+/// Result of a kernel simulation.
+#[derive(Debug)]
+pub struct SimResult {
+    /// Total cycles until the grid drained.
+    pub cycles: u64,
+    /// Aggregated statistics across all SMs.
+    pub stats: SimStats,
+    /// Global memory after the kernel (inspect outputs here).
+    pub memory: GlobalMemory,
+    /// Pipeline trace (empty unless [`GpuConfig::trace_events`]).
+    pub events: crate::events::EventLog,
+}
+
+/// The whole GPU: `num_sms` SMs sharing L2, DRAM and global memory.
+#[derive(Debug)]
+pub struct Gpu {
+    cfg: GpuConfig,
+    technique: Technique,
+}
+
+impl Gpu {
+    /// A GPU with the given configuration and redundancy technique.
+    #[must_use]
+    pub fn new(cfg: GpuConfig, technique: Technique) -> Gpu {
+        Gpu { cfg, technique }
+    }
+
+    /// Convenience: the Table-2 Pascal baseline.
+    #[must_use]
+    pub fn pascal(technique: Technique) -> Gpu {
+        Gpu::new(GpuConfig::pascal_gtx1080ti(), technique)
+    }
+
+    /// Runs `ck` with launch geometry `launch` against `memory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds `max_cycles` (deadlock guard), or
+    /// if a TB cannot fit on an empty SM (resource overflow).
+    pub fn launch(
+        &self,
+        ck: &CompiledKernel,
+        launch: &LaunchConfig,
+        memory: GlobalMemory,
+    ) -> SimResult {
+        let kd = Arc::new(KernelData::new(ck.clone(), launch.clone()));
+        let mut sms: Vec<Sm> =
+            (0..self.cfg.num_sms).map(|i| Sm::new(i, &self.cfg, self.technique.clone(), Arc::clone(&kd))).collect();
+
+        // Grid iteration order: x fastest, like the hardware dispatcher.
+        let total_tbs = launch.num_blocks();
+        let mut next_tb: u64 = 0;
+        let grid = launch.grid;
+        let tb_coord = |i: u64| -> Dim3 {
+            let x = (i % u64::from(grid.x)) as u32;
+            let y = ((i / u64::from(grid.x)) % u64::from(grid.y)) as u32;
+            let z = (i / (u64::from(grid.x) * u64::from(grid.y))) as u32;
+            Dim3::three_d(x, y, z)
+        };
+
+        let mut global = memory;
+        let mut l2 = TagCache::new(self.cfg.l2_lines, self.cfg.l2_assoc);
+        let mut dram = DramModel::new(self.cfg.dram_bandwidth);
+
+        // Initial fill, round-robin across SMs.
+        let mut progress = true;
+        while progress && next_tb < total_tbs {
+            progress = false;
+            for sm in &mut sms {
+                if next_tb >= total_tbs {
+                    break;
+                }
+                if sm.can_accept_tb() {
+                    sm.launch_tb(tb_coord(next_tb));
+                    next_tb += 1;
+                    progress = true;
+                }
+            }
+        }
+        if total_tbs > 0 {
+            assert!(
+                next_tb > 0,
+                "kernel {} does not fit on an empty SM (regs/smem/warps overflow)",
+                ck.kernel.name
+            );
+        }
+
+        let mut now: u64 = 0;
+        loop {
+            let mut any_busy = false;
+            let mut completed = 0u32;
+            for sm in &mut sms {
+                completed += sm.cycle(now, &mut global, &mut l2, &mut dram);
+                any_busy |= sm.busy();
+            }
+            // Refill freed capacity. A dispatch makes the machine busy
+            // again (the earlier busy() snapshot is stale).
+            if completed > 0 {
+                for sm in &mut sms {
+                    while next_tb < total_tbs && sm.can_accept_tb() {
+                        sm.launch_tb(tb_coord(next_tb));
+                        next_tb += 1;
+                        any_busy = true;
+                    }
+                }
+            }
+            now += 1;
+            if !any_busy && next_tb >= total_tbs {
+                break;
+            }
+            assert!(
+                now < self.cfg.max_cycles,
+                "simulation exceeded {} cycles (possible deadlock) running {}",
+                self.cfg.max_cycles,
+                ck.kernel.name
+            );
+        }
+
+        let mut stats = SimStats::default();
+        let mut events = crate::events::EventLog::new(200_000);
+        for sm in &mut sms {
+            stats.merge(&sm.stats);
+            events.merge(std::mem::take(&mut sm.events));
+        }
+        stats.cycles = now;
+        assert_eq!(
+            stats.tbs_completed, total_tbs,
+            "dispatcher lost threadblocks in {}",
+            ck.kernel.name
+        );
+        SimResult { cycles: now, stats, memory: global, events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_isa::{KernelBuilder, MemSpace, SpecialReg, Value};
+
+    /// out[gid] = in[gid] + 1, 1D grid.
+    fn add_one_kernel() -> CompiledKernel {
+        let mut b = KernelBuilder::new("add_one");
+        let tid = b.special(SpecialReg::TidX);
+        let ctaid = b.special(SpecialReg::CtaidX);
+        let ntid = b.special(SpecialReg::NtidX);
+        let gid = b.imad(ctaid, ntid, tid);
+        let off = b.shl_imm(gid, 2);
+        let inp = b.param(0);
+        let outp = b.param(1);
+        let a_in = b.iadd(inp, off);
+        let v = b.load(MemSpace::Global, a_in, 0);
+        let w = b.iadd(v, 1u32);
+        let a_out = b.iadd(outp, off);
+        b.store(MemSpace::Global, a_out, w, 0);
+        simt_compiler::compile(b.finish())
+    }
+
+    #[test]
+    fn base_runs_small_1d_kernel_correctly() {
+        let ck = add_one_kernel();
+        let mut mem = GlobalMemory::new();
+        let n = 256u32;
+        let a_in = mem.alloc(u64::from(n) * 4);
+        let a_out = mem.alloc(u64::from(n) * 4);
+        let input: Vec<u32> = (0..n).map(|i| i * 3).collect();
+        mem.write_slice_u32(a_in, &input);
+        let launch = LaunchConfig::new(4u32, 64u32)
+            .with_params(vec![Value(a_in as u32), Value(a_out as u32)]);
+        let gpu = Gpu::new(GpuConfig::test_small(), Technique::Base);
+        let res = gpu.launch(&ck, &launch, mem);
+        let out = res.memory.read_vec_u32(a_out, n as usize);
+        let expect: Vec<u32> = input.iter().map(|v| v + 1).collect();
+        assert_eq!(out, expect);
+        assert!(res.cycles > 0);
+        assert!(res.stats.instrs_executed >= u64::from(n / 32) * 11);
+        assert_eq!(res.stats.tbs_completed, 4);
+    }
+
+    #[test]
+    fn darsie_matches_base_output_on_2d_kernel() {
+        // out[tid.y*16+tid.x] = in[tid.x] * 2 (tid.x chain is skippable
+        // under a 16x16 block).
+        let mut b = KernelBuilder::new("scale2d");
+        let tx = b.special(SpecialReg::TidX);
+        let ty = b.special(SpecialReg::TidY);
+        let ntx = b.special(SpecialReg::NtidX);
+        let inp = b.param(0);
+        let outp = b.param(1);
+        let off_in = b.shl_imm(tx, 2);
+        let a_in = b.iadd(inp, off_in);
+        let v = b.load(MemSpace::Global, a_in, 0);
+        let v2 = b.iadd(v, v);
+        let lin = b.imad(ty, ntx, tx);
+        let off_out = b.shl_imm(lin, 2);
+        let a_out = b.iadd(outp, off_out);
+        b.store(MemSpace::Global, a_out, v2, 0);
+        let ck = simt_compiler::compile(b.finish());
+
+        let mk_mem = || {
+            let mut mem = GlobalMemory::new();
+            let a_in = mem.alloc(16 * 4);
+            let a_out = mem.alloc(256 * 4);
+            let input: Vec<u32> = (0..16).map(|i| 100 + i).collect();
+            mem.write_slice_u32(a_in, &input);
+            (mem, a_in, a_out)
+        };
+        let (mem_b, ain, aout) = mk_mem();
+        let launch = LaunchConfig::new(2u32, (16u32, 16u32))
+            .with_params(vec![Value(ain as u32), Value(aout as u32)]);
+
+        let base = Gpu::new(GpuConfig::test_small(), Technique::Base).launch(&ck, &launch, mem_b);
+        let (mem_d, _, _) = mk_mem();
+        let dars =
+            Gpu::new(GpuConfig::test_small(), Technique::darsie()).launch(&ck, &launch, mem_d);
+
+        assert_eq!(
+            base.memory.read_vec_u32(aout, 256),
+            dars.memory.read_vec_u32(aout, 256),
+            "DARSIE must preserve architected state"
+        );
+        assert!(dars.stats.instrs_skipped.total() > 0, "some instructions skipped");
+        assert!(
+            dars.stats.instrs_executed < base.stats.instrs_executed,
+            "skipping reduces executed instructions"
+        );
+    }
+
+    #[test]
+    fn techniques_all_run_the_same_kernel() {
+        let ck = add_one_kernel();
+        for tech in [
+            Technique::Base,
+            Technique::Uv,
+            Technique::DacIdeal,
+            Technique::darsie(),
+            Technique::SiliconSync,
+        ] {
+            let mut mem = GlobalMemory::new();
+            let a_in = mem.alloc(256 * 4);
+            let a_out = mem.alloc(256 * 4);
+            mem.write_slice_u32(a_in, &(0..256u32).collect::<Vec<_>>());
+            let launch = LaunchConfig::new(2u32, 128u32)
+                .with_params(vec![Value(a_in as u32), Value(a_out as u32)]);
+            let res = Gpu::new(GpuConfig::test_small(), tech.clone()).launch(&ck, &launch, mem);
+            let out = res.memory.read_vec_u32(a_out, 256);
+            let expect: Vec<u32> = (1..=256).collect();
+            assert_eq!(out, expect, "technique {}", tech.label());
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Occupancy calculator: how many threadblocks of a kernel fit on one SM,
+//! and which resource is the limiter — the standard launch-tuning tool,
+//! matching exactly the admission logic the simulator's TB dispatcher
+//! uses.
+
+use crate::config::GpuConfig;
+use simt_isa::{Kernel, LaunchConfig};
+use std::fmt;
+
+/// The resource that caps residency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    /// Warp contexts (`max_warps_per_sm`).
+    Warps,
+    /// Threadblock slots (`max_tbs_per_sm`).
+    TbSlots,
+    /// Vector registers.
+    Registers,
+    /// Shared memory.
+    SharedMemory,
+}
+
+impl fmt::Display for Limiter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Limiter::Warps => "warp contexts",
+            Limiter::TbSlots => "threadblock slots",
+            Limiter::Registers => "registers",
+            Limiter::SharedMemory => "shared memory",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of [`occupancy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Resident threadblocks per SM.
+    pub tbs_per_sm: u32,
+    /// Resident warps per SM.
+    pub warps_per_sm: u32,
+    /// The binding resource.
+    pub limited_by: Limiter,
+    /// Occupancy as a fraction of the warp capacity, in percent.
+    pub warp_occupancy_pct: f64,
+}
+
+/// Computes the residency of `kernel` launched as `launch` on `cfg`.
+///
+/// # Panics
+///
+/// Panics if the block is empty.
+#[must_use]
+pub fn occupancy(kernel: &Kernel, launch: &LaunchConfig, cfg: &GpuConfig) -> Occupancy {
+    let wpb = launch.warps_per_block();
+    assert!(wpb > 0, "empty threadblock");
+    let regs_per_tb = u32::from(kernel.num_regs) * wpb;
+
+    let by_warps = cfg.max_warps_per_sm / wpb;
+    let by_slots = cfg.max_tbs_per_sm;
+    let by_regs = if regs_per_tb == 0 { u32::MAX } else { cfg.vector_regs_per_sm / regs_per_tb };
+    let by_smem = if kernel.shared_mem_bytes == 0 {
+        u32::MAX
+    } else {
+        cfg.shared_mem_per_sm / kernel.shared_mem_bytes
+    };
+
+    let (tbs, limited_by) = [
+        (by_warps, Limiter::Warps),
+        (by_slots, Limiter::TbSlots),
+        (by_regs, Limiter::Registers),
+        (by_smem, Limiter::SharedMemory),
+    ]
+    .into_iter()
+    .min_by_key(|(n, _)| *n)
+    .expect("four candidates");
+
+    Occupancy {
+        tbs_per_sm: tbs,
+        warps_per_sm: tbs * wpb,
+        limited_by,
+        warp_occupancy_pct: f64::from(tbs * wpb) / f64::from(cfg.max_warps_per_sm) * 100.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_isa::{KernelBuilder, MemSpace, SpecialReg};
+
+    fn small_kernel(smem: u32) -> Kernel {
+        let mut b = KernelBuilder::new("k");
+        if smem > 0 {
+            let _ = b.alloc_shared(smem);
+        }
+        let t = b.special(SpecialReg::TidX);
+        b.store(MemSpace::Global, t, t, 0);
+        b.finish()
+    }
+
+    #[test]
+    fn warp_limited_for_small_kernels() {
+        let k = small_kernel(0);
+        let cfg = GpuConfig::pascal_gtx1080ti();
+        // 1024-thread blocks: 32 warps each; 64 warps/SM -> 2 TBs.
+        let o = occupancy(&k, &LaunchConfig::new(1u32, 1024u32), &cfg);
+        assert_eq!(o.tbs_per_sm, 2);
+        assert_eq!(o.limited_by, Limiter::Warps);
+        assert!((o.warp_occupancy_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slot_limited_for_tiny_blocks() {
+        let k = small_kernel(0);
+        let cfg = GpuConfig::pascal_gtx1080ti();
+        // 32-thread blocks: warp capacity admits 64, slots cap at 32.
+        let o = occupancy(&k, &LaunchConfig::new(1u32, 32u32), &cfg);
+        assert_eq!(o.tbs_per_sm, 32);
+        assert_eq!(o.limited_by, Limiter::TbSlots);
+        assert!((o.warp_occupancy_pct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn register_limited_for_fat_kernels() {
+        let mut b = KernelBuilder::new("fat");
+        let t = b.special(SpecialReg::TidX);
+        let mut acc = b.mov(0u32);
+        for _ in 0..100 {
+            acc = b.iadd(acc, t);
+        }
+        b.store(MemSpace::Global, t, acc, 0);
+        let k = b.finish();
+        let cfg = GpuConfig::pascal_gtx1080ti();
+        // >100 regs x 8 warps per (256,1) block: 2048 / ~816 = 2 TBs.
+        let o = occupancy(&k, &LaunchConfig::new(1u32, 256u32), &cfg);
+        assert_eq!(o.limited_by, Limiter::Registers);
+        assert!(o.tbs_per_sm <= 2);
+    }
+
+    #[test]
+    fn shared_memory_limited() {
+        let k = small_kernel(48 * 1024);
+        let cfg = GpuConfig::pascal_gtx1080ti();
+        let o = occupancy(&k, &LaunchConfig::new(1u32, 64u32), &cfg);
+        assert_eq!(o.tbs_per_sm, 2, "96 KB / 48 KB");
+        assert_eq!(o.limited_by, Limiter::SharedMemory);
+    }
+
+    #[test]
+    fn limiter_display() {
+        assert_eq!(Limiter::Registers.to_string(), "registers");
+        assert_eq!(Limiter::SharedMemory.to_string(), "shared memory");
+    }
+}

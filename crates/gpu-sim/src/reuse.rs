@@ -1,0 +1,127 @@
+//! The UV baseline's instruction reuse buffer (Xiang et al. / Sodani &
+//! Sohi): a value-keyed table probed at the issue stage. Entries store the
+//! full `(pc, operand values)` key and compare exactly, as hardware reuse
+//! buffers do — a match guarantees the stored result is correct for any
+//! deterministic non-memory instruction. If a uniform instruction's
+//! operands match a previous execution, the stored result is reused and
+//! the execution stage is skipped — but the instruction has already
+//! consumed fetch, decode and issue bandwidth, which is exactly why UV
+//! trails DARSIE in the paper.
+
+use std::collections::HashMap;
+
+/// Exact reuse key: static PC plus the scalar operand values consumed.
+pub type ReuseKey = (usize, Box<[u32]>);
+
+/// An LRU, value-keyed reuse buffer.
+#[derive(Debug, Clone)]
+pub struct ReuseBuffer {
+    capacity: usize,
+    entries: HashMap<ReuseKey, (Box<[u32]>, u64)>,
+    tick: u64,
+    /// Successful reuses.
+    pub hits: u64,
+    /// Probes that missed.
+    pub misses: u64,
+}
+
+impl ReuseBuffer {
+    /// A buffer holding `capacity` results.
+    #[must_use]
+    pub fn new(capacity: usize) -> ReuseBuffer {
+        ReuseBuffer { capacity, entries: HashMap::new(), tick: 0, hits: 0, misses: 0 }
+    }
+
+    /// Builds the key for `(pc, operand values)`. Since UV only reuses
+    /// instructions whose operands are warp-uniform, one scalar word per
+    /// operand suffices.
+    #[must_use]
+    pub fn key(pc: usize, operands: &[u32]) -> ReuseKey {
+        (pc, operands.to_vec().into_boxed_slice())
+    }
+
+    /// Probes for a previous result. Returns the stored vector on a hit.
+    pub fn probe(&mut self, key: &ReuseKey) -> Option<Box<[u32]>> {
+        self.tick += 1;
+        if let Some((v, lru)) = self.entries.get_mut(key) {
+            *lru = self.tick;
+            self.hits += 1;
+            Some(v.clone())
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Inserts a freshly computed result, evicting LRU if needed.
+    pub fn insert(&mut self, key: ReuseKey, value: Box<[u32]>) {
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, lru))| *lru)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(key, (value, self.tick));
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_miss_then_hit() {
+        let mut b = ReuseBuffer::new(4);
+        let key = ReuseBuffer::key(8, &[1, 2]);
+        assert!(b.probe(&key).is_none());
+        b.insert(key.clone(), vec![42; 32].into_boxed_slice());
+        assert_eq!(b.probe(&key).as_deref(), Some(&[42u32; 32][..]));
+        assert_eq!(b.hits, 1);
+        assert_eq!(b.misses, 1);
+    }
+
+    #[test]
+    fn different_operands_or_pcs_never_alias() {
+        let a = ReuseBuffer::key(8, &[1, 2]);
+        let b = ReuseBuffer::key(8, &[1, 3]);
+        let c = ReuseBuffer::key(16, &[1, 2]);
+        // Exact keys: no collision is possible by construction.
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // The regression that motivated exact keys: two small scalar
+        // payloads at nearby PCs must not alias.
+        assert_ne!(ReuseBuffer::key(9, &[7]), ReuseBuffer::key(14, &[0]));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut b = ReuseBuffer::new(2);
+        let k1 = ReuseBuffer::key(0, &[1]);
+        let k2 = ReuseBuffer::key(8, &[1]);
+        let k3 = ReuseBuffer::key(16, &[1]);
+        b.insert(k1.clone(), vec![1].into_boxed_slice());
+        b.insert(k2.clone(), vec![2].into_boxed_slice());
+        assert!(b.probe(&k1).is_some(), "refresh k1");
+        b.insert(k3, vec![3].into_boxed_slice());
+        assert_eq!(b.len(), 2);
+        assert!(b.probe(&k2).is_none(), "k2 was LRU");
+        assert!(b.probe(&k1).is_some());
+    }
+}

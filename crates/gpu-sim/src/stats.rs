@@ -1,0 +1,196 @@
+//! Simulation statistics: the activity counts every figure and the energy
+//! model are derived from.
+
+use darsie::DarsieStats;
+use simt_compiler::Taxonomy;
+
+/// Per-taxonomy instruction counts (uniform / affine / unstructured /
+/// non-redundant).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaxonomyCounts {
+    /// Uniform redundant.
+    pub uniform: u64,
+    /// Affine redundant.
+    pub affine: u64,
+    /// Unstructured redundant.
+    pub unstructured: u64,
+    /// Not redundant.
+    pub non_redundant: u64,
+}
+
+impl TaxonomyCounts {
+    /// Adds `n` dynamic instructions of class `t`.
+    pub fn add(&mut self, t: Taxonomy, n: u64) {
+        match t {
+            Taxonomy::Uniform => self.uniform += n,
+            Taxonomy::Affine => self.affine += n,
+            Taxonomy::Unstructured => self.unstructured += n,
+            Taxonomy::NonRedundant => self.non_redundant += n,
+        }
+    }
+
+    /// Total across all buckets.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.uniform + self.affine + self.unstructured + self.non_redundant
+    }
+
+    /// Total across redundant buckets only.
+    #[must_use]
+    pub fn redundant(&self) -> u64 {
+        self.uniform + self.affine + self.unstructured
+    }
+
+    /// Merges another counter set.
+    pub fn merge(&mut self, o: &TaxonomyCounts) {
+        self.uniform += o.uniform;
+        self.affine += o.affine;
+        self.unstructured += o.unstructured;
+        self.non_redundant += o.non_redundant;
+    }
+}
+
+/// Counters collected by one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Total cycles until the grid drained.
+    pub cycles: u64,
+    /// Warp instructions fetched from the I-cache.
+    pub instrs_fetched: u64,
+    /// Warp instructions issued to execution units.
+    pub instrs_executed: u64,
+    /// Warp instructions eliminated before fetch (DARSIE skips and
+    /// DAC-IDEAL affine-stream transfers), by taxonomy class.
+    pub instrs_skipped: TaxonomyCounts,
+    /// Warp instructions whose execution was replaced by a reuse-buffer
+    /// hit at issue (UV), by taxonomy class.
+    pub instrs_reused: TaxonomyCounts,
+    /// Taxonomy of every *executed* instruction (for the limit-study
+    /// figures).
+    pub executed_taxonomy: TaxonomyCounts,
+    /// I-cache accesses.
+    pub icache_accesses: u64,
+    /// I-cache misses.
+    pub icache_misses: u64,
+    /// Vector register file reads (one per register operand per issue).
+    pub rf_reads: u64,
+    /// Vector register file writes.
+    pub rf_writes: u64,
+    /// Register-bank conflicts (extra cycles serialized at operand
+    /// collection).
+    pub rf_bank_conflicts: u64,
+    /// Integer/FP operations executed on the SP units.
+    pub alu_ops: u64,
+    /// SFU operations.
+    pub sfu_ops: u64,
+    /// Global/param memory instructions executed.
+    pub mem_ops: u64,
+    /// Shared-memory instructions executed.
+    pub smem_ops: u64,
+    /// Shared-memory bank conflicts (extra serialized cycles).
+    pub smem_bank_conflicts: u64,
+    /// 128-byte global memory transactions generated after coalescing.
+    pub global_transactions: u64,
+    /// L1D hits.
+    pub l1_hits: u64,
+    /// L1D misses.
+    pub l1_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses (DRAM transactions).
+    pub l2_misses: u64,
+    /// Threadblock barriers executed (per warp arrival).
+    pub barrier_waits: u64,
+    /// Atomic operations executed.
+    pub atomic_ops: u64,
+    /// Threadblocks completed.
+    pub tbs_completed: u64,
+    /// Cycles in which at least one instruction issued (utilization).
+    pub active_cycles: u64,
+    /// DARSIE hardware activity.
+    pub darsie: DarsieStats,
+}
+
+impl SimStats {
+    /// Merges another run's counters (used to aggregate per-SM stats).
+    pub fn merge(&mut self, o: &SimStats) {
+        self.cycles = self.cycles.max(o.cycles);
+        self.instrs_fetched += o.instrs_fetched;
+        self.instrs_executed += o.instrs_executed;
+        self.instrs_skipped.merge(&o.instrs_skipped);
+        self.instrs_reused.merge(&o.instrs_reused);
+        self.executed_taxonomy.merge(&o.executed_taxonomy);
+        self.icache_accesses += o.icache_accesses;
+        self.icache_misses += o.icache_misses;
+        self.rf_reads += o.rf_reads;
+        self.rf_writes += o.rf_writes;
+        self.rf_bank_conflicts += o.rf_bank_conflicts;
+        self.alu_ops += o.alu_ops;
+        self.sfu_ops += o.sfu_ops;
+        self.mem_ops += o.mem_ops;
+        self.smem_ops += o.smem_ops;
+        self.smem_bank_conflicts += o.smem_bank_conflicts;
+        self.global_transactions += o.global_transactions;
+        self.l1_hits += o.l1_hits;
+        self.l1_misses += o.l1_misses;
+        self.l2_hits += o.l2_hits;
+        self.l2_misses += o.l2_misses;
+        self.barrier_waits += o.barrier_waits;
+        self.atomic_ops += o.atomic_ops;
+        self.tbs_completed += o.tbs_completed;
+        self.active_cycles += o.active_cycles;
+        self.darsie.merge(&o.darsie);
+    }
+
+    /// Dynamic warp instructions the program would execute on the
+    /// baseline: executed + eliminated.
+    #[must_use]
+    pub fn total_instruction_work(&self) -> u64 {
+        self.instrs_executed + self.instrs_skipped.total()
+    }
+
+    /// Fraction of baseline instructions eliminated before fetch.
+    #[must_use]
+    pub fn skip_fraction(&self) -> f64 {
+        let total = self.total_instruction_work();
+        if total == 0 {
+            0.0
+        } else {
+            self.instrs_skipped.total() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_counts_add_and_total() {
+        let mut t = TaxonomyCounts::default();
+        t.add(Taxonomy::Uniform, 5);
+        t.add(Taxonomy::Affine, 3);
+        t.add(Taxonomy::Unstructured, 2);
+        t.add(Taxonomy::NonRedundant, 10);
+        assert_eq!(t.total(), 20);
+        assert_eq!(t.redundant(), 10);
+    }
+
+    #[test]
+    fn merge_maxes_cycles_and_sums_counts() {
+        let mut a = SimStats { cycles: 100, instrs_executed: 7, ..Default::default() };
+        let b = SimStats { cycles: 80, instrs_executed: 5, l1_hits: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.cycles, 100, "SMs run concurrently: total time is the max");
+        assert_eq!(a.instrs_executed, 12);
+        assert_eq!(a.l1_hits, 3);
+    }
+
+    #[test]
+    fn skip_fraction() {
+        let mut s = SimStats { instrs_executed: 80, ..Default::default() };
+        s.instrs_skipped.add(Taxonomy::Affine, 20);
+        assert!((s.skip_fraction() - 0.2).abs() < 1e-12);
+        assert_eq!(s.total_instruction_work(), 100);
+    }
+}

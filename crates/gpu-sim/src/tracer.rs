@@ -1,0 +1,450 @@
+//! The redundancy limit study (paper Figures 1 and 2): a functional-only
+//! execution that measures, per dynamic instruction, whether the *values*
+//! it operated on were redundant at the warp, threadblock or grid level,
+//! and classifies threadblock-redundant work as uniform / affine /
+//! unstructured.
+//!
+//! Unlike the static compiler pass, this is an oracle: it compares actual
+//! operand and result vectors across warps at matching dynamic occurrences
+//! (the paper's methodology for the motivating limit study). It therefore
+//! also serves as a validation target for the static analysis — statically
+//! marked instructions must be dynamically redundant.
+
+use crate::exec::{execute, ExecContext, ExecEffect};
+use crate::mem::GlobalMemory;
+use crate::warp::{Warp, WarpState};
+use simt_compiler::{CompiledKernel, Taxonomy};
+use simt_isa::{Dim3, LaunchConfig, Operand};
+use std::collections::HashMap;
+
+/// Totals produced by [`trace_redundancy`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RedundancyTrace {
+    /// Dynamic warp instructions executed.
+    pub executed: u64,
+    /// Instructions redundant across the whole grid.
+    pub grid_redundant: u64,
+    /// Instructions redundant across their threadblock.
+    pub tb_redundant: u64,
+    /// Instructions whose operands were uniform within the warp
+    /// (warp-level redundancy).
+    pub warp_redundant: u64,
+    /// TB-redundant instructions by taxonomy class (plus non-redundant).
+    pub uniform: u64,
+    /// Affine redundant count.
+    pub affine: u64,
+    /// Unstructured redundant count.
+    pub unstructured: u64,
+    /// Per-static-PC dynamic execution counts that were TB-redundant
+    /// (for validating the static markings).
+    pub per_pc_tb_redundant: HashMap<usize, u64>,
+    /// Per-static-PC total dynamic executions.
+    pub per_pc_executed: HashMap<usize, u64>,
+    /// Per-static-PC count of *aligned* occurrence groups (every warp of
+    /// the TB executed it, all with full masks) whose values disagreed.
+    /// For soundly marked skippable instructions this must stay zero: the
+    /// DARSIE runtime only skips under exactly these conditions.
+    pub per_pc_aligned_mismatch: HashMap<usize, u64>,
+}
+
+impl RedundancyTrace {
+    /// Fraction helpers for the figures.
+    #[must_use]
+    pub fn frac(&self, n: u64) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            n as f64 / self.executed as f64
+        }
+    }
+
+    /// Taxonomy fractions in figure order (uniform, affine, unstructured,
+    /// non-redundant).
+    #[must_use]
+    pub fn taxonomy_fractions(&self) -> [f64; 4] {
+        let non = self.executed - self.tb_redundant;
+        [self.frac(self.uniform), self.frac(self.affine), self.frac(self.unstructured),
+            self.frac(non)]
+    }
+}
+
+/// Pattern of one 32-lane vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VecPattern {
+    Uniform,
+    Affine,
+    Arbitrary,
+}
+
+fn vector_pattern(v: &[u32]) -> VecPattern {
+    if v.iter().all(|&x| x == v[0]) {
+        return VecPattern::Uniform;
+    }
+    // Affine over the whole warp, or affine with a power-of-two period
+    // (the repeating tid.x segments of blocks narrower than a warp --
+    // the paper's Figure 3 pattern).
+    let mut period = 2;
+    while period <= v.len() {
+        if v.len().is_multiple_of(period) {
+            let stride = v[1].wrapping_sub(v[0]);
+            let matches = (0..v.len())
+                .all(|i| v[i] == v[0].wrapping_add(stride.wrapping_mul((i % period) as u32)));
+            if matches {
+                return VecPattern::Affine;
+            }
+        }
+        period *= 2;
+    }
+    VecPattern::Arbitrary
+}
+
+fn hash_words(h: &mut u64, words: &[u32]) {
+    for &w in words {
+        *h ^= u64::from(w);
+        *h = h.wrapping_mul(0x1000_0000_01b3);
+        *h ^= *h >> 31;
+    }
+}
+
+/// Signature of one dynamic instruction: operand/result content and shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DynSig {
+    hash: u64,
+    full_mask: bool,
+    taxonomy: Taxonomy,
+    warp_uniform: bool,
+}
+
+/// Runs the limit study for one kernel launch. Returns the totals and the
+/// final memory (so callers can still validate outputs).
+#[must_use]
+pub fn trace_redundancy(
+    ck: &CompiledKernel,
+    launch: &LaunchConfig,
+    memory: GlobalMemory,
+) -> (RedundancyTrace, GlobalMemory) {
+    let mut trace = RedundancyTrace::default();
+    let mut global = memory;
+    // Grid-level aggregation: (pc, occurrence) -> (sig, consistent, count).
+    let mut grid_agg: HashMap<(usize, u32), (u64, bool, u64)> = HashMap::new();
+    let mut grid_full = true;
+
+    let grid = launch.grid;
+    let total = launch.num_blocks();
+    for i in 0..total {
+        let ctaid = Dim3::three_d(
+            (i % u64::from(grid.x)) as u32,
+            ((i / u64::from(grid.x)) % u64::from(grid.y)) as u32,
+            (i / (u64::from(grid.x) * u64::from(grid.y))) as u32,
+        );
+        let tb_sigs = run_tb_functionally(ck, launch, ctaid, &mut global, &mut trace);
+        // TB-level comparison: for each (pc, occ), all warps must have
+        // executed it with identical signatures and full masks.
+        let num_warps = tb_sigs.len();
+        // Per occurrence: (first sig, how many warps, values all equal,
+        // every execution fully active).
+        let mut merged: HashMap<(usize, u32), (DynSig, usize, bool, bool)> = HashMap::new();
+        for per_warp in &tb_sigs {
+            for (&key, sig) in per_warp {
+                let e = merged.entry(key).or_insert((*sig, 0, true, true));
+                e.1 += 1;
+                if sig.hash != e.0.hash {
+                    e.2 = false;
+                }
+                if !sig.full_mask {
+                    e.3 = false;
+                }
+            }
+        }
+        for (&(pc, occ), &(sig, count, same, all_full)) in &merged {
+            let redundant = same && all_full && count == num_warps && num_warps > 1;
+            if !same && all_full && count == num_warps {
+                *trace.per_pc_aligned_mismatch.entry(pc).or_default() += 1;
+            }
+            if redundant {
+                trace.tb_redundant += count as u64;
+                *trace.per_pc_tb_redundant.entry(pc).or_default() += count as u64;
+                match sig.taxonomy {
+                    Taxonomy::Uniform => trace.uniform += count as u64,
+                    Taxonomy::Affine => trace.affine += count as u64,
+                    _ => trace.unstructured += count as u64,
+                }
+            }
+            // Grid aggregation.
+            let g = grid_agg.entry((pc, occ)).or_insert((sig.hash, true, 0));
+            g.2 += count as u64;
+            if g.0 != sig.hash || !redundant {
+                g.1 = false;
+            }
+        }
+        if total == 1 {
+            grid_full = false; // single TB: grid == TB level, keep distinct
+        }
+    }
+
+    if grid_full && total > 1 {
+        for &(_, consistent, count) in grid_agg.values() {
+            if consistent {
+                trace.grid_redundant += count;
+            }
+        }
+    }
+    (trace, global)
+}
+
+/// Executes one TB functionally (round-robin, barrier-aware) and records
+/// per-warp dynamic signatures.
+fn run_tb_functionally(
+    ck: &CompiledKernel,
+    launch: &LaunchConfig,
+    ctaid: Dim3,
+    global: &mut GlobalMemory,
+    trace: &mut RedundancyTrace,
+) -> Vec<HashMap<(usize, u32), DynSig>> {
+    let ws = launch.warp_size;
+    let threads = launch.threads_per_block();
+    let num_warps = launch.warps_per_block() as usize;
+    let mut shared = vec![0u32; (ck.kernel.shared_mem_bytes as usize).div_ceil(4)];
+    let mut warps: Vec<Warp> = (0..num_warps)
+        .map(|w| {
+            let lanes = threads.saturating_sub(w as u32 * ws).min(ws);
+            let full = if lanes >= 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+            Warp::new(w, 0, w as u32, ck.kernel.num_regs, ws, full, w as u64)
+        })
+        .collect();
+    let mut sigs: Vec<HashMap<(usize, u32), DynSig>> = vec![HashMap::new(); num_warps];
+    let mut occ: Vec<HashMap<usize, u32>> = vec![HashMap::new(); num_warps];
+    let mut at_barrier = vec![false; num_warps];
+
+    loop {
+        let mut progressed = false;
+        let all_blocked_or_done = |warps: &[Warp], at_barrier: &[bool]| {
+            warps
+                .iter()
+                .enumerate()
+                .all(|(i, w)| w.state == WarpState::Done || at_barrier[i])
+        };
+        for w in 0..num_warps {
+            if warps[w].state == WarpState::Done || at_barrier[w] {
+                continue;
+            }
+            let Some(pc) = warps[w].next_pc() else {
+                warps[w].state = WarpState::Done;
+                continue;
+            };
+            let instr = ck.kernel.instrs[pc].clone();
+            let o = occ[w].entry(pc).or_insert(0);
+            *o += 1;
+            let occurrence = *o;
+
+            // Signature before execution: operand vectors.
+            let full = warps[w].active_mask() == warps[w].full_mask
+                && warps[w].full_mask.count_ones() == ws;
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325 ^ (pc as u64);
+            let mut worst = VecPattern::Uniform;
+            let mut any_reg = false;
+            let mut warp_uniform = true;
+            for &src in &instr.srcs {
+                match src {
+                    Operand::Reg(r) => {
+                        any_reg = true;
+                        let v = warps[w].reg_vector(r);
+                        hash_words(&mut hash, &v);
+                        let p = vector_pattern(&v);
+                        worst = worst_of(worst, p);
+                        warp_uniform &= p == VecPattern::Uniform;
+                    }
+                    Operand::Imm(imm) => hash_words(&mut hash, &[imm]),
+                }
+            }
+
+            warps[w].advance();
+            let effect = {
+                let mut ctx = ExecContext {
+                    global,
+                    shared: &mut shared,
+                    params: &launch.params,
+                    grid: launch.grid,
+                    block: launch.block,
+                    ctaid,
+                };
+                execute(&mut warps[w], &instr, &mut ctx)
+            };
+            trace.executed += 1;
+            *trace.per_pc_executed.entry(pc).or_default() += 1;
+            progressed = true;
+
+            // Fold the result into the signature (covers S2R and loads).
+            if let Some(d) = instr.dst {
+                let v = warps[w].reg_vector(d);
+                hash_words(&mut hash, &v);
+                let p = vector_pattern(&v);
+                // S2R has no register sources; loads are classified by the
+                // data they return (Figure 3 labels the *output* register:
+                // a load from an affine-redundant address is unstructured
+                // unless the data itself happens to be patterned).
+                if !any_reg || instr.op.is_load() {
+                    worst = p;
+                    warp_uniform = p == VecPattern::Uniform;
+                }
+            }
+            let taxonomy = match worst {
+                VecPattern::Uniform => Taxonomy::Uniform,
+                VecPattern::Affine => Taxonomy::Affine,
+                VecPattern::Arbitrary => Taxonomy::Unstructured,
+            };
+            if warp_uniform && full && !instr.srcs.is_empty() {
+                trace.warp_redundant += 1;
+            }
+            sigs[w].insert((pc, occurrence), DynSig {
+                hash,
+                full_mask: full,
+                taxonomy,
+                warp_uniform,
+            });
+
+            match effect {
+                ExecEffect::Branch { taken, target } => {
+                    let reconv = ck.recon.recon[pc].unwrap_or(usize::MAX);
+                    warps[w].take_branch(pc, target, taken, reconv);
+                    warps[w].reconverge();
+                }
+                ExecEffect::Barrier => {
+                    at_barrier[w] = true;
+                    warps[w].reconverge();
+                }
+                ExecEffect::Exit => {
+                    if warps[w].exit_path() {
+                        warps[w].state = WarpState::Done;
+                    }
+                    warps[w].reconverge();
+                }
+                _ => {
+                    warps[w].reconverge();
+                }
+            }
+        }
+        // Barrier release.
+        if all_blocked_or_done(&warps, &at_barrier) {
+            if warps.iter().all(|w| w.state == WarpState::Done) {
+                break;
+            }
+            for b in at_barrier.iter_mut() {
+                *b = false;
+            }
+        }
+        if !progressed && !at_barrier.iter().any(|&b| b) {
+            break;
+        }
+    }
+    sigs
+}
+
+fn worst_of(a: VecPattern, b: VecPattern) -> VecPattern {
+    use VecPattern::*;
+    match (a, b) {
+        (Arbitrary, _) | (_, Arbitrary) => Arbitrary,
+        (Affine, _) | (_, Affine) => Affine,
+        _ => Uniform,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_isa::{KernelBuilder, MemSpace, SpecialReg, Value};
+
+    /// The Figure-3 kernel: read in[tid.x * 4 + base].
+    fn fig3(ck_2d: bool) -> (CompiledKernel, LaunchConfig, GlobalMemory) {
+        let mut b = KernelBuilder::new("fig3");
+        let t = b.special(SpecialReg::TidX);
+        let base = b.param(0);
+        let r1 = b.shl_imm(t, 2);
+        let r2 = b.iadd(r1, base);
+        let v = b.load(MemSpace::Global, r2, 0);
+        let outp = b.param(1);
+        let ty = b.special(SpecialReg::TidY);
+        let ntx = b.special(SpecialReg::NtidX);
+        let lin = b.imad(ty, ntx, t);
+        let o = b.shl_imm(lin, 2);
+        let ao = b.iadd(outp, o);
+        b.store(MemSpace::Global, ao, v, 0);
+        let ck = simt_compiler::compile(b.finish());
+        let mut mem = GlobalMemory::new();
+        let a_in = mem.alloc(1024 * 4);
+        let a_out = mem.alloc(4096 * 4);
+        mem.write_slice_u32(a_in, &(0..1024u32).map(|i| i.wrapping_mul(2_654_435_761).rotate_left(11)).collect::<Vec<_>>());
+        let block = if ck_2d { Dim3::two_d(32, 8) } else { Dim3::one_d(256) };
+        let launch = LaunchConfig::new(Dim3::two_d(2, 1), block)
+            .with_params(vec![Value(a_in as u32), Value(a_out as u32)]);
+        (ck, launch, mem)
+    }
+
+    #[test]
+    fn two_d_blocks_show_tb_redundancy_one_d_do_not() {
+        let (ck, launch2d, mem) = fig3(true);
+        let (t2, _) = trace_redundancy(&ck, &launch2d, mem);
+        assert!(t2.executed > 0);
+        assert!(
+            t2.frac(t2.tb_redundant) > 0.3,
+            "2D blocks: substantial TB redundancy, got {}",
+            t2.frac(t2.tb_redundant)
+        );
+        assert!(t2.affine > 0, "tid.x chain is affine redundant");
+        assert!(t2.unstructured > 0, "the load is unstructured redundant");
+
+        let (ck1, launch1d, mem1) = fig3(false);
+        let (t1, _) = trace_redundancy(&ck1, &launch1d, mem1);
+        // In 1D the tid.x chain differs across warps: only the truly
+        // uniform work (params) stays redundant.
+        assert!(
+            t1.frac(t1.tb_redundant) < t2.frac(t2.tb_redundant),
+            "1D {} vs 2D {}",
+            t1.frac(t1.tb_redundant),
+            t2.frac(t2.tb_redundant)
+        );
+        assert_eq!(t1.affine, 0, "no affine redundancy in 1D");
+    }
+
+    #[test]
+    fn static_markings_are_sound_wrt_dynamic_oracle() {
+        let (ck, launch, mem) = fig3(true);
+        let plan = simt_compiler::LaunchPlan::new(&ck, &launch);
+        let (t, _) = trace_redundancy(&ck, &launch, mem);
+        for (pc, skippable) in plan.skippable.iter().enumerate() {
+            if !skippable {
+                continue;
+            }
+            let executed = t.per_pc_executed.get(&pc).copied().unwrap_or(0);
+            let red = t.per_pc_tb_redundant.get(&pc).copied().unwrap_or(0);
+            assert_eq!(
+                executed, red,
+                "statically skippable pc {pc} must be dynamically TB-redundant \
+                 ({red}/{executed})"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_redundancy_is_subset_of_tb_redundancy() {
+        let (ck, launch, mem) = fig3(true);
+        let (t, _) = trace_redundancy(&ck, &launch, mem);
+        assert!(t.grid_redundant <= t.tb_redundant);
+        // tid.x work repeats across TBs too; the param base differs per
+        // launch but not per TB, so some grid redundancy exists.
+        assert!(t.grid_redundant > 0);
+    }
+
+    #[test]
+    fn vector_pattern_classification() {
+        assert_eq!(vector_pattern(&[5; 8]), VecPattern::Uniform);
+        assert_eq!(vector_pattern(&[0, 4, 8, 12]), VecPattern::Affine);
+        assert_eq!(vector_pattern(&[3, 2, 1, 0]), VecPattern::Affine, "negative stride");
+        assert_eq!(vector_pattern(&[0, 1, 4, 9]), VecPattern::Arbitrary);
+        assert_eq!(vector_pattern(&[7]), VecPattern::Uniform);
+        // Repeating tid.x segments (16-wide block in a 32-lane warp).
+        assert_eq!(vector_pattern(&[0, 1, 2, 3, 0, 1, 2, 3]), VecPattern::Affine);
+        assert_eq!(vector_pattern(&[5, 9, 13, 17, 5, 9, 13, 17]), VecPattern::Affine);
+        assert_eq!(vector_pattern(&[0, 1, 2, 3, 0, 1, 2, 4]), VecPattern::Arbitrary);
+    }
+}

@@ -1,0 +1,413 @@
+//! Focused pipeline-behaviour tests: tiny hand-built kernels driven
+//! through the full SM, asserting specific microarchitectural effects
+//! (divergence reconvergence, barrier ordering, I-cache behaviour,
+//! scheduler choice, UV reuse accounting, DARSIE waiting).
+
+use gpu_sim::{GlobalMemory, Gpu, GpuConfig, SchedulerPolicy, Technique};
+use simt_isa::{CmpOp, Guard, KernelBuilder, LaunchConfig, MemSpace, SpecialReg, Value};
+
+fn cfg() -> GpuConfig {
+    GpuConfig::test_small()
+}
+
+/// Divergent if/else where both paths write disjoint outputs: the SIMT
+/// stack must execute both sides and reconverge.
+#[test]
+fn divergent_paths_both_execute_and_reconverge() {
+    let mut b = KernelBuilder::new("div");
+    let lane = b.special(SpecialReg::LaneId);
+    let out = b.param(0);
+    let p = b.setp(CmpOp::Lt, lane, 16u32);
+    let r = b.alloc();
+    b.if_then_else(
+        Guard::if_true(p),
+        |b| b.mov_to(r, 111u32),
+        |b| b.mov_to(r, 222u32),
+    );
+    // After reconvergence every lane stores its own value.
+    let off = b.shl_imm(lane, 2);
+    let addr = b.iadd(out, off);
+    b.store(MemSpace::Global, addr, r, 0);
+    let ck = simt_compiler::compile(b.finish());
+
+    let mut mem = GlobalMemory::new();
+    let out_addr = mem.alloc(32 * 4);
+    let launch =
+        LaunchConfig::new(1u32, 32u32).with_params(vec![Value(out_addr as u32)]);
+    let res = Gpu::new(cfg(), Technique::Base).launch(&ck, &launch, mem);
+    let vals = res.memory.read_vec_u32(out_addr, 32);
+    for (lane, v) in vals.iter().enumerate() {
+        assert_eq!(*v, if lane < 16 { 111 } else { 222 }, "lane {lane}");
+    }
+}
+
+/// Nested divergence: four distinct outcomes, all lanes correct.
+#[test]
+fn nested_divergence() {
+    let mut b = KernelBuilder::new("nest");
+    let lane = b.special(SpecialReg::LaneId);
+    let out = b.param(0);
+    let p_hi = b.setp(CmpOp::Lt, lane, 16u32);
+    let q = b.alloc_pred();
+    let r = b.alloc();
+    b.if_then_else(
+        Guard::if_true(p_hi),
+        |b| {
+            b.setp_to(q, CmpOp::Lt, lane, 8u32);
+            b.if_then_else(
+                Guard::if_true(q),
+                |b| b.mov_to(r, 1u32),
+                |b| b.mov_to(r, 2u32),
+            );
+        },
+        |b| {
+            b.setp_to(q, CmpOp::Lt, lane, 24u32);
+            b.if_then_else(
+                Guard::if_true(q),
+                |b| b.mov_to(r, 3u32),
+                |b| b.mov_to(r, 4u32),
+            );
+        },
+    );
+    let off = b.shl_imm(lane, 2);
+    let addr = b.iadd(out, off);
+    b.store(MemSpace::Global, addr, r, 0);
+    let ck = simt_compiler::compile(b.finish());
+
+    let mut mem = GlobalMemory::new();
+    let out_addr = mem.alloc(32 * 4);
+    let launch = LaunchConfig::new(1u32, 32u32).with_params(vec![Value(out_addr as u32)]);
+    let res = Gpu::new(cfg(), Technique::Base).launch(&ck, &launch, mem);
+    let vals = res.memory.read_vec_u32(out_addr, 32);
+    for (lane, v) in vals.iter().enumerate() {
+        let expect = match lane {
+            0..=7 => 1,
+            8..=15 => 2,
+            16..=23 => 3,
+            _ => 4,
+        };
+        assert_eq!(*v, expect, "lane {lane}");
+    }
+}
+
+/// Producer/consumer across warps through shared memory: the barrier must
+/// order warp 0's stores before warp 1's loads.
+#[test]
+fn barrier_orders_shared_memory_communication() {
+    let mut b = KernelBuilder::new("barrier");
+    let tx = b.special(SpecialReg::TidX);
+    let warp = b.special(SpecialReg::WarpId);
+    let out = b.param(0);
+    let smem = b.alloc_shared(64 * 4);
+    // Warp 0 writes smem[tx] = tx * 7.
+    let q0 = b.setp(CmpOp::Eq, warp, 0u32);
+    let soff = b.shl_imm(tx, 2);
+    b.if_then(Guard::if_true(q0), |b| {
+        let v = b.imul(tx, 7u32);
+        b.store(MemSpace::Shared, soff, v, smem as i32);
+    });
+    b.barrier();
+    // Warp 1 reads its partner's slot and writes it out.
+    let q1 = b.setp(CmpOp::Eq, warp, 1u32);
+    b.if_then(Guard::if_true(q1), |b| {
+        let partner = b.isub(tx, 32u32);
+        let poff = b.shl_imm(partner, 2);
+        let v = b.load(MemSpace::Shared, poff, smem as i32);
+        let ooff = b.shl_imm(partner, 2);
+        let addr = b.iadd(out, ooff);
+        b.store(MemSpace::Global, addr, v, 0);
+    });
+    let ck = simt_compiler::compile(b.finish());
+
+    let mut mem = GlobalMemory::new();
+    let out_addr = mem.alloc(32 * 4);
+    let launch = LaunchConfig::new(1u32, 64u32).with_params(vec![Value(out_addr as u32)]);
+    let res = Gpu::new(cfg(), Technique::Base).launch(&ck, &launch, mem);
+    let vals = res.memory.read_vec_u32(out_addr, 32);
+    for (i, v) in vals.iter().enumerate() {
+        assert_eq!(*v, i as u32 * 7, "slot {i}");
+    }
+    assert!(res.stats.barrier_waits > 0);
+}
+
+/// Atomics across every thread of a grid accumulate exactly.
+#[test]
+fn global_atomics_accumulate_exactly() {
+    let mut b = KernelBuilder::new("atom");
+    let counter = b.param(0);
+    let _old = b.atom(simt_isa::AtomOp::Add, counter, 1u32);
+    let ck = simt_compiler::compile(b.finish());
+
+    let mut mem = GlobalMemory::new();
+    let c_addr = mem.alloc(4);
+    let launch = LaunchConfig::new(3u32, 64u32).with_params(vec![Value(c_addr as u32)]);
+    let res = Gpu::new(cfg(), Technique::Base).launch(&ck, &launch, mem);
+    assert_eq!(res.memory.read_u32(c_addr), 3 * 64);
+    assert_eq!(res.stats.atomic_ops, 6, "one atomic per warp");
+}
+
+/// The I-cache misses once per line and then hits; a loop fetches the same
+/// lines repeatedly with only compulsory misses.
+#[test]
+fn icache_misses_are_compulsory_for_small_loops() {
+    let mut b = KernelBuilder::new("icache");
+    let i = b.mov(0u32);
+    let acc = b.mov(0u32);
+    let p = b.alloc_pred();
+    b.do_while(|b| {
+        b.iadd_to(acc, acc, 3u32);
+        b.iadd_to(i, i, 1u32);
+        b.setp_to(p, CmpOp::Lt, i, 50u32);
+        Guard::if_true(p)
+    });
+    let out = b.param(0);
+    b.store(MemSpace::Global, out, acc, 0);
+    let ck = simt_compiler::compile(b.finish());
+    let mut mem = GlobalMemory::new();
+    let out_addr = mem.alloc(4);
+    let launch = LaunchConfig::new(1u32, 32u32).with_params(vec![Value(out_addr as u32)]);
+    let res = Gpu::new(cfg(), Technique::Base).launch(&ck, &launch, mem);
+    assert_eq!(res.memory.read_u32(out_addr), 150);
+    assert!(res.stats.icache_accesses > 50, "loop refetches every iteration");
+    assert!(
+        res.stats.icache_misses <= 2,
+        "a {}-instruction kernel spans at most 2 lines; got {} misses",
+        ck.kernel.len(),
+        res.stats.icache_misses
+    );
+}
+
+/// GTO and LRR produce identical results and instruction counts.
+#[test]
+fn scheduler_policies_differ_only_in_timing() {
+    let mut b = KernelBuilder::new("sched");
+    let lane = b.special(SpecialReg::LaneId);
+    let warp = b.special(SpecialReg::WarpId);
+    let out = b.param(0);
+    let acc = b.mov(0u32);
+    let p = b.alloc_pred();
+    let i = b.mov(0u32);
+    b.do_while(|b| {
+        b.imad_to(acc, acc, 3u32, lane);
+        b.iadd_to(i, i, 1u32);
+        b.setp_to(p, CmpOp::Lt, i, 12u32);
+        Guard::if_true(p)
+    });
+    let lin = b.imad(warp, 32u32, lane);
+    let off = b.shl_imm(lin, 2);
+    let addr = b.iadd(out, off);
+    b.store(MemSpace::Global, addr, acc, 0);
+    let ck = simt_compiler::compile(b.finish());
+    let mk = || {
+        let mut mem = GlobalMemory::new();
+        let out_addr = mem.alloc(256 * 4);
+        (mem, out_addr)
+    };
+    let (mem, out_addr) = mk();
+    let launch = LaunchConfig::new(2u32, 128u32).with_params(vec![Value(out_addr as u32)]);
+    let gto = Gpu::new(cfg(), Technique::Base).launch(&ck, &launch, mem);
+    let lrr_cfg = GpuConfig { scheduler: SchedulerPolicy::Lrr, ..cfg() };
+    let (mem2, _) = mk();
+    let lrr = Gpu::new(lrr_cfg, Technique::Base).launch(&ck, &launch, mem2);
+    assert_eq!(gto.memory.fingerprint(), lrr.memory.fingerprint());
+    assert_eq!(gto.stats.instrs_executed, lrr.stats.instrs_executed);
+}
+
+/// UV reuse hits replace executions for uniform work in a multi-warp TB.
+#[test]
+fn uv_reuses_uniform_instructions() {
+    let mut b = KernelBuilder::new("uv");
+    let cta = b.special(SpecialReg::CtaidX);
+    let lane = b.special(SpecialReg::LaneId);
+    let warp = b.special(SpecialReg::WarpId);
+    let out = b.param(0);
+    // Uniform chain, identical across the TB's warps.
+    let a = b.imul(cta, 13u32);
+    let c = b.iadd(a, 7u32);
+    // Vector sink.
+    let lin = b.imad(warp, 32u32, lane);
+    let off = b.shl_imm(lin, 2);
+    let addr = b.iadd(out, off);
+    let v = b.iadd(c, lane);
+    b.store(MemSpace::Global, addr, v, 0);
+    let ck = simt_compiler::compile(b.finish());
+
+    let mut mem = GlobalMemory::new();
+    let out_addr = mem.alloc(128 * 4);
+    let launch = LaunchConfig::new(1u32, 128u32).with_params(vec![Value(out_addr as u32)]);
+    let res = Gpu::new(cfg(), Technique::Uv).launch(&ck, &launch, mem);
+    assert!(
+        res.stats.instrs_reused.uniform > 0,
+        "four warps share the uniform chain: {:?}",
+        res.stats.instrs_reused
+    );
+    for w in 0..4u32 {
+        for l in 0..32u32 {
+            let got = res.memory.read_u32(u64::from(out_addr as u32 + (w * 32 + l) * 4));
+            assert_eq!(got, 7 + l);
+        }
+    }
+}
+
+/// DARSIE followers that arrive before the leader's writeback stall and
+/// then skip (the WaitForLeader path), never executing the instruction.
+#[test]
+fn followers_wait_for_leader_writeback() {
+    let mut b = KernelBuilder::new("wait");
+    let tx = b.special(SpecialReg::TidX);
+    let out = b.param(0);
+    let tbl = b.param(1);
+    // A skippable chain ending in a (slow) global load.
+    let off = b.shl_imm(tx, 2);
+    let addr = b.iadd(tbl, off);
+    let v = b.load(MemSpace::Global, addr, 0);
+    // Vector sink so the kernel has per-thread work too.
+    let ty = b.special(SpecialReg::TidY);
+    let lin = b.imad(ty, 16u32, tx);
+    let ooff = b.shl_imm(lin, 2);
+    let oaddr = b.iadd(out, ooff);
+    b.store(MemSpace::Global, oaddr, v, 0);
+    let ck = simt_compiler::compile(b.finish());
+
+    let mut mem = GlobalMemory::new();
+    let tbl_addr = mem.alloc(16 * 4);
+    let out_addr = mem.alloc(256 * 4);
+    mem.write_slice_u32(tbl_addr, &(0..16u32).map(|i| 1000 + i).collect::<Vec<_>>());
+    let launch = LaunchConfig::new(1u32, (16u32, 16u32))
+        .with_params(vec![Value(out_addr as u32), Value(tbl_addr as u32)]);
+    let res = Gpu::new(cfg(), Technique::darsie()).launch(&ck, &launch, mem);
+    assert!(res.stats.darsie.wait_for_leader_cycles > 0, "followers stalled on the load");
+    assert!(res.stats.instrs_skipped.unstructured > 0, "the load was skipped");
+    for y in 0..16u32 {
+        for x in 0..16u32 {
+            let got = res.memory.read_u32(u64::from(out_addr as u32 + (y * 16 + x) * 4));
+            assert_eq!(got, 1000 + x);
+        }
+    }
+}
+
+/// A store between two skippable loads of the same address forces the
+/// second load's entry to be re-led (Section 4.4): values stay correct.
+#[test]
+fn store_invalidation_keeps_loads_coherent() {
+    let mut b = KernelBuilder::new("inval");
+    let tx = b.special(SpecialReg::TidX);
+    let ty = b.special(SpecialReg::TidY);
+    let data = b.param(0);
+    let out = b.param(1);
+    // Skippable load of data[tx].
+    let off = b.shl_imm(tx, 2);
+    let addr = b.iadd(data, off);
+    let v1 = b.load(MemSpace::Global, addr, 0);
+    // Every thread stores to its own output slot (triggers invalidation).
+    let lin = b.imad(ty, 16u32, tx);
+    let ooff = b.shl_imm(lin, 2);
+    let oaddr = b.iadd(out, ooff);
+    b.store(MemSpace::Global, oaddr, v1, 0);
+    // Second skippable load of the same address; a fresh leader re-reads.
+    let v2 = b.load(MemSpace::Global, addr, 0);
+    let sum = b.iadd(v1, v2);
+    b.store(MemSpace::Global, oaddr, sum, 0);
+    let ck = simt_compiler::compile(b.finish());
+
+    let mut mem = GlobalMemory::new();
+    let d_addr = mem.alloc(16 * 4);
+    let out_addr = mem.alloc(256 * 4);
+    mem.write_slice_u32(d_addr, &(0..16u32).map(|i| 5 * i).collect::<Vec<_>>());
+    let launch = LaunchConfig::new(1u32, (16u32, 16u32))
+        .with_params(vec![Value(d_addr as u32), Value(out_addr as u32)]);
+    let res = Gpu::new(cfg(), Technique::darsie()).launch(&ck, &launch, mem);
+    assert!(res.stats.darsie.load_invalidations > 0, "stores flushed load entries");
+    for y in 0..16u32 {
+        for x in 0..16u32 {
+            let got = res.memory.read_u32(u64::from(out_addr as u32 + (y * 16 + x) * 4));
+            assert_eq!(got, 10 * x, "sum of two loads of data[{x}]");
+        }
+    }
+}
+
+/// DARSIE never reduces occupancy: with a register demand that exactly
+/// fills the SM, the renaming pool shrinks to zero and the same number of
+/// TBs stays resident (skipping silently disabled, results intact).
+#[test]
+fn rename_pool_never_costs_occupancy() {
+    let mut b = KernelBuilder::new("fat");
+    let tx = b.special(SpecialReg::TidX);
+    let out = b.param(0);
+    // Inflate the register demand.
+    let mut acc = b.mov(1u32);
+    for _ in 0..60 {
+        acc = b.iadd(acc, tx);
+    }
+    let off = b.shl_imm(tx, 2);
+    let addr = b.iadd(out, off);
+    b.store(MemSpace::Global, addr, acc, 0);
+    let ck = simt_compiler::compile(b.finish());
+    assert!(ck.kernel.num_regs >= 60);
+
+    // One warp per TB, 64 regs per warp: a 2048-register SM fits ~32 TBs
+    // (TB-slot-limited to 8 in the test config); the DARSIE pool must not
+    // change that.
+    let mut mem = GlobalMemory::new();
+    let out_addr = mem.alloc(32 * 4);
+    let launch = LaunchConfig::new(16u32, 32u32).with_params(vec![Value(out_addr as u32)]);
+    let base = Gpu::new(cfg(), Technique::Base).launch(&ck, &launch.clone(), mem.clone());
+    let dars = Gpu::new(cfg(), Technique::darsie()).launch(&ck, &launch, mem);
+    assert_eq!(base.memory.fingerprint(), dars.memory.fingerprint());
+    // Cycle counts stay in the same ballpark: occupancy was not halved.
+    assert!(
+        (dars.cycles as f64) < base.cycles as f64 * 1.5,
+        "DARSIE {} vs base {} cycles",
+        dars.cycles,
+        base.cycles
+    );
+}
+
+/// The event trace captures the DARSIE protocol in order: a Lead precedes
+/// the first Skip of the same PC, every Issue precedes its Writeback
+/// epoch, and skipped PCs are never issued by follower warps.
+#[test]
+fn event_trace_shows_the_skip_protocol() {
+    let mut b = KernelBuilder::new("trace");
+    let tx = b.special(SpecialReg::TidX);
+    let ty = b.special(SpecialReg::TidY);
+    let out = b.param(0);
+    let off = b.shl_imm(tx, 2); // skippable chain
+    let lin = b.imad(ty, 16u32, tx);
+    let ooff = b.shl_imm(lin, 2);
+    let addr = b.iadd(out, ooff);
+    b.store(MemSpace::Global, addr, off, 0);
+    let ck = simt_compiler::compile(b.finish());
+
+    let mut mem = GlobalMemory::new();
+    let out_addr = mem.alloc(256 * 4);
+    let launch = LaunchConfig::new(1u32, (16u32, 16u32)).with_params(vec![Value(out_addr as u32)]);
+    let cfg = GpuConfig { trace_events: true, ..cfg() };
+    let res = Gpu::new(cfg, Technique::darsie()).launch(&ck, &launch, mem);
+    let events = res.events.events();
+    assert!(!events.is_empty());
+    use gpu_sim::EventKind;
+    // Find the shl's pc (the first skippable).
+    let shl_pc = 2; // s2r, s2r, shl
+    let first_lead = events
+        .iter()
+        .position(|e| e.pc == shl_pc && e.kind == EventKind::Lead)
+        .expect("a leader was elected for the shl");
+    let first_skip = events
+        .iter()
+        .position(|e| e.pc == shl_pc && e.kind == EventKind::Skip)
+        .expect("followers skipped the shl");
+    assert!(first_lead < first_skip, "lead precedes the first skip");
+    // Exactly one warp issued the shl; the others skipped it.
+    let issues = events.iter().filter(|e| e.pc == shl_pc && e.kind == EventKind::Issue).count();
+    let skips = events.iter().filter(|e| e.pc == shl_pc && e.kind == EventKind::Skip).count();
+    assert_eq!(issues, 1, "only the leader executes");
+    assert_eq!(skips, 7, "seven followers skip");
+    // Tracing must not perturb results.
+    for y in 0..16u32 {
+        for x in 0..16u32 {
+            let got = res.memory.read_u32(u64::from(out_addr as u32 + (y * 16 + x) * 4));
+            assert_eq!(got, x * 4);
+        }
+    }
+}

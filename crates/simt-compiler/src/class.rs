@@ -1,0 +1,337 @@
+//! The abstract domain of the redundancy analysis.
+//!
+//! Each register is tracked along two independent dimensions (paper
+//! Section 2's taxonomy):
+//!
+//! * **redundancy** — is the whole 32-lane vector identical in every warp of
+//!   the threadblock? (`Redundant` / `CondRedundant` / `NotRedundant`)
+//! * **pattern** — what shape do the lane values have within a warp?
+//!   (`Uniform` scalar, `Affine` base+stride over the lane index, or
+//!   `Arbitrary`)
+//!
+//! The product recovers the paper's taxonomy:
+//!
+//! | redundancy | pattern | paper class |
+//! |---|---|---|
+//! | `Redundant` | `Uniform` | uniform redundant |
+//! | `Redundant` | `Affine` | affine redundant |
+//! | `Redundant` | `Arbitrary` | unstructured redundant |
+//! | `NotRedundant` | `Affine` | TB-affine (1D `tid.x`; DAC removes it, DARSIE does not) |
+//! | `NotRedundant` | `Arbitrary` | true vector |
+
+use simt_isa::Marking;
+use std::fmt;
+
+/// Cross-warp redundancy of a register across the threadblock.
+///
+/// Total order
+/// `NotRedundant < CondRedundantXY < CondRedundant < Redundant`;
+/// the meet of two values is the minimum (weakest wins, paper Section 4.2).
+/// `CondRedundantXY` carries the 3D-TB extension: values derived from
+/// `tid.y` need *both* the x and y launch-time checks to pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Red {
+    /// Differs between warps (or unknown).
+    NotRedundant,
+    /// Redundant iff both the x- and y-dimension launch checks pass.
+    CondRedundantXY,
+    /// Redundant iff the x-dimension launch-time TB check passes.
+    CondRedundant,
+    /// Identical vector in every warp of the TB, for any launch.
+    Redundant,
+}
+
+impl Red {
+    /// Lattice meet (minimum).
+    #[must_use]
+    pub fn meet(self, other: Red) -> Red {
+        self.min(other)
+    }
+
+    /// Applies the launch-time promotion decisions: conditionally redundant
+    /// becomes definitely redundant when the relevant check(s) pass,
+    /// otherwise vector. `promoted_x` is the paper's 2D check
+    /// ([`LaunchConfig::promotes_conditional_redundancy`]); `promoted_y`
+    /// the 3D extension's additional check.
+    ///
+    /// [`LaunchConfig::promotes_conditional_redundancy`]:
+    ///     simt_isa::LaunchConfig::promotes_conditional_redundancy
+    #[must_use]
+    pub fn finalize(self, promoted_x: bool, promoted_y: bool) -> Red {
+        let promote = |ok: bool| if ok { Red::Redundant } else { Red::NotRedundant };
+        match self {
+            Red::CondRedundant => promote(promoted_x),
+            Red::CondRedundantXY => promote(promoted_x && promoted_y),
+            other => other,
+        }
+    }
+}
+
+/// Intra-warp lane pattern of a register.
+///
+/// Total order `Arbitrary < Affine < Uniform` (uniform is the special case
+/// of affine with stride zero); meet is the minimum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Pat {
+    /// No known structure.
+    Arbitrary,
+    /// `base + stride * lane` for some (unknown) base and stride.
+    Affine,
+    /// Same scalar in every lane.
+    Uniform,
+}
+
+impl Pat {
+    /// Lattice meet (minimum).
+    #[must_use]
+    pub fn meet(self, other: Pat) -> Pat {
+        self.min(other)
+    }
+
+    /// Pattern of a *linear* combination (`a + b`, `a - b`): affine is
+    /// closed under addition.
+    #[must_use]
+    pub fn linear(self, other: Pat) -> Pat {
+        self.meet(other)
+    }
+
+    /// Pattern of a *product* (`a * b`, shifts by non-uniform amounts):
+    /// affine times uniform stays affine, affine times affine does not
+    /// (quadratic in the lane index).
+    #[must_use]
+    pub fn product(self, other: Pat) -> Pat {
+        match (self, other) {
+            (Pat::Uniform, Pat::Uniform) => Pat::Uniform,
+            (Pat::Uniform, Pat::Affine) | (Pat::Affine, Pat::Uniform) => Pat::Affine,
+            _ => Pat::Arbitrary,
+        }
+    }
+
+    /// Pattern of a non-linear op (comparisons, logic, transcendental,
+    /// loads): uniform inputs give uniform outputs, anything else is
+    /// arbitrary.
+    #[must_use]
+    pub fn opaque(self, other: Pat) -> Pat {
+        if self == Pat::Uniform && other == Pat::Uniform {
+            Pat::Uniform
+        } else {
+            Pat::Arbitrary
+        }
+    }
+}
+
+/// Abstract class of a register: redundancy × pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AbsClass {
+    /// Cross-warp redundancy.
+    pub red: Red,
+    /// Intra-warp pattern.
+    pub pat: Pat,
+}
+
+impl AbsClass {
+    /// Definitely redundant uniform value (constants, `ctaid`, params...).
+    pub const UNIFORM: AbsClass = AbsClass { red: Red::Redundant, pat: Pat::Uniform };
+    /// Conditionally redundant affine value (`tid.x`).
+    pub const COND_AFFINE: AbsClass = AbsClass { red: Red::CondRedundant, pat: Pat::Affine };
+    /// True vector value (bottom of the lattice).
+    pub const VECTOR: AbsClass = AbsClass { red: Red::NotRedundant, pat: Pat::Arbitrary };
+    /// Top of the lattice (identity for meet at CFG joins).
+    pub const TOP: AbsClass = AbsClass { red: Red::Redundant, pat: Pat::Uniform };
+
+    /// Component-wise lattice meet.
+    #[must_use]
+    pub fn meet(self, other: AbsClass) -> AbsClass {
+        AbsClass { red: self.red.meet(other.red), pat: self.pat.meet(other.pat) }
+    }
+
+    /// The [`Marking`] this class implies for the instruction that produced
+    /// it.
+    #[must_use]
+    pub fn marking(self) -> Marking {
+        match self.red {
+            Red::Redundant => Marking::Redundant,
+            Red::CondRedundant | Red::CondRedundantXY => Marking::ConditionallyRedundant,
+            Red::NotRedundant => Marking::Vector,
+        }
+    }
+
+    /// Applies the launch-time promotion decisions to the redundancy
+    /// dimension.
+    #[must_use]
+    pub fn finalize(self, promoted_x: bool, promoted_y: bool) -> AbsClass {
+        AbsClass { red: self.red.finalize(promoted_x, promoted_y), pat: self.pat }
+    }
+
+    /// Paper taxonomy bucket after launch-time finalization.
+    #[must_use]
+    pub fn taxonomy(self) -> Taxonomy {
+        match (self.red, self.pat) {
+            (Red::NotRedundant, _) => Taxonomy::NonRedundant,
+            (_, Pat::Uniform) => Taxonomy::Uniform,
+            (_, Pat::Affine) => Taxonomy::Affine,
+            (_, Pat::Arbitrary) => Taxonomy::Unstructured,
+        }
+    }
+
+    /// True when DAC (decoupled affine computation) would place the
+    /// producing instruction on its affine stream: any uniform or affine
+    /// value, redundant or not.
+    #[must_use]
+    pub fn is_dac_affine(self) -> bool {
+        self.pat != Pat::Arbitrary
+    }
+
+    /// True when UV (uniform-vector) would eliminate the producing
+    /// instruction: TB-uniform values only.
+    #[must_use]
+    pub fn is_uv_uniform(self) -> bool {
+        self.red == Red::Redundant && self.pat == Pat::Uniform
+    }
+}
+
+impl Default for AbsClass {
+    fn default() -> AbsClass {
+        AbsClass::VECTOR
+    }
+}
+
+/// The paper's redundancy taxonomy buckets (Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Taxonomy {
+    /// Uniform redundant.
+    Uniform,
+    /// Affine redundant.
+    Affine,
+    /// Unstructured redundant.
+    Unstructured,
+    /// Not TB-redundant.
+    NonRedundant,
+}
+
+impl Taxonomy {
+    /// All buckets, in the order the paper's figures stack them.
+    pub const ALL: [Taxonomy; 4] =
+        [Taxonomy::Uniform, Taxonomy::Affine, Taxonomy::Unstructured, Taxonomy::NonRedundant];
+
+    /// True for any of the three redundant buckets.
+    #[must_use]
+    pub fn is_redundant(self) -> bool {
+        self != Taxonomy::NonRedundant
+    }
+}
+
+impl fmt::Display for Taxonomy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Taxonomy::Uniform => "uniform",
+            Taxonomy::Affine => "affine",
+            Taxonomy::Unstructured => "unstructured",
+            Taxonomy::NonRedundant => "non-redundant",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn red_meet_is_weakest() {
+        assert_eq!(Red::Redundant.meet(Red::CondRedundant), Red::CondRedundant);
+        assert_eq!(Red::CondRedundant.meet(Red::NotRedundant), Red::NotRedundant);
+        assert_eq!(Red::Redundant.meet(Red::Redundant), Red::Redundant);
+    }
+
+    #[test]
+    fn red_finalize_promotion() {
+        assert_eq!(Red::CondRedundant.finalize(true, false), Red::Redundant);
+        assert_eq!(Red::CondRedundant.finalize(false, true), Red::NotRedundant);
+        assert_eq!(Red::Redundant.finalize(false, false), Red::Redundant);
+        assert_eq!(Red::NotRedundant.finalize(true, true), Red::NotRedundant);
+        assert_eq!(Red::CondRedundantXY.finalize(true, false), Red::NotRedundant);
+        assert_eq!(Red::CondRedundantXY.finalize(true, true), Red::Redundant);
+    }
+
+    #[test]
+    fn red_finalize_commutes_with_meet() {
+        use Red::*;
+        let all = [NotRedundant, CondRedundantXY, CondRedundant, Redundant];
+        for px in [false, true] {
+            for py in [false, true] {
+                for a in all {
+                    for b in all {
+                        assert_eq!(
+                            a.meet(b).finalize(px, py),
+                            a.finalize(px, py).meet(b.finalize(px, py)),
+                            "{a:?} {b:?} {px} {py}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pat_algebra() {
+        assert_eq!(Pat::Affine.linear(Pat::Affine), Pat::Affine);
+        assert_eq!(Pat::Affine.linear(Pat::Uniform), Pat::Affine);
+        assert_eq!(Pat::Uniform.linear(Pat::Uniform), Pat::Uniform);
+        assert_eq!(Pat::Affine.product(Pat::Affine), Pat::Arbitrary, "quadratic in lane");
+        assert_eq!(Pat::Affine.product(Pat::Uniform), Pat::Affine);
+        assert_eq!(Pat::Uniform.product(Pat::Uniform), Pat::Uniform);
+        assert_eq!(Pat::Uniform.opaque(Pat::Uniform), Pat::Uniform);
+        assert_eq!(Pat::Affine.opaque(Pat::Uniform), Pat::Arbitrary);
+    }
+
+    #[test]
+    fn taxonomy_mapping() {
+        assert_eq!(AbsClass::UNIFORM.taxonomy(), Taxonomy::Uniform);
+        assert_eq!(
+            AbsClass { red: Red::Redundant, pat: Pat::Affine }.taxonomy(),
+            Taxonomy::Affine
+        );
+        assert_eq!(
+            AbsClass { red: Red::Redundant, pat: Pat::Arbitrary }.taxonomy(),
+            Taxonomy::Unstructured
+        );
+        assert_eq!(AbsClass::VECTOR.taxonomy(), Taxonomy::NonRedundant);
+        assert_eq!(
+            AbsClass { red: Red::NotRedundant, pat: Pat::Affine }.taxonomy(),
+            Taxonomy::NonRedundant,
+            "TB-affine is not redundant"
+        );
+    }
+
+    #[test]
+    fn dac_and_uv_eligibility() {
+        // TB-affine (1D tid.x): DAC removes, UV does not.
+        let tb_affine = AbsClass { red: Red::NotRedundant, pat: Pat::Affine };
+        assert!(tb_affine.is_dac_affine());
+        assert!(!tb_affine.is_uv_uniform());
+        // Unstructured redundant: neither DAC nor UV, only DARSIE.
+        let unstructured = AbsClass { red: Red::Redundant, pat: Pat::Arbitrary };
+        assert!(!unstructured.is_dac_affine());
+        assert!(!unstructured.is_uv_uniform());
+        // Uniform: everyone removes it.
+        assert!(AbsClass::UNIFORM.is_dac_affine());
+        assert!(AbsClass::UNIFORM.is_uv_uniform());
+    }
+
+    #[test]
+    fn markings_follow_redundancy_dimension() {
+        assert_eq!(AbsClass::UNIFORM.marking(), Marking::Redundant);
+        assert_eq!(AbsClass::COND_AFFINE.marking(), Marking::ConditionallyRedundant);
+        assert_eq!(AbsClass::VECTOR.marking(), Marking::Vector);
+    }
+
+    #[test]
+    fn meet_is_componentwise_and_commutative() {
+        let a = AbsClass { red: Red::Redundant, pat: Pat::Arbitrary };
+        let b = AbsClass { red: Red::CondRedundant, pat: Pat::Affine };
+        let m = a.meet(b);
+        assert_eq!(m, AbsClass { red: Red::CondRedundant, pat: Pat::Arbitrary });
+        assert_eq!(a.meet(b), b.meet(a));
+    }
+}

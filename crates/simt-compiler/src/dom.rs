@@ -1,0 +1,279 @@
+//! Post-dominator analysis and SIMT reconvergence points.
+//!
+//! A divergent branch reconverges at the *immediate post-dominator* of its
+//! block — the classic stack-based SIMT reconvergence discipline the
+//! baseline simulator implements. The analysis is the Cooper–Harvey–Kennedy
+//! iterative algorithm run on the reversed CFG.
+
+use crate::cfg::{BlockId, Cfg};
+use simt_isa::Op;
+
+/// Immediate post-dominators of every block, plus per-branch reconvergence
+/// program counters.
+#[derive(Debug, Clone)]
+pub struct PostDoms {
+    /// `ipdom[b]` is the immediate post-dominator of block `b` (the virtual
+    /// exit post-dominates itself).
+    pub ipdom: Vec<BlockId>,
+}
+
+impl PostDoms {
+    /// Computes post-dominators of `cfg` with the Cooper–Harvey–Kennedy
+    /// algorithm on the reversed graph (rooted at the virtual exit).
+    ///
+    /// Blocks that cannot reach the exit (closed infinite loops) keep the
+    /// exit as their immediate post-dominator, which is harmless for
+    /// reconvergence purposes.
+    #[must_use]
+    pub fn compute(cfg: &Cfg) -> PostDoms {
+        let n = cfg.len();
+        let exit = cfg.exit_block();
+        const UNDEF: usize = usize::MAX;
+
+        // Postorder of the reversed graph (edges = CFG predecessors),
+        // rooted at the exit. The root finishes last, so it receives the
+        // highest postorder number; intersect() climbs ipdom links toward
+        // higher numbers.
+        let mut po = vec![UNDEF; n];
+        let mut order: Vec<BlockId> = Vec::with_capacity(n);
+        {
+            let mut visited = vec![false; n];
+            let mut stack: Vec<(BlockId, usize)> = vec![(exit, 0)];
+            visited[exit] = true;
+            while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+                if *i < cfg.blocks[b].preds.len() {
+                    let p = cfg.blocks[b].preds[*i];
+                    *i += 1;
+                    if !visited[p] {
+                        visited[p] = true;
+                        stack.push((p, 0));
+                    }
+                } else {
+                    po[b] = order.len();
+                    order.push(b);
+                    stack.pop();
+                }
+            }
+        }
+
+        let mut ipdom = vec![UNDEF; n];
+        ipdom[exit] = exit;
+
+        let intersect = |ipdom: &[usize], mut a: usize, mut b: usize| -> usize {
+            while a != b {
+                while po[a] < po[b] {
+                    a = ipdom[a];
+                }
+                while po[b] < po[a] {
+                    b = ipdom[b];
+                }
+            }
+            a
+        };
+
+        // Process in reverse postorder (exit first).
+        let rpo: Vec<BlockId> = order.iter().rev().copied().collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &rpo {
+                if b == exit {
+                    continue;
+                }
+                // "Predecessors" in the reversed graph are CFG successors.
+                let mut new_idom = UNDEF;
+                for &s in &cfg.blocks[b].succs {
+                    if po[s] != UNDEF && ipdom[s] != UNDEF {
+                        new_idom = if new_idom == UNDEF {
+                            s
+                        } else {
+                            intersect(&ipdom, new_idom, s)
+                        };
+                    }
+                }
+                if new_idom != UNDEF && ipdom[b] != new_idom {
+                    ipdom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        // Blocks that never reach the exit: pin to the exit.
+        for d in ipdom.iter_mut() {
+            if *d == UNDEF {
+                *d = exit;
+            }
+        }
+        PostDoms { ipdom }
+    }
+
+    /// True when `a` post-dominates `b`.
+    #[must_use]
+    pub fn post_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = self.ipdom[cur];
+            if next == cur {
+                return false;
+            }
+            cur = next;
+        }
+    }
+}
+
+/// Per-branch reconvergence points: for each conditional branch instruction,
+/// the instruction index where diverged warp halves re-join (the first
+/// instruction of the branch block's immediate post-dominator).
+#[derive(Debug, Clone)]
+pub struct ReconvergenceTable {
+    /// `recon[pc]` is `Some(join_pc)` when instruction `pc` is a guarded
+    /// branch; `join_pc == usize::MAX` denotes reconvergence at exit.
+    pub recon: Vec<Option<usize>>,
+}
+
+/// Sentinel reconvergence PC meaning "at thread exit".
+pub const RECONVERGE_AT_EXIT: usize = usize::MAX;
+
+impl ReconvergenceTable {
+    /// Computes the table for `kernel` using `cfg` and its post-dominators.
+    #[must_use]
+    pub fn compute(kernel: &simt_isa::Kernel, cfg: &Cfg, pdoms: &PostDoms) -> ReconvergenceTable {
+        let mut recon = vec![None; kernel.instrs.len()];
+        for (pc, i) in kernel.instrs.iter().enumerate() {
+            if let Op::Bra { .. } = i.op {
+                if i.guard.is_some() {
+                    let b = cfg.block_of[pc];
+                    let j = pdoms.ipdom[b];
+                    recon[pc] = Some(if j == cfg.exit_block() {
+                        RECONVERGE_AT_EXIT
+                    } else {
+                        cfg.blocks[j].start
+                    });
+                }
+            }
+        }
+        ReconvergenceTable { recon }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_isa::{CmpOp, Guard, KernelBuilder, SpecialReg};
+
+    #[test]
+    fn diamond_reconverges_at_join() {
+        let mut b = KernelBuilder::new("d");
+        let t = b.special(SpecialReg::TidX);
+        let p = b.setp(CmpOp::Lt, t, 4u32);
+        let out = b.alloc();
+        b.if_then_else(
+            Guard::if_true(p),
+            |b| b.mov_to(out, 1u32),
+            |b| b.mov_to(out, 2u32),
+        );
+        b.store(simt_isa::MemSpace::Global, 0u32, out, 0);
+        let k = b.finish();
+        let cfg = Cfg::build(&k);
+        let pd = PostDoms::compute(&cfg);
+        let rt = ReconvergenceTable::compute(&k, &cfg, &pd);
+        // The first guarded branch must reconverge at the store instruction.
+        let store_pc = k
+            .instrs
+            .iter()
+            .position(|i| i.op.is_store())
+            .expect("kernel stores");
+        let branch_pc = k
+            .instrs
+            .iter()
+            .position(|i| i.op.is_branch() && i.guard.is_some())
+            .expect("guarded branch");
+        assert_eq!(rt.recon[branch_pc], Some(store_pc));
+    }
+
+    #[test]
+    fn if_then_reconverges_after_body() {
+        let mut b = KernelBuilder::new("it");
+        let t = b.special(SpecialReg::TidX);
+        let p = b.setp(CmpOp::Lt, t, 4u32);
+        b.if_then(Guard::if_true(p), |b| {
+            let one = b.mov(1u32);
+            b.store(simt_isa::MemSpace::Global, 0u32, one, 0);
+        });
+        let x = b.mov(9u32);
+        b.store(simt_isa::MemSpace::Global, 4u32, x, 0);
+        let k = b.finish();
+        let cfg = Cfg::build(&k);
+        let pd = PostDoms::compute(&cfg);
+        let rt = ReconvergenceTable::compute(&k, &cfg, &pd);
+        let branch_pc = 2;
+        assert!(k.instrs[branch_pc].op.is_branch());
+        // Joins at the `mov 9` after the body (instruction 5).
+        assert_eq!(rt.recon[branch_pc], Some(5));
+    }
+
+    #[test]
+    fn loop_branch_reconverges_at_loop_exit() {
+        let mut b = KernelBuilder::new("lp");
+        let i = b.mov(0u32);
+        b.do_while(|b| {
+            b.iadd_to(i, i, 1u32);
+            let p = b.setp(CmpOp::Lt, i, 8u32);
+            Guard::if_true(p)
+        });
+        b.store(simt_isa::MemSpace::Global, 0u32, i, 0);
+        let k = b.finish();
+        let cfg = Cfg::build(&k);
+        let pd = PostDoms::compute(&cfg);
+        let rt = ReconvergenceTable::compute(&k, &cfg, &pd);
+        let branch_pc = k.instrs.iter().position(|x| x.op.is_branch()).unwrap();
+        let store_pc = k.instrs.iter().position(|x| x.op.is_store()).unwrap();
+        assert_eq!(rt.recon[branch_pc], Some(store_pc));
+    }
+
+    #[test]
+    fn post_dominance_relation() {
+        let mut b = KernelBuilder::new("pd");
+        let t = b.special(SpecialReg::TidX);
+        let p = b.setp(CmpOp::Lt, t, 4u32);
+        b.if_then(Guard::if_true(p), |b| {
+            let _ = b.mov(1u32);
+        });
+        let k = b.finish();
+        let cfg = Cfg::build(&k);
+        let pd = PostDoms::compute(&cfg);
+        let exit = cfg.exit_block();
+        for blk in 0..cfg.len() {
+            assert!(pd.post_dominates(exit, blk), "exit post-dominates everything");
+        }
+        // The body block does not post-dominate the entry.
+        assert!(!pd.post_dominates(1, 0));
+    }
+
+    #[test]
+    fn unguarded_branches_have_no_reconvergence_entry() {
+        let mut b = KernelBuilder::new("ub");
+        let t = b.special(SpecialReg::TidX);
+        let p = b.setp(CmpOp::Eq, t, 0u32);
+        b.if_then_else(
+            Guard::if_true(p),
+            |b| {
+                let _ = b.mov(1u32);
+            },
+            |b| {
+                let _ = b.mov(2u32);
+            },
+        );
+        let k = b.finish();
+        let cfg = Cfg::build(&k);
+        let pd = PostDoms::compute(&cfg);
+        let rt = ReconvergenceTable::compute(&k, &cfg, &pd);
+        for (pc, i) in k.instrs.iter().enumerate() {
+            if i.op.is_branch() && i.guard.is_none() {
+                assert_eq!(rt.recon[pc], None, "unguarded branch at {pc}");
+            }
+        }
+    }
+}

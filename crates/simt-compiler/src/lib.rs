@@ -1,0 +1,46 @@
+//! The DARSIE compiler: static TB-redundancy marking and launch-time
+//! finalization (paper Sections 2 and 4.2).
+//!
+//! The pipeline is:
+//!
+//! 1. [`Cfg::build`] — basic blocks and edges;
+//! 2. [`PostDoms::compute`] + [`ReconvergenceTable::compute`] — SIMT
+//!    reconvergence points for the simulator's divergence stack;
+//! 3. [`analysis::analyze`] — the redundancy dataflow over the
+//!    [`class::AbsClass`] lattice (redundancy × lane-pattern);
+//! 4. [`compile`] — bundles it all into a [`CompiledKernel`] with
+//!    per-instruction [`Marking`]s;
+//! 5. [`LaunchPlan::new`] — at kernel launch, promotes conditionally
+//!    redundant instructions using the TB-dimension check and derives the
+//!    instruction sets for DARSIE, DAC-IDEAL and UV.
+//!
+//! ```
+//! use simt_isa::{KernelBuilder, LaunchConfig, MemSpace, SpecialReg};
+//! use simt_compiler::{compile, LaunchPlan};
+//!
+//! let mut b = KernelBuilder::new("example");
+//! let t = b.special(SpecialReg::TidX);
+//! let addr = b.shl_imm(t, 2);
+//! let v = b.load(MemSpace::Global, addr, 0);
+//! b.store(MemSpace::Global, addr, v, 4096);
+//! let ck = compile(b.finish());
+//!
+//! // A 16x16 threadblock passes the launch-time check, so the whole
+//! // tid.x-derived chain (including the load) becomes skippable.
+//! let plan = LaunchPlan::new(&ck, &LaunchConfig::new(1u32, (16u32, 16u32)));
+//! assert_eq!(plan.num_skippable(), 3);
+//! ```
+//!
+//! [`Marking`]: simt_isa::Marking
+
+pub mod analysis;
+pub mod cfg;
+pub mod class;
+pub mod dom;
+pub mod pass;
+
+pub use analysis::{analyze, Analysis, AnalysisOptions};
+pub use cfg::{BasicBlock, BlockId, Cfg};
+pub use class::{AbsClass, Pat, Red, Taxonomy};
+pub use dom::{PostDoms, ReconvergenceTable, RECONVERGE_AT_EXIT};
+pub use pass::{compile, compile_with_options, promotes_tid_y, CompiledKernel, LaunchPlan};

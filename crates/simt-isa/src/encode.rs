@@ -1,0 +1,582 @@
+//! 64-bit binary encoding of instructions.
+//!
+//! Every instruction occupies exactly eight bytes, which is what lets the
+//! DARSIE frontend skip a redundant instruction with a single `pc += 8`.
+//! The compiler's redundancy marking travels in two otherwise-unused bits of
+//! the word, mirroring the paper's use of spare SASS encoding bits
+//! (Section 4.2).
+//!
+//! Layout (bit 63 = MSB):
+//!
+//! ```text
+//! [63:57] opcode      (7)
+//! [56:55] marking     (2)   Vector / CondRedundant / Redundant
+//! [54]    has guard   (1)
+//! [53]    guard neg   (1)
+//! [52:50] guard pred  (3)
+//! [49:42] dst reg     (8)   0xFF = none
+//! [41:39] pdst        (3)   0x7 = none
+//! [38:0]  payload     (39)  format-specific (sources, offsets, targets)
+//! ```
+//!
+//! Like real fixed-width ISAs, not every immediate fits: general sources
+//! carry 16-bit sign-extended immediates (full 32-bit immediates are only
+//! available on `MOV`), branch displacements are 24 bits and memory offsets
+//! 15 bits. [`encode`] reports anything unencodable as an [`EncodeError`].
+
+use crate::instruction::{Guard, Instruction, Operand};
+use crate::op::{AtomOp, CmpOp, MemSpace, Op};
+use crate::reg::{Pred, Reg, SpecialReg};
+use crate::Marking;
+use std::fmt;
+
+/// Errors produced by [`encode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An immediate operand does not fit the 16-bit field (only `MOV`
+    /// carries full 32-bit immediates).
+    ImmediateTooWide,
+    /// A memory offset does not fit the signed 15-bit field.
+    OffsetTooWide,
+    /// A branch target does not fit the 24-bit field.
+    TargetTooFar,
+    /// Three-source ops accept at most one immediate (in the last slot).
+    TooManyImmediates,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EncodeError::ImmediateTooWide => "immediate operand exceeds 16 bits",
+            EncodeError::OffsetTooWide => "memory offset exceeds 15 bits",
+            EncodeError::TargetTooFar => "branch target exceeds 24 bits",
+            EncodeError::TooManyImmediates => "too many immediate operands",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Errors produced by [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode field.
+    BadOpcode(u8),
+    /// Reserved marking encoding (`0b11`).
+    BadMarking,
+    /// Unknown special-register id in an `S2R`.
+    BadSpecialReg(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op:#x}"),
+            DecodeError::BadMarking => f.write_str("reserved marking bits"),
+            DecodeError::BadSpecialReg(id) => write!(f, "unknown special register id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Base opcode numbers. Embedded data (cmp op, memory space, ...) is encoded
+// in the payload.
+const OPCODES: &[(&str, u8)] = &[
+    ("iadd", 0), ("isub", 1), ("imul", 2), ("imulhi", 3), ("imad", 4), ("imin", 5),
+    ("imax", 6), ("shl", 7), ("shr", 8), ("sra", 9), ("and", 10), ("or", 11), ("xor", 12),
+    ("not", 13), ("fadd", 14), ("fsub", 15), ("fmul", 16), ("ffma", 17), ("fmin", 18),
+    ("fmax", 19), ("fdiv", 20), ("frcp", 21), ("fsqrt", 22), ("fexp2", 23), ("flog2", 24),
+    ("mov", 25), ("i2f", 26), ("f2i", 27), ("s2r", 28), ("setp", 29), ("setpf", 30),
+    ("sel", 31), ("ld", 32), ("st", 33), ("atom", 34), ("bra", 35), ("bar", 36), ("exit", 37),
+];
+
+fn opcode_num(op: Op) -> u8 {
+    let name = match op {
+        Op::IAdd => "iadd",
+        Op::ISub => "isub",
+        Op::IMul => "imul",
+        Op::IMulHi => "imulhi",
+        Op::IMad => "imad",
+        Op::IMin => "imin",
+        Op::IMax => "imax",
+        Op::Shl => "shl",
+        Op::Shr => "shr",
+        Op::Sra => "sra",
+        Op::And => "and",
+        Op::Or => "or",
+        Op::Xor => "xor",
+        Op::Not => "not",
+        Op::FAdd => "fadd",
+        Op::FSub => "fsub",
+        Op::FMul => "fmul",
+        Op::FFma => "ffma",
+        Op::FMin => "fmin",
+        Op::FMax => "fmax",
+        Op::FDiv => "fdiv",
+        Op::FRcp => "frcp",
+        Op::FSqrt => "fsqrt",
+        Op::FExp2 => "fexp2",
+        Op::FLog2 => "flog2",
+        Op::Mov => "mov",
+        Op::I2F => "i2f",
+        Op::F2I => "f2i",
+        Op::S2R(_) => "s2r",
+        Op::Setp(_) => "setp",
+        Op::SetpF(_) => "setpf",
+        Op::Sel(_) => "sel",
+        Op::Ld(_) => "ld",
+        Op::St(_) => "st",
+        Op::Atom(_) => "atom",
+        Op::Bra { .. } => "bra",
+        Op::Bar => "bar",
+        Op::Exit => "exit",
+    };
+    OPCODES.iter().find(|(n, _)| *n == name).expect("opcode table covers every op").1
+}
+
+fn cmp_num(c: CmpOp) -> u64 {
+    CmpOp::ALL.iter().position(|&x| x == c).unwrap() as u64
+}
+
+fn space_num(s: MemSpace) -> u64 {
+    MemSpace::ALL.iter().position(|&x| x == s).unwrap() as u64
+}
+
+fn atom_num(a: AtomOp) -> u64 {
+    AtomOp::ALL.iter().position(|&x| x == a).unwrap() as u64
+}
+
+/// Encodes one source operand as a 17-bit field: `[16] is_imm`,
+/// `[15:0]` register id or sign-extended 16-bit immediate.
+fn encode_src(o: Operand) -> Result<u64, EncodeError> {
+    match o {
+        Operand::Reg(r) => Ok(u64::from(r.0)),
+        Operand::Imm(v) => {
+            let sv = v as i32;
+            if sv < i32::from(i16::MIN) || sv > i32::from(i16::MAX) {
+                return Err(EncodeError::ImmediateTooWide);
+            }
+            Ok((1 << 16) | u64::from(v & 0xFFFF))
+        }
+    }
+}
+
+fn decode_src(bits: u64) -> Operand {
+    if bits & (1 << 16) != 0 {
+        Operand::Imm(((bits & 0xFFFF) as u16 as i16) as i32 as u32)
+    } else {
+        Operand::Reg(Reg((bits & 0xFF) as u8))
+    }
+}
+
+/// Encodes an instruction and its DARSIE marking into a 64-bit word.
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] when an operand does not fit its field; such
+/// instructions must be legalized (e.g. materialize wide immediates with
+/// `MOV`) before encoding.
+pub fn encode(instr: &Instruction, marking: Marking) -> Result<u64, EncodeError> {
+    let mut w: u64 = 0;
+    w |= u64::from(opcode_num(instr.op)) << 57;
+    w |= marking.to_bits() << 55;
+    if let Some(g) = instr.guard {
+        w |= 1 << 54;
+        if g.negate {
+            w |= 1 << 53;
+        }
+        w |= u64::from(g.pred.0) << 50;
+    }
+    w |= u64::from(instr.dst.map_or(0xFF, |r| r.0)) << 42;
+    w |= u64::from(instr.pdst.map_or(0x7, |p| p.0)) << 39;
+
+    let payload: u64 = match instr.op {
+        Op::Mov => {
+            // [32] is_imm, [31:0] reg id or full immediate.
+            match instr.srcs[0] {
+                Operand::Reg(r) => u64::from(r.0),
+                Operand::Imm(v) => (1 << 32) | u64::from(v),
+            }
+        }
+        Op::S2R(s) => u64::from(s.id()),
+        Op::Setp(c) | Op::SetpF(c) => {
+            // [36:34] cmp, [33:17] src0, [16:0] src1.
+            (cmp_num(c) << 34) | (encode_src(instr.srcs[0])? << 17) | encode_src(instr.srcs[1])?
+        }
+        Op::Sel(p) => {
+            // [36:34] pred, [33:17] src0, [16:0] src1.
+            (u64::from(p.0) << 34)
+                | (encode_src(instr.srcs[0])? << 17)
+                | encode_src(instr.srcs[1])?
+        }
+        Op::Ld(s) => {
+            // [38:37] space, [36:20] addr, [14:0] offset (signed 15-bit).
+            let off = instr.offset;
+            if !(-(1 << 14)..(1 << 14)).contains(&off) {
+                return Err(EncodeError::OffsetTooWide);
+            }
+            (space_num(s) << 37)
+                | (encode_src(instr.srcs[0])? << 20)
+                | u64::from((off as u32) & 0x7FFF)
+        }
+        Op::St(s) => {
+            // [38:37] space, [36:20] addr, [19:12] value reg,
+            // [11:0] offset (signed 12-bit).
+            let off = instr.offset;
+            if !(-(1 << 11)..(1 << 11)).contains(&off) {
+                return Err(EncodeError::OffsetTooWide);
+            }
+            let val = match instr.srcs[1] {
+                Operand::Reg(r) => u64::from(r.0),
+                Operand::Imm(_) => return Err(EncodeError::TooManyImmediates),
+            };
+            (space_num(s) << 37)
+                | (encode_src(instr.srcs[0])? << 20)
+                | (val << 12)
+                | u64::from((off as u32) & 0xFFF)
+        }
+        Op::Atom(a) => {
+            // [38:37] atom op, [36:20] addr, [19:12] value reg.
+            let val = match instr.srcs[1] {
+                Operand::Reg(r) => u64::from(r.0),
+                Operand::Imm(_) => return Err(EncodeError::TooManyImmediates),
+            };
+            (atom_num(a) << 37) | (encode_src(instr.srcs[0])? << 20) | (val << 12)
+        }
+        Op::Bra { target } => {
+            if target >= (1 << 24) {
+                return Err(EncodeError::TargetTooFar);
+            }
+            target as u64
+        }
+        Op::Bar | Op::Exit => 0,
+        Op::IMad | Op::FFma => {
+            // Three sources: first two must be registers, third may be imm.
+            let a = match instr.srcs[0] {
+                Operand::Reg(r) => u64::from(r.0),
+                Operand::Imm(_) => return Err(EncodeError::TooManyImmediates),
+            };
+            let b = match instr.srcs[1] {
+                Operand::Reg(r) => u64::from(r.0),
+                Operand::Imm(_) => return Err(EncodeError::TooManyImmediates),
+            };
+            (a << 31) | (b << 23) | encode_src(instr.srcs[2])?
+        }
+        Op::Not | Op::I2F | Op::F2I | Op::FRcp | Op::FSqrt | Op::FExp2 | Op::FLog2 => {
+            encode_src(instr.srcs[0])?
+        }
+        // Generic two-source ALU.
+        _ => (encode_src(instr.srcs[0])? << 17) | encode_src(instr.srcs[1])?,
+    };
+    Ok(w | payload)
+}
+
+/// Decodes a 64-bit word produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed words.
+pub fn decode(w: u64) -> Result<(Instruction, Marking), DecodeError> {
+    let opcode = ((w >> 57) & 0x7F) as u8;
+    let marking = Marking::from_bits((w >> 55) & 0b11).ok_or(DecodeError::BadMarking)?;
+    let guard = if w & (1 << 54) != 0 {
+        Some(Guard {
+            pred: Pred(((w >> 50) & 0x7) as u8),
+            negate: w & (1 << 53) != 0,
+        })
+    } else {
+        None
+    };
+    let dst_bits = ((w >> 42) & 0xFF) as u8;
+    let dst = (dst_bits != 0xFF).then_some(Reg(dst_bits));
+    let pdst_bits = ((w >> 39) & 0x7) as u8;
+    let pdst = (pdst_bits != 0x7).then_some(Pred(pdst_bits));
+    let payload = w & ((1u64 << 39) - 1);
+
+    let name = OPCODES
+        .iter()
+        .find(|(_, n)| *n == opcode)
+        .map(|(s, _)| *s)
+        .ok_or(DecodeError::BadOpcode(opcode))?;
+
+    let cmp_of = |bits: u64| CmpOp::ALL[(bits & 0x7) as usize % CmpOp::ALL.len()];
+    let space_of = |bits: u64| MemSpace::ALL[(bits & 0x3) as usize % MemSpace::ALL.len()];
+    let atom_of = |bits: u64| AtomOp::ALL[(bits & 0x3) as usize % AtomOp::ALL.len()];
+    let two_srcs = |p: u64| vec![decode_src((p >> 17) & 0x1FFFF), decode_src(p & 0x1FFFF)];
+    let off15 = |p: u64| {
+        let raw = (p & 0x7FFF) as u32;
+        // Sign-extend 15 bits.
+        ((raw << 17) as i32) >> 17
+    };
+
+    let (op, srcs, offset): (Op, Vec<Operand>, i32) = match name {
+        "mov" => {
+            let src = if payload & (1 << 32) != 0 {
+                Operand::Imm((payload & 0xFFFF_FFFF) as u32)
+            } else {
+                Operand::Reg(Reg((payload & 0xFF) as u8))
+            };
+            (Op::Mov, vec![src], 0)
+        }
+        "s2r" => {
+            let id = (payload & 0xF) as u8;
+            let s = SpecialReg::from_id(id).ok_or(DecodeError::BadSpecialReg(id))?;
+            (Op::S2R(s), vec![], 0)
+        }
+        "setp" => (Op::Setp(cmp_of(payload >> 34)), two_srcs(payload), 0),
+        "setpf" => (Op::SetpF(cmp_of(payload >> 34)), two_srcs(payload), 0),
+        "sel" => (
+            Op::Sel(Pred(((payload >> 34) & 0x7) as u8)),
+            two_srcs(payload),
+            0,
+        ),
+        "ld" => (
+            Op::Ld(space_of(payload >> 37)),
+            vec![decode_src((payload >> 20) & 0x1FFFF)],
+            off15(payload),
+        ),
+        "st" => {
+            let raw = (payload & 0xFFF) as u32;
+            // Sign-extend 12 bits.
+            let off = ((raw << 20) as i32) >> 20;
+            (
+                Op::St(space_of(payload >> 37)),
+                vec![
+                    decode_src((payload >> 20) & 0x1FFFF),
+                    Operand::Reg(Reg(((payload >> 12) & 0xFF) as u8)),
+                ],
+                off,
+            )
+        }
+        "atom" => (
+            Op::Atom(atom_of(payload >> 37)),
+            vec![
+                decode_src((payload >> 20) & 0x1FFFF),
+                Operand::Reg(Reg(((payload >> 12) & 0xFF) as u8)),
+            ],
+            0,
+        ),
+        "bra" => (Op::Bra { target: (payload & 0xFF_FFFF) as usize }, vec![], 0),
+        "bar" => (Op::Bar, vec![], 0),
+        "exit" => (Op::Exit, vec![], 0),
+        "imad" | "ffma" => {
+            let a = Operand::Reg(Reg(((payload >> 31) & 0xFF) as u8));
+            let b = Operand::Reg(Reg(((payload >> 23) & 0xFF) as u8));
+            let c = decode_src(payload & 0x1FFFF);
+            let op = if name == "imad" { Op::IMad } else { Op::FFma };
+            (op, vec![a, b, c], 0)
+        }
+        "not" | "i2f" | "f2i" | "frcp" | "fsqrt" | "fexp2" | "flog2" => {
+            let op = match name {
+                "not" => Op::Not,
+                "i2f" => Op::I2F,
+                "f2i" => Op::F2I,
+                "frcp" => Op::FRcp,
+                "fsqrt" => Op::FSqrt,
+                "fexp2" => Op::FExp2,
+                _ => Op::FLog2,
+            };
+            (op, vec![decode_src(payload & 0x1FFFF)], 0)
+        }
+        _ => {
+            let op = match name {
+                "iadd" => Op::IAdd,
+                "isub" => Op::ISub,
+                "imul" => Op::IMul,
+                "imulhi" => Op::IMulHi,
+                "imin" => Op::IMin,
+                "imax" => Op::IMax,
+                "shl" => Op::Shl,
+                "shr" => Op::Shr,
+                "sra" => Op::Sra,
+                "and" => Op::And,
+                "or" => Op::Or,
+                "xor" => Op::Xor,
+                "fadd" => Op::FAdd,
+                "fsub" => Op::FSub,
+                "fmul" => Op::FMul,
+                "fmin" => Op::FMin,
+                "fmax" => Op::FMax,
+                "fdiv" => Op::FDiv,
+                _ => unreachable!("exhaustive opcode table"),
+            };
+            (op, two_srcs(payload), 0)
+        }
+    };
+
+    let mut instr = Instruction::new(op, dst, pdst, srcs);
+    instr.guard = guard;
+    instr.offset = offset;
+    Ok((instr, marking))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Instruction, m: Marking) {
+        let w = encode(&i, m).expect("encodable");
+        let (i2, m2) = decode(w).expect("decodable");
+        assert_eq!(i, i2, "word {w:#018x}");
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn roundtrip_alu() {
+        roundtrip(
+            Instruction::new(Op::IAdd, Some(Reg(3)), None, vec![Reg(1).into(), Operand::Imm(42)]),
+            Marking::Redundant,
+        );
+        roundtrip(
+            Instruction::new(
+                Op::Shl,
+                Some(Reg(0)),
+                None,
+                vec![Reg(200).into(), Operand::Imm(7)],
+            ),
+            Marking::ConditionallyRedundant,
+        );
+    }
+
+    #[test]
+    fn roundtrip_negative_immediate() {
+        roundtrip(
+            Instruction::new(
+                Op::IAdd,
+                Some(Reg(3)),
+                None,
+                vec![Reg(1).into(), Operand::Imm((-5i32) as u32)],
+            ),
+            Marking::Vector,
+        );
+    }
+
+    #[test]
+    fn roundtrip_mov_wide_imm() {
+        roundtrip(
+            Instruction::new(Op::Mov, Some(Reg(9)), None, vec![Operand::Imm(0xDEAD_BEEF)]),
+            Marking::Vector,
+        );
+    }
+
+    #[test]
+    fn roundtrip_guarded_branch() {
+        roundtrip(
+            Instruction::new(Op::Bra { target: 0x1234 }, None, None, vec![])
+                .with_guard(Guard::if_false(Pred(2))),
+            Marking::Vector,
+        );
+    }
+
+    #[test]
+    fn roundtrip_memory() {
+        roundtrip(
+            Instruction::new(Op::Ld(MemSpace::Shared), Some(Reg(7)), None, vec![Reg(2).into()])
+                .with_offset(-128),
+            Marking::ConditionallyRedundant,
+        );
+        roundtrip(
+            Instruction::new(
+                Op::St(MemSpace::Global),
+                None,
+                None,
+                vec![Reg(2).into(), Reg(3).into()],
+            )
+            .with_offset(0x100),
+            Marking::Vector,
+        );
+        roundtrip(
+            Instruction::new(
+                Op::Atom(AtomOp::Max),
+                Some(Reg(1)),
+                None,
+                vec![Reg(2).into(), Reg(3).into()],
+            ),
+            Marking::Vector,
+        );
+    }
+
+    #[test]
+    fn roundtrip_three_source() {
+        roundtrip(
+            Instruction::new(
+                Op::FFma,
+                Some(Reg(10)),
+                None,
+                vec![Reg(1).into(), Reg(2).into(), Reg(3).into()],
+            ),
+            Marking::Redundant,
+        );
+        roundtrip(
+            Instruction::new(
+                Op::IMad,
+                Some(Reg(10)),
+                None,
+                vec![Reg(1).into(), Reg(2).into(), Operand::Imm(100)],
+            ),
+            Marking::Vector,
+        );
+    }
+
+    #[test]
+    fn roundtrip_setp_sel_s2r() {
+        roundtrip(
+            Instruction::new(
+                Op::Setp(CmpOp::Ge),
+                None,
+                Some(Pred(4)),
+                vec![Reg(1).into(), Operand::Imm(16)],
+            ),
+            Marking::Vector,
+        );
+        roundtrip(
+            Instruction::new(
+                Op::Sel(Pred(3)),
+                Some(Reg(5)),
+                None,
+                vec![Reg(1).into(), Reg(2).into()],
+            ),
+            Marking::Vector,
+        );
+        for s in SpecialReg::ALL {
+            roundtrip(
+                Instruction::new(Op::S2R(s), Some(Reg(0)), None, vec![]),
+                Marking::ConditionallyRedundant,
+            );
+        }
+    }
+
+    #[test]
+    fn wide_immediate_rejected() {
+        let i = Instruction::new(
+            Op::IAdd,
+            Some(Reg(0)),
+            None,
+            vec![Reg(1).into(), Operand::Imm(0x10000)],
+        );
+        assert_eq!(encode(&i, Marking::Vector), Err(EncodeError::ImmediateTooWide));
+    }
+
+    #[test]
+    fn wide_offset_rejected() {
+        let i = Instruction::new(Op::Ld(MemSpace::Global), Some(Reg(0)), None, vec![Reg(1).into()])
+            .with_offset(1 << 20);
+        assert_eq!(encode(&i, Marking::Vector), Err(EncodeError::OffsetTooWide));
+    }
+
+    #[test]
+    fn far_branch_rejected() {
+        let i = Instruction::new(Op::Bra { target: 1 << 25 }, None, None, vec![]);
+        assert_eq!(encode(&i, Marking::Vector), Err(EncodeError::TargetTooFar));
+    }
+
+    #[test]
+    fn bad_words_rejected() {
+        // Opcode 0x7F is unused.
+        assert!(matches!(decode(0x7Fu64 << 57), Err(DecodeError::BadOpcode(_))));
+        // Marking 0b11 is reserved (use opcode 0 = iadd).
+        assert!(matches!(decode(0b11u64 << 55), Err(DecodeError::BadMarking)));
+    }
+}

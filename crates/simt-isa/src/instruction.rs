@@ -1,0 +1,266 @@
+//! Decoded instructions: operands, predication guards and the instruction
+//! record itself.
+
+use crate::op::Op;
+use crate::reg::{Pred, Reg};
+use std::fmt;
+
+/// A source operand: a general register or a 32-bit immediate.
+///
+/// Special registers are not operands; they are materialized into general
+/// registers with [`Op::S2R`], matching the two-step style of real GPU ISAs
+/// and keeping the dataflow analysis per-register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A general register.
+    Reg(Reg),
+    /// An immediate 32-bit value.
+    Imm(u32),
+}
+
+impl Operand {
+    /// The register named by this operand, if any.
+    #[must_use]
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    /// True when this operand is an immediate.
+    #[must_use]
+    pub fn is_imm(self) -> bool {
+        matches!(self, Operand::Imm(_))
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<u32> for Operand {
+    fn from(v: u32) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Operand {
+        Operand::Imm(v as u32)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{:#x}", v),
+        }
+    }
+}
+
+/// A predication guard: `@P` or `@!P`. A guarded instruction only takes
+/// effect in lanes where the guard evaluates true.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Guard {
+    /// The predicate register consulted.
+    pub pred: Pred,
+    /// True for `@!P` (execute where the predicate is false).
+    pub negate: bool,
+}
+
+impl Guard {
+    /// Guard that executes where `pred` is true.
+    #[must_use]
+    pub fn if_true(pred: Pred) -> Guard {
+        Guard { pred, negate: false }
+    }
+
+    /// Guard that executes where `pred` is false.
+    #[must_use]
+    pub fn if_false(pred: Pred) -> Guard {
+        Guard { pred, negate: true }
+    }
+
+    /// Applies the guard to a raw predicate bit.
+    #[must_use]
+    pub fn accepts(self, pred_value: bool) -> bool {
+        pred_value != self.negate
+    }
+}
+
+impl fmt::Display for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negate {
+            write!(f, "@!{}", self.pred)
+        } else {
+            write!(f, "@{}", self.pred)
+        }
+    }
+}
+
+/// A decoded 64-bit instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    /// Opcode.
+    pub op: Op,
+    /// Destination general register, when [`Op::writes_dst`] is true.
+    pub dst: Option<Reg>,
+    /// Destination predicate, when [`Op::writes_pdst`] is true.
+    pub pdst: Option<Pred>,
+    /// Source operands; length must equal [`Op::num_srcs`].
+    pub srcs: Vec<Operand>,
+    /// Optional predication guard.
+    pub guard: Option<Guard>,
+    /// Byte offset added to the address operand of `Ld`/`St`/`Atom`.
+    pub offset: i32,
+}
+
+impl Instruction {
+    /// Builds an unguarded instruction. `dst`/`pdst` may be `None` for ops
+    /// that do not write.
+    #[must_use]
+    pub fn new(op: Op, dst: Option<Reg>, pdst: Option<Pred>, srcs: Vec<Operand>) -> Instruction {
+        Instruction { op, dst, pdst, srcs, guard: None, offset: 0 }
+    }
+
+    /// Returns a copy with the given guard.
+    #[must_use]
+    pub fn with_guard(mut self, guard: Guard) -> Instruction {
+        self.guard = Some(guard);
+        self
+    }
+
+    /// Returns a copy with the given load/store byte offset.
+    #[must_use]
+    pub fn with_offset(mut self, offset: i32) -> Instruction {
+        self.offset = offset;
+        self
+    }
+
+    /// Registers read by this instruction (source operands only; the guard
+    /// predicate is reported separately by [`Instruction::guard`]).
+    pub fn src_regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.srcs.iter().filter_map(|o| o.reg())
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(g) = self.guard {
+            write!(f, "{g} ")?;
+        }
+        write!(f, "{}", self.op)?;
+        let mut first = true;
+        let sep = |f: &mut fmt::Formatter<'_>, first: &mut bool| -> fmt::Result {
+            if *first {
+                write!(f, " ")?;
+                *first = false;
+            } else {
+                write!(f, ", ")?;
+            }
+            Ok(())
+        };
+        if let Some(d) = self.dst {
+            sep(f, &mut first)?;
+            write!(f, "{d}")?;
+        }
+        if let Some(p) = self.pdst {
+            sep(f, &mut first)?;
+            write!(f, "{p}")?;
+        }
+        for (i, s) in self.srcs.iter().enumerate() {
+            sep(f, &mut first)?;
+            if self.op.kind() == crate::op::OpKind::Load
+                || ((self.op.kind() == crate::op::OpKind::Store
+                    || matches!(self.op, Op::Atom(_)))
+                    && i == 0)
+            {
+                if self.offset != 0 {
+                    write!(f, "[{s}+{:#x}]", self.offset)?;
+                } else {
+                    write!(f, "[{s}]")?;
+                }
+            } else {
+                write!(f, "{s}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{CmpOp, MemSpace};
+
+    #[test]
+    fn guard_accepts() {
+        let g = Guard::if_true(Pred(0));
+        assert!(g.accepts(true));
+        assert!(!g.accepts(false));
+        let n = Guard::if_false(Pred(1));
+        assert!(n.accepts(false));
+        assert!(!n.accepts(true));
+    }
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(Reg(2)).reg(), Some(Reg(2)));
+        assert_eq!(Operand::from(5u32), Operand::Imm(5));
+        assert_eq!(Operand::from(-1i32), Operand::Imm(u32::MAX));
+        assert!(Operand::from(5u32).is_imm());
+        assert!(!Operand::from(Reg(0)).is_imm());
+    }
+
+    #[test]
+    fn display_alu() {
+        let i = Instruction::new(
+            Op::IAdd,
+            Some(Reg(1)),
+            None,
+            vec![Reg(2).into(), Operand::Imm(0x10)],
+        );
+        assert_eq!(i.to_string(), "iadd R1, R2, 0x10");
+    }
+
+    #[test]
+    fn display_guarded_branch() {
+        let i = Instruction::new(Op::Bra { target: 4 }, None, None, vec![])
+            .with_guard(Guard::if_false(Pred(0)));
+        assert_eq!(i.to_string(), "@!P0 bra 0x20");
+    }
+
+    #[test]
+    fn display_load_with_offset() {
+        let i = Instruction::new(Op::Ld(MemSpace::Shared), Some(Reg(3)), None, vec![Reg(7).into()])
+            .with_offset(0x80);
+        assert_eq!(i.to_string(), "ld.shared R3, [R7+0x80]");
+    }
+
+    #[test]
+    fn display_setp() {
+        let i = Instruction::new(
+            Op::Setp(CmpOp::Lt),
+            None,
+            Some(Pred(2)),
+            vec![Reg(0).into(), Operand::Imm(8)],
+        );
+        assert_eq!(i.to_string(), "setp.lt.s32 P2, R0, 0x8");
+    }
+
+    #[test]
+    fn src_regs_skips_immediates() {
+        let i = Instruction::new(
+            Op::IMad,
+            Some(Reg(0)),
+            None,
+            vec![Reg(1).into(), Operand::Imm(4), Reg(2).into()],
+        );
+        let regs: Vec<Reg> = i.src_regs().collect();
+        assert_eq!(regs, vec![Reg(1), Reg(2)]);
+    }
+}

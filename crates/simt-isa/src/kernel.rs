@@ -1,0 +1,433 @@
+//! Kernels (static programs) and launch configurations.
+
+use crate::instruction::Instruction;
+use crate::op::Op;
+use crate::reg::{MAX_REGS, NUM_PREDS};
+use crate::value::{Dim3, Value};
+use crate::{INSTR_BYTES, WARP_SIZE};
+use std::fmt;
+
+/// Errors produced by [`Kernel::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// An instruction's source-operand count does not match its opcode.
+    BadSrcCount {
+        /// Offending instruction index.
+        pc: usize,
+        /// Expected number of sources.
+        expected: usize,
+        /// Actual number of sources.
+        actual: usize,
+    },
+    /// An op that writes a register has no `dst` (or vice versa).
+    BadDst {
+        /// Offending instruction index.
+        pc: usize,
+    },
+    /// An op that writes a predicate has no `pdst` (or vice versa).
+    BadPdst {
+        /// Offending instruction index.
+        pc: usize,
+    },
+    /// A branch targets an instruction index outside the kernel.
+    BranchOutOfRange {
+        /// Offending instruction index.
+        pc: usize,
+        /// The invalid target.
+        target: usize,
+    },
+    /// A register id exceeds [`MAX_REGS`].
+    RegOutOfRange {
+        /// Offending instruction index.
+        pc: usize,
+    },
+    /// A predicate id exceeds the architectural predicate count.
+    PredOutOfRange {
+        /// Offending instruction index.
+        pc: usize,
+    },
+    /// The kernel has no `Exit` instruction.
+    NoExit,
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::BadSrcCount { pc, expected, actual } => {
+                write!(f, "instruction {pc}: expected {expected} sources, found {actual}")
+            }
+            KernelError::BadDst { pc } => write!(f, "instruction {pc}: destination mismatch"),
+            KernelError::BadPdst { pc } => {
+                write!(f, "instruction {pc}: predicate destination mismatch")
+            }
+            KernelError::BranchOutOfRange { pc, target } => {
+                write!(f, "instruction {pc}: branch target {target} out of range")
+            }
+            KernelError::RegOutOfRange { pc } => {
+                write!(f, "instruction {pc}: register id out of range")
+            }
+            KernelError::PredOutOfRange { pc } => {
+                write!(f, "instruction {pc}: predicate id out of range")
+            }
+            KernelError::NoExit => write!(f, "kernel has no exit instruction"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// A static kernel: a straight vector of 64-bit instructions plus resource
+/// requirements. Program counters are instruction indices; the byte PC of
+/// instruction `i` is `i * INSTR_BYTES`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Kernel name (for reports).
+    pub name: String,
+    /// The instruction stream.
+    pub instrs: Vec<Instruction>,
+    /// Per-thread register demand (highest register id used + 1).
+    pub num_regs: u16,
+    /// Shared-memory bytes required per threadblock.
+    pub shared_mem_bytes: u32,
+    /// Number of 32-bit kernel parameters expected in [`LaunchConfig::params`].
+    pub num_params: u32,
+}
+
+impl Kernel {
+    /// Creates a kernel, computing the register demand from the instruction
+    /// stream.
+    #[must_use]
+    pub fn new(name: impl Into<String>, instrs: Vec<Instruction>) -> Kernel {
+        let mut k = Kernel {
+            name: name.into(),
+            instrs,
+            num_regs: 0,
+            shared_mem_bytes: 0,
+            num_params: 0,
+        };
+        k.num_regs = k.compute_reg_demand();
+        k
+    }
+
+    fn compute_reg_demand(&self) -> u16 {
+        let mut max = 0u16;
+        for i in &self.instrs {
+            if let Some(d) = i.dst {
+                max = max.max(u16::from(d.0) + 1);
+            }
+            for r in i.src_regs() {
+                max = max.max(u16::from(r.0) + 1);
+            }
+        }
+        max
+    }
+
+    /// Number of static instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when the kernel has no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Byte address of the instruction at index `pc`.
+    #[must_use]
+    pub fn byte_pc(pc: usize) -> u64 {
+        pc as u64 * INSTR_BYTES
+    }
+
+    /// Checks structural well-formedness of the instruction stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`KernelError`] found, if any.
+    pub fn validate(&self) -> Result<(), KernelError> {
+        let mut has_exit = false;
+        for (pc, i) in self.instrs.iter().enumerate() {
+            let expected = i.op.num_srcs();
+            if i.srcs.len() != expected {
+                return Err(KernelError::BadSrcCount { pc, expected, actual: i.srcs.len() });
+            }
+            if i.op.writes_dst() != i.dst.is_some() {
+                return Err(KernelError::BadDst { pc });
+            }
+            if i.op.writes_pdst() != i.pdst.is_some() {
+                return Err(KernelError::BadPdst { pc });
+            }
+            if let Op::Bra { target } = i.op {
+                if target >= self.instrs.len() {
+                    return Err(KernelError::BranchOutOfRange { pc, target });
+                }
+            }
+            if let Some(d) = i.dst {
+                if u16::from(d.0) >= MAX_REGS {
+                    return Err(KernelError::RegOutOfRange { pc });
+                }
+            }
+            for r in i.src_regs() {
+                if u16::from(r.0) >= MAX_REGS {
+                    return Err(KernelError::RegOutOfRange { pc });
+                }
+            }
+            let preds = i
+                .pdst
+                .into_iter()
+                .chain(i.guard.map(|g| g.pred))
+                .chain(match i.op {
+                    Op::Sel(p) => Some(p),
+                    _ => None,
+                });
+            for p in preds {
+                if p.0 >= NUM_PREDS {
+                    return Err(KernelError::PredOutOfRange { pc });
+                }
+            }
+            if matches!(i.op, Op::Exit) {
+                has_exit = true;
+            }
+        }
+        if !has_exit {
+            return Err(KernelError::NoExit);
+        }
+        Ok(())
+    }
+
+    /// Pretty-prints the kernel with byte PCs, one instruction per line.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "// kernel {} (regs={}, smem={}B)", self.name, self.num_regs,
+            self.shared_mem_bytes);
+        for (pc, i) in self.instrs.iter().enumerate() {
+            let _ = writeln!(out, "{:#06x}  {}", Kernel::byte_pc(pc), i);
+        }
+        out
+    }
+}
+
+/// A kernel launch: grid and block shapes plus parameter words.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchConfig {
+    /// Grid shape in threadblocks.
+    pub grid: Dim3,
+    /// Threadblock shape in threads.
+    pub block: Dim3,
+    /// 32-bit kernel parameters (pointers are byte addresses into global
+    /// memory, scalars are raw words).
+    pub params: Vec<Value>,
+    /// SIMT width; [`WARP_SIZE`] unless overridden for worked examples.
+    pub warp_size: u32,
+}
+
+impl LaunchConfig {
+    /// Launch with the given grid/block shapes and no parameters.
+    #[must_use]
+    pub fn new(grid: impl Into<Dim3>, block: impl Into<Dim3>) -> LaunchConfig {
+        LaunchConfig {
+            grid: grid.into(),
+            block: block.into(),
+            params: Vec::new(),
+            warp_size: WARP_SIZE,
+        }
+    }
+
+    /// Returns a copy with the given parameter words.
+    #[must_use]
+    pub fn with_params(mut self, params: Vec<Value>) -> LaunchConfig {
+        self.params = params;
+        self
+    }
+
+    /// Returns a copy with a non-default warp size (used by the paper's
+    /// warp-size-4 worked example in Figure 3).
+    #[must_use]
+    pub fn with_warp_size(mut self, warp_size: u32) -> LaunchConfig {
+        assert!(warp_size.is_power_of_two(), "warp size must be a power of two");
+        self.warp_size = warp_size;
+        self
+    }
+
+    /// Threads per block.
+    #[must_use]
+    pub fn threads_per_block(&self) -> u32 {
+        self.block.count() as u32
+    }
+
+    /// Warps per block (rounded up).
+    #[must_use]
+    pub fn warps_per_block(&self) -> u32 {
+        self.threads_per_block().div_ceil(self.warp_size)
+    }
+
+    /// Total threadblocks in the grid.
+    #[must_use]
+    pub fn num_blocks(&self) -> u64 {
+        self.grid.count()
+    }
+
+    /// The launch-time dimensionality check of paper Section 4.2: in this
+    /// launch, do conditionally redundant instructions become *definitely*
+    /// redundant? True iff the block is multi-dimensional and the
+    /// x-dimension is a power of two no larger than the warp size (so the
+    /// `tid.x` lane pattern repeats identically in every warp).
+    #[must_use]
+    pub fn promotes_conditional_redundancy(&self) -> bool {
+        self.block.y > 1
+            && self.block.x.is_power_of_two()
+            && self.block.x <= self.warp_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::{Guard, Instruction, Operand};
+    use crate::op::CmpOp;
+    use crate::reg::{Pred, Reg, SpecialReg};
+
+    fn exit() -> Instruction {
+        Instruction::new(Op::Exit, None, None, vec![])
+    }
+
+    #[test]
+    fn reg_demand_counts_highest_register() {
+        let k = Kernel::new(
+            "t",
+            vec![
+                Instruction::new(Op::S2R(SpecialReg::TidX), Some(Reg(5)), None, vec![]),
+                Instruction::new(Op::IAdd, Some(Reg(1)), None, vec![Reg(5).into(), Reg(9).into()]),
+                exit(),
+            ],
+        );
+        assert_eq!(k.num_regs, 10);
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        let k = Kernel::new(
+            "t",
+            vec![
+                Instruction::new(Op::Mov, Some(Reg(0)), None, vec![Operand::Imm(1)]),
+                Instruction::new(
+                    Op::Setp(CmpOp::Lt),
+                    None,
+                    Some(Pred(0)),
+                    vec![Reg(0).into(), Operand::Imm(10)],
+                ),
+                Instruction::new(Op::Bra { target: 0 }, None, None, vec![])
+                    .with_guard(Guard::if_true(Pred(0))),
+                exit(),
+            ],
+        );
+        assert_eq!(k.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_src_count() {
+        let k = Kernel::new(
+            "t",
+            vec![Instruction::new(Op::IAdd, Some(Reg(0)), None, vec![Reg(1).into()]), exit()],
+        );
+        assert_eq!(k.validate(), Err(KernelError::BadSrcCount { pc: 0, expected: 2, actual: 1 }));
+    }
+
+    #[test]
+    fn validate_rejects_missing_dst() {
+        let k = Kernel::new(
+            "t",
+            vec![
+                Instruction::new(Op::IAdd, None, None, vec![Reg(1).into(), Reg(2).into()]),
+                exit(),
+            ],
+        );
+        assert_eq!(k.validate(), Err(KernelError::BadDst { pc: 0 }));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_branch() {
+        let k = Kernel::new(
+            "t",
+            vec![Instruction::new(Op::Bra { target: 9 }, None, None, vec![]), exit()],
+        );
+        assert_eq!(k.validate(), Err(KernelError::BranchOutOfRange { pc: 0, target: 9 }));
+    }
+
+    #[test]
+    fn validate_rejects_missing_exit() {
+        let k = Kernel::new(
+            "t",
+            vec![Instruction::new(Op::Mov, Some(Reg(0)), None, vec![Operand::Imm(0)])],
+        );
+        assert_eq!(k.validate(), Err(KernelError::NoExit));
+    }
+
+    #[test]
+    fn validate_rejects_bad_pred_id() {
+        let k = Kernel::new(
+            "t",
+            vec![
+                Instruction::new(
+                    Op::Setp(CmpOp::Eq),
+                    None,
+                    Some(Pred(7)),
+                    vec![Reg(0).into(), Reg(0).into()],
+                ),
+                exit(),
+            ],
+        );
+        assert_eq!(k.validate(), Err(KernelError::PredOutOfRange { pc: 0 }));
+    }
+
+    #[test]
+    fn launch_geometry() {
+        let l = LaunchConfig::new(28u32, (16u32, 16u32));
+        assert_eq!(l.threads_per_block(), 256);
+        assert_eq!(l.warps_per_block(), 8);
+        assert_eq!(l.num_blocks(), 28);
+    }
+
+    #[test]
+    fn warps_per_block_rounds_up() {
+        let l = LaunchConfig::new(1u32, (10u32, 3u32));
+        assert_eq!(l.threads_per_block(), 30);
+        assert_eq!(l.warps_per_block(), 1);
+        let l2 = LaunchConfig::new(1u32, (10u32, 5u32));
+        assert_eq!(l2.warps_per_block(), 2);
+    }
+
+    #[test]
+    fn promotion_check_matches_paper() {
+        // 2D, x pow2 and <= warp size: promoted.
+        assert!(LaunchConfig::new(1u32, (16u32, 16u32)).promotes_conditional_redundancy());
+        assert!(LaunchConfig::new(1u32, (32u32, 32u32)).promotes_conditional_redundancy());
+        assert!(LaunchConfig::new(1u32, (8u32, 8u32)).promotes_conditional_redundancy());
+        // 1D: never promoted.
+        assert!(!LaunchConfig::new(1u32, 256u32).promotes_conditional_redundancy());
+        // x too large.
+        assert!(!LaunchConfig::new(1u32, (64u32, 4u32)).promotes_conditional_redundancy());
+        // x not a power of two.
+        assert!(!LaunchConfig::new(1u32, (12u32, 12u32)).promotes_conditional_redundancy());
+        // Small warp size raises the bar.
+        let l = LaunchConfig::new(1u32, (8u32, 8u32)).with_warp_size(4);
+        assert!(!l.promotes_conditional_redundancy());
+        let l = LaunchConfig::new(1u32, (4u32, 2u32)).with_warp_size(4);
+        assert!(l.promotes_conditional_redundancy());
+    }
+
+    #[test]
+    fn disassemble_contains_pcs() {
+        let k = Kernel::new(
+            "t",
+            vec![Instruction::new(Op::Mov, Some(Reg(0)), None, vec![Operand::Imm(1)]), exit()],
+        );
+        let d = k.disassemble();
+        assert!(d.contains("0x0000"), "{d}");
+        assert!(d.contains("0x0008"), "{d}");
+        assert!(d.contains("mov R0"), "{d}");
+    }
+}

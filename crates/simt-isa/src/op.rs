@@ -1,0 +1,464 @@
+//! Opcodes of the virtual SIMT ISA.
+
+use crate::reg::{Pred, SpecialReg};
+use std::fmt;
+
+/// Integer / float comparison operator used by `SETP`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than (signed for integers).
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// All comparison operators.
+    pub const ALL: [CmpOp; 6] = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+
+    /// Evaluates the comparison on signed integers.
+    #[must_use]
+    pub fn eval_i32(self, a: i32, b: i32) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// Evaluates the comparison on floats.
+    #[must_use]
+    pub fn eval_f32(self, a: f32, b: f32) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Memory space addressed by loads and stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemSpace {
+    /// Off-chip global memory, cached in L1/L2.
+    Global,
+    /// On-chip per-threadblock scratchpad (CUDA `__shared__`).
+    Shared,
+    /// Read-only kernel parameter / constant space.
+    Param,
+}
+
+impl MemSpace {
+    /// All memory spaces.
+    pub const ALL: [MemSpace; 3] = [MemSpace::Global, MemSpace::Shared, MemSpace::Param];
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemSpace::Global => "global",
+            MemSpace::Shared => "shared",
+            MemSpace::Param => "param",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Read-modify-write operation performed by `ATOM` on global memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AtomOp {
+    /// `old + v`.
+    Add,
+    /// `max(old, v)` (signed).
+    Max,
+    /// `min(old, v)` (signed).
+    Min,
+    /// Exchange: new value is `v`.
+    Exch,
+}
+
+impl AtomOp {
+    /// All atomic operations.
+    pub const ALL: [AtomOp; 4] = [AtomOp::Add, AtomOp::Max, AtomOp::Min, AtomOp::Exch];
+
+    /// Applies the read-modify-write function.
+    #[must_use]
+    pub fn apply(self, old: u32, v: u32) -> u32 {
+        match self {
+            AtomOp::Add => old.wrapping_add(v),
+            AtomOp::Max => (old as i32).max(v as i32) as u32,
+            AtomOp::Min => (old as i32).min(v as i32) as u32,
+            AtomOp::Exch => v,
+        }
+    }
+}
+
+impl fmt::Display for AtomOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AtomOp::Add => "add",
+            AtomOp::Max => "max",
+            AtomOp::Min => "min",
+            AtomOp::Exch => "exch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Coarse functional class of an opcode, used by the timing model to select
+/// an execution unit and by the energy model to charge per-event energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Simple integer / logic / move operations (SP units).
+    IntAlu,
+    /// Single-precision floating point (SP units).
+    FpAlu,
+    /// Transcendental / division (SFU).
+    Sfu,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Global atomic read-modify-write.
+    Atomic,
+    /// Control flow (branch).
+    Branch,
+    /// Threadblock barrier.
+    Barrier,
+    /// Kernel termination.
+    Exit,
+}
+
+/// Opcode of an [`Instruction`](crate::Instruction).
+///
+/// Source-operand conventions (validated by [`Kernel::validate`](crate::Kernel::validate)):
+///
+/// | op | srcs | dst | pdst |
+/// |---|---|---|---|
+/// | binary ALU | 2 | yes | no |
+/// | `IMad`/`FFma` | 3 (`a*b + c`) | yes | no |
+/// | `Not`, `Mov`, `I2F`, `F2I`, `FRcp`, `FSqrt`, `FExp2`, `FLog2` | 1 | yes | no |
+/// | `S2R` | 0 | yes | no |
+/// | `Setp`/`SetpF` | 2 | no | yes |
+/// | `Sel` | 2 | yes | no (reads the named predicate) |
+/// | `Ld` | 1 (addr) | yes | no |
+/// | `St` | 2 (addr, value) | no | no |
+/// | `Atom` | 2 (addr, value) | optional old value | no |
+/// | `Bra` | 0 | no | no (condition via guard) |
+/// | `Bar`, `Exit` | 0 | no | no |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Integer add.
+    IAdd,
+    /// Integer subtract.
+    ISub,
+    /// Integer multiply (low 32 bits).
+    IMul,
+    /// Integer multiply, high 32 bits of the signed product.
+    IMulHi,
+    /// Integer multiply-add: `srcs[0] * srcs[1] + srcs[2]`.
+    IMad,
+    /// Signed minimum.
+    IMin,
+    /// Signed maximum.
+    IMax,
+    /// Shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sra,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Bitwise not (one source).
+    Not,
+    /// Float add.
+    FAdd,
+    /// Float subtract.
+    FSub,
+    /// Float multiply.
+    FMul,
+    /// Fused multiply-add: `srcs[0] * srcs[1] + srcs[2]`.
+    FFma,
+    /// Float minimum.
+    FMin,
+    /// Float maximum.
+    FMax,
+    /// Float divide (SFU).
+    FDiv,
+    /// Float reciprocal (SFU).
+    FRcp,
+    /// Float square root (SFU).
+    FSqrt,
+    /// Float `2^x` (SFU).
+    FExp2,
+    /// Float `log2(x)` (SFU).
+    FLog2,
+    /// Register / immediate move.
+    Mov,
+    /// Signed integer to float conversion.
+    I2F,
+    /// Float to signed integer conversion (round toward zero).
+    F2I,
+    /// Read a special register into a general register.
+    S2R(SpecialReg),
+    /// Integer compare, writes a predicate.
+    Setp(CmpOp),
+    /// Float compare, writes a predicate.
+    SetpF(CmpOp),
+    /// Predicated select: `dst = pred ? srcs[0] : srcs[1]`.
+    Sel(Pred),
+    /// Load from a memory space; address is `srcs[0] + offset`.
+    Ld(MemSpace),
+    /// Store to a memory space; address is `srcs[0] + offset`, value `srcs[1]`.
+    St(MemSpace),
+    /// Global atomic read-modify-write; address `srcs[0] + offset`, value `srcs[1]`.
+    Atom(AtomOp),
+    /// Branch to the instruction at index `target` (conditional via guard).
+    Bra {
+        /// Target instruction index within the kernel.
+        target: usize,
+    },
+    /// Threadblock-wide barrier (`__syncthreads()`).
+    Bar,
+    /// Thread exit.
+    Exit,
+}
+
+impl Op {
+    /// Functional class of this opcode.
+    #[must_use]
+    pub fn kind(self) -> OpKind {
+        match self {
+            Op::IAdd
+            | Op::ISub
+            | Op::IMul
+            | Op::IMulHi
+            | Op::IMad
+            | Op::IMin
+            | Op::IMax
+            | Op::Shl
+            | Op::Shr
+            | Op::Sra
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Not
+            | Op::Mov
+            | Op::S2R(_)
+            | Op::Setp(_)
+            | Op::Sel(_) => OpKind::IntAlu,
+            Op::FAdd | Op::FSub | Op::FMul | Op::FFma | Op::FMin | Op::FMax | Op::I2F | Op::F2I
+            | Op::SetpF(_) => OpKind::FpAlu,
+            Op::FDiv | Op::FRcp | Op::FSqrt | Op::FExp2 | Op::FLog2 => OpKind::Sfu,
+            Op::Ld(_) => OpKind::Load,
+            Op::St(_) => OpKind::Store,
+            Op::Atom(_) => OpKind::Atomic,
+            Op::Bra { .. } => OpKind::Branch,
+            Op::Bar => OpKind::Barrier,
+            Op::Exit => OpKind::Exit,
+        }
+    }
+
+    /// Number of source operands this opcode expects.
+    #[must_use]
+    pub fn num_srcs(self) -> usize {
+        match self {
+            Op::S2R(_) | Op::Bra { .. } | Op::Bar | Op::Exit => 0,
+            Op::Not | Op::Mov | Op::I2F | Op::F2I | Op::FRcp | Op::FSqrt | Op::FExp2
+            | Op::FLog2 | Op::Ld(_) => 1,
+            Op::IMad | Op::FFma => 3,
+            _ => 2,
+        }
+    }
+
+    /// True when the opcode writes a general destination register.
+    #[must_use]
+    pub fn writes_dst(self) -> bool {
+        !matches!(
+            self,
+            Op::Setp(_) | Op::SetpF(_) | Op::St(_) | Op::Bra { .. } | Op::Bar | Op::Exit
+        )
+    }
+
+    /// True when the opcode writes a predicate register.
+    #[must_use]
+    pub fn writes_pdst(self) -> bool {
+        matches!(self, Op::Setp(_) | Op::SetpF(_))
+    }
+
+    /// True for memory loads.
+    #[must_use]
+    pub fn is_load(self) -> bool {
+        matches!(self, Op::Ld(_))
+    }
+
+    /// True for memory stores.
+    #[must_use]
+    pub fn is_store(self) -> bool {
+        matches!(self, Op::St(_))
+    }
+
+    /// True for branches.
+    #[must_use]
+    pub fn is_branch(self) -> bool {
+        matches!(self, Op::Bra { .. })
+    }
+
+    /// Mnemonic without operands.
+    #[must_use]
+    pub fn mnemonic(self) -> String {
+        match self {
+            Op::IAdd => "iadd".into(),
+            Op::ISub => "isub".into(),
+            Op::IMul => "imul".into(),
+            Op::IMulHi => "imul.hi".into(),
+            Op::IMad => "imad".into(),
+            Op::IMin => "imin".into(),
+            Op::IMax => "imax".into(),
+            Op::Shl => "shl".into(),
+            Op::Shr => "shr".into(),
+            Op::Sra => "sra".into(),
+            Op::And => "and".into(),
+            Op::Or => "or".into(),
+            Op::Xor => "xor".into(),
+            Op::Not => "not".into(),
+            Op::FAdd => "fadd".into(),
+            Op::FSub => "fsub".into(),
+            Op::FMul => "fmul".into(),
+            Op::FFma => "ffma".into(),
+            Op::FMin => "fmin".into(),
+            Op::FMax => "fmax".into(),
+            Op::FDiv => "fdiv".into(),
+            Op::FRcp => "frcp".into(),
+            Op::FSqrt => "fsqrt".into(),
+            Op::FExp2 => "fexp2".into(),
+            Op::FLog2 => "flog2".into(),
+            Op::Mov => "mov".into(),
+            Op::I2F => "i2f".into(),
+            Op::F2I => "f2i".into(),
+            Op::S2R(s) => format!("s2r {s}"),
+            Op::Setp(c) => format!("setp.{c}.s32"),
+            Op::SetpF(c) => format!("setp.{c}.f32"),
+            Op::Sel(p) => format!("sel.{p}"),
+            Op::Ld(s) => format!("ld.{s}"),
+            Op::St(s) => format!("st.{s}"),
+            Op::Atom(a) => format!("atom.{a}"),
+            Op::Bra { target } => format!("bra {:#x}", target * 8),
+            Op::Bar => "bar.sync".into(),
+            Op::Exit => "exit".into(),
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_int_semantics() {
+        assert!(CmpOp::Lt.eval_i32(-1, 0));
+        assert!(!CmpOp::Lt.eval_i32(0, -1));
+        assert!(CmpOp::Ge.eval_i32(3, 3));
+        assert!(CmpOp::Ne.eval_i32(1, 2));
+        assert!(CmpOp::Eq.eval_i32(7, 7));
+        assert!(CmpOp::Gt.eval_i32(1, 0));
+        assert!(CmpOp::Le.eval_i32(1, 1));
+    }
+
+    #[test]
+    fn cmp_op_float_nan_is_unordered() {
+        for c in CmpOp::ALL {
+            if c == CmpOp::Ne {
+                assert!(c.eval_f32(f32::NAN, 1.0));
+            } else {
+                assert!(!c.eval_f32(f32::NAN, 1.0), "{c} with NaN should be false");
+            }
+        }
+    }
+
+    #[test]
+    fn atom_op_semantics() {
+        assert_eq!(AtomOp::Add.apply(3, 4), 7);
+        assert_eq!(AtomOp::Max.apply((-1i32) as u32, 4), 4);
+        assert_eq!(AtomOp::Min.apply((-1i32) as u32, 4), (-1i32) as u32);
+        assert_eq!(AtomOp::Exch.apply(3, 9), 9);
+        assert_eq!(AtomOp::Add.apply(u32::MAX, 1), 0, "atomics wrap");
+    }
+
+    #[test]
+    fn op_src_counts() {
+        assert_eq!(Op::IAdd.num_srcs(), 2);
+        assert_eq!(Op::IMad.num_srcs(), 3);
+        assert_eq!(Op::FFma.num_srcs(), 3);
+        assert_eq!(Op::Mov.num_srcs(), 1);
+        assert_eq!(Op::S2R(SpecialReg::TidX).num_srcs(), 0);
+        assert_eq!(Op::Ld(MemSpace::Global).num_srcs(), 1);
+        assert_eq!(Op::St(MemSpace::Shared).num_srcs(), 2);
+        assert_eq!(Op::Atom(AtomOp::Add).num_srcs(), 2);
+        assert_eq!(Op::Bra { target: 0 }.num_srcs(), 0);
+    }
+
+    #[test]
+    fn op_writes_classification() {
+        assert!(Op::IAdd.writes_dst());
+        assert!(Op::Ld(MemSpace::Global).writes_dst());
+        assert!(Op::Atom(AtomOp::Add).writes_dst());
+        assert!(!Op::St(MemSpace::Global).writes_dst());
+        assert!(!Op::Setp(CmpOp::Eq).writes_dst());
+        assert!(Op::Setp(CmpOp::Eq).writes_pdst());
+        assert!(!Op::IAdd.writes_pdst());
+        assert!(!Op::Bra { target: 3 }.writes_dst());
+    }
+
+    #[test]
+    fn op_kinds() {
+        assert_eq!(Op::IAdd.kind(), OpKind::IntAlu);
+        assert_eq!(Op::FFma.kind(), OpKind::FpAlu);
+        assert_eq!(Op::FSqrt.kind(), OpKind::Sfu);
+        assert_eq!(Op::Ld(MemSpace::Global).kind(), OpKind::Load);
+        assert_eq!(Op::St(MemSpace::Shared).kind(), OpKind::Store);
+        assert_eq!(Op::Atom(AtomOp::Add).kind(), OpKind::Atomic);
+        assert_eq!(Op::Bra { target: 0 }.kind(), OpKind::Branch);
+        assert_eq!(Op::Bar.kind(), OpKind::Barrier);
+        assert_eq!(Op::Exit.kind(), OpKind::Exit);
+    }
+}

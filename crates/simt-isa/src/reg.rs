@@ -1,0 +1,196 @@
+//! Architectural register names: general registers, predicates and special
+//! (intrinsic) registers.
+
+use std::fmt;
+
+/// Maximum number of named general-purpose registers per thread
+/// (CUDA allows 255 named registers; `R255` is reserved like SASS's `RZ`).
+pub const MAX_REGS: u16 = 255;
+
+/// Number of predicate registers per thread.
+pub const NUM_PREDS: u8 = 7;
+
+/// A named general-purpose vector register. Each warp holds a 32-lane
+/// vector of 32-bit values for every named register it uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Index of the register within the per-warp register demand.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// A predicate register (one bit per lane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pred(pub u8);
+
+impl Pred {
+    /// Index of the predicate register.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Special (intrinsic) read-only registers, read with the `S2R` instruction.
+///
+/// Their redundancy class across a threadblock is the seed of the DARSIE
+/// compiler analysis (paper Section 4.2):
+///
+/// * `ctaid.*`, `ntid.*`, `nctaid.*` are **uniform** across a TB and thus
+///   definitely redundant;
+/// * `tid.x` (and `tid.y` in 3D blocks) are **conditionally redundant**: they
+///   repeat per warp iff the launch-time dimensionality check passes;
+/// * `tid.y`/`tid.z` in 2D blocks and `laneid` are true vector values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SpecialReg {
+    /// Thread index within the block, x component (fastest varying).
+    TidX,
+    /// Thread index within the block, y component.
+    TidY,
+    /// Thread index within the block, z component.
+    TidZ,
+    /// Block index within the grid, x component.
+    CtaidX,
+    /// Block index within the grid, y component.
+    CtaidY,
+    /// Block index within the grid, z component.
+    CtaidZ,
+    /// Block dimensions, x component.
+    NtidX,
+    /// Block dimensions, y component.
+    NtidY,
+    /// Block dimensions, z component.
+    NtidZ,
+    /// Grid dimensions, x component.
+    NctaidX,
+    /// Grid dimensions, y component.
+    NctaidY,
+    /// Grid dimensions, z component.
+    NctaidZ,
+    /// Lane index within the warp (`0..warp_size`).
+    LaneId,
+    /// Warp index within the block.
+    WarpId,
+}
+
+impl SpecialReg {
+    /// All special registers, for exhaustive iteration in tests and tables.
+    pub const ALL: [SpecialReg; 14] = [
+        SpecialReg::TidX,
+        SpecialReg::TidY,
+        SpecialReg::TidZ,
+        SpecialReg::CtaidX,
+        SpecialReg::CtaidY,
+        SpecialReg::CtaidZ,
+        SpecialReg::NtidX,
+        SpecialReg::NtidY,
+        SpecialReg::NtidZ,
+        SpecialReg::NctaidX,
+        SpecialReg::NctaidY,
+        SpecialReg::NctaidZ,
+        SpecialReg::LaneId,
+        SpecialReg::WarpId,
+    ];
+
+    /// True when the value is identical for every thread of a threadblock
+    /// regardless of the launch configuration (block-uniform intrinsics).
+    #[must_use]
+    pub fn is_tb_uniform(self) -> bool {
+        matches!(
+            self,
+            SpecialReg::CtaidX
+                | SpecialReg::CtaidY
+                | SpecialReg::CtaidZ
+                | SpecialReg::NtidX
+                | SpecialReg::NtidY
+                | SpecialReg::NtidZ
+                | SpecialReg::NctaidX
+                | SpecialReg::NctaidY
+                | SpecialReg::NctaidZ
+        )
+    }
+
+    /// Stable numeric id used by the instruction encoder.
+    #[must_use]
+    pub fn id(self) -> u8 {
+        SpecialReg::ALL
+            .iter()
+            .position(|&s| s == self)
+            .expect("SpecialReg::ALL covers every variant") as u8
+    }
+
+    /// Inverse of [`SpecialReg::id`].
+    #[must_use]
+    pub fn from_id(id: u8) -> Option<SpecialReg> {
+        SpecialReg::ALL.get(usize::from(id)).copied()
+    }
+}
+
+impl fmt::Display for SpecialReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpecialReg::TidX => "%tid.x",
+            SpecialReg::TidY => "%tid.y",
+            SpecialReg::TidZ => "%tid.z",
+            SpecialReg::CtaidX => "%ctaid.x",
+            SpecialReg::CtaidY => "%ctaid.y",
+            SpecialReg::CtaidZ => "%ctaid.z",
+            SpecialReg::NtidX => "%ntid.x",
+            SpecialReg::NtidY => "%ntid.y",
+            SpecialReg::NtidZ => "%ntid.z",
+            SpecialReg::NctaidX => "%nctaid.x",
+            SpecialReg::NctaidY => "%nctaid.y",
+            SpecialReg::NctaidZ => "%nctaid.z",
+            SpecialReg::LaneId => "%laneid",
+            SpecialReg::WarpId => "%warpid",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn special_reg_ids_roundtrip() {
+        for s in SpecialReg::ALL {
+            assert_eq!(SpecialReg::from_id(s.id()), Some(s));
+        }
+        assert_eq!(SpecialReg::from_id(200), None);
+    }
+
+    #[test]
+    fn tb_uniform_classification() {
+        assert!(SpecialReg::CtaidX.is_tb_uniform());
+        assert!(SpecialReg::NtidY.is_tb_uniform());
+        assert!(SpecialReg::NctaidZ.is_tb_uniform());
+        assert!(!SpecialReg::TidX.is_tb_uniform());
+        assert!(!SpecialReg::TidY.is_tb_uniform());
+        assert!(!SpecialReg::LaneId.is_tb_uniform());
+        assert!(!SpecialReg::WarpId.is_tb_uniform());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg(3).to_string(), "R3");
+        assert_eq!(Pred(0).to_string(), "P0");
+        assert_eq!(SpecialReg::TidX.to_string(), "%tid.x");
+    }
+}

@@ -1,0 +1,190 @@
+//! 32-bit machine words and small dimension vectors.
+
+use std::fmt;
+
+/// A 32-bit machine word. The ISA is untyped at the storage level (like
+/// SASS); instructions reinterpret words as `u32`, `i32` or `f32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Value(pub u32);
+
+impl Value {
+    /// The all-zero word.
+    pub const ZERO: Value = Value(0);
+
+    /// Builds a word from a signed integer.
+    #[must_use]
+    pub fn from_i32(v: i32) -> Value {
+        Value(v as u32)
+    }
+
+    /// Builds a word from a float (bit cast).
+    #[must_use]
+    pub fn from_f32(v: f32) -> Value {
+        Value(v.to_bits())
+    }
+
+    /// Interprets the word as unsigned.
+    #[must_use]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Interprets the word as signed.
+    #[must_use]
+    pub fn as_i32(self) -> i32 {
+        self.0 as i32
+    }
+
+    /// Interprets the word as a float (bit cast).
+    #[must_use]
+    pub fn as_f32(self) -> f32 {
+        f32::from_bits(self.0)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::from_i32(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::from_f32(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+/// A three-component dimension vector, as used for grid and threadblock
+/// shapes in the CUDA/OpenCL launch model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim3 {
+    /// Extent along x (fastest-varying thread index).
+    pub x: u32,
+    /// Extent along y.
+    pub y: u32,
+    /// Extent along z.
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// A one-dimensional shape `(x, 1, 1)`.
+    #[must_use]
+    pub fn one_d(x: u32) -> Dim3 {
+        Dim3 { x, y: 1, z: 1 }
+    }
+
+    /// A two-dimensional shape `(x, y, 1)`.
+    #[must_use]
+    pub fn two_d(x: u32, y: u32) -> Dim3 {
+        Dim3 { x, y, z: 1 }
+    }
+
+    /// A three-dimensional shape.
+    #[must_use]
+    pub fn three_d(x: u32, y: u32, z: u32) -> Dim3 {
+        Dim3 { x, y, z }
+    }
+
+    /// Total number of elements (`x * y * z`).
+    #[must_use]
+    pub fn count(self) -> u64 {
+        u64::from(self.x) * u64::from(self.y) * u64::from(self.z)
+    }
+
+    /// Number of axes with extent greater than one. A `(16,16,1)` block has
+    /// dimensionality 2; the paper's conditional redundancy is specific to
+    /// multi-dimensional blocks.
+    #[must_use]
+    pub fn dimensionality(self) -> u32 {
+        u32::from(self.x > 1) + u32::from(self.y > 1) + u32::from(self.z > 1)
+    }
+
+    /// Linearizes a coordinate within this shape (x fastest).
+    #[must_use]
+    pub fn linear(self, x: u32, y: u32, z: u32) -> u64 {
+        (u64::from(z) * u64::from(self.y) + u64::from(y)) * u64::from(self.x) + u64::from(x)
+    }
+}
+
+impl Default for Dim3 {
+    fn default() -> Dim3 {
+        Dim3::one_d(1)
+    }
+}
+
+impl fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.x, self.y, self.z)
+    }
+}
+
+impl From<u32> for Dim3 {
+    fn from(x: u32) -> Dim3 {
+        Dim3::one_d(x)
+    }
+}
+
+impl From<(u32, u32)> for Dim3 {
+    fn from((x, y): (u32, u32)) -> Dim3 {
+        Dim3::two_d(x, y)
+    }
+}
+
+impl From<(u32, u32, u32)> for Dim3 {
+    fn from((x, y, z): (u32, u32, u32)) -> Dim3 {
+        Dim3::three_d(x, y, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_bitcasts_roundtrip() {
+        assert_eq!(Value::from_i32(-1).as_i32(), -1);
+        assert_eq!(Value::from_i32(-1).as_u32(), u32::MAX);
+        let f = 3.5f32;
+        assert_eq!(Value::from_f32(f).as_f32(), f);
+        assert_eq!(Value::from_f32(-0.0).as_u32(), 0x8000_0000);
+    }
+
+    #[test]
+    fn dim3_count_and_dimensionality() {
+        assert_eq!(Dim3::one_d(256).count(), 256);
+        assert_eq!(Dim3::one_d(256).dimensionality(), 1);
+        assert_eq!(Dim3::two_d(16, 16).count(), 256);
+        assert_eq!(Dim3::two_d(16, 16).dimensionality(), 2);
+        assert_eq!(Dim3::three_d(4, 4, 4).dimensionality(), 3);
+        assert_eq!(Dim3::two_d(1, 64).dimensionality(), 1);
+    }
+
+    #[test]
+    fn dim3_linearizes_x_fastest() {
+        let d = Dim3::three_d(4, 2, 3);
+        assert_eq!(d.linear(0, 0, 0), 0);
+        assert_eq!(d.linear(3, 0, 0), 3);
+        assert_eq!(d.linear(0, 1, 0), 4);
+        assert_eq!(d.linear(0, 0, 1), 8);
+        assert_eq!(d.linear(3, 1, 2), 23);
+    }
+
+    #[test]
+    fn dim3_conversions() {
+        assert_eq!(Dim3::from(7u32), Dim3::one_d(7));
+        assert_eq!(Dim3::from((3u32, 4u32)), Dim3::two_d(3, 4));
+        assert_eq!(Dim3::from((1u32, 2u32, 3u32)), Dim3::three_d(1, 2, 3));
+    }
+}

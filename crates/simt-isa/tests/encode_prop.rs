@@ -1,0 +1,150 @@
+//! Property-based round-trip of the 64-bit instruction encoding: any
+//! encodable instruction must decode to itself, with its marking intact.
+
+use proptest::prelude::*;
+use simt_isa::{
+    decode, encode, AtomOp, CmpOp, Guard, Instruction, Marking, MemSpace, Op, Operand, Pred, Reg,
+    SpecialReg,
+};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..=254).prop_map(Reg)
+}
+
+fn arb_pred() -> impl Strategy<Value = Pred> {
+    (0u8..7).prop_map(Pred)
+}
+
+fn arb_src() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        arb_reg().prop_map(Operand::Reg),
+        // Immediates within the encodable 16-bit signed range.
+        (-32768i32..=32767).prop_map(|v| Operand::Imm(v as u32)),
+    ]
+}
+
+fn arb_guard() -> impl Strategy<Value = Option<Guard>> {
+    prop_oneof![
+        Just(None),
+        (arb_pred(), any::<bool>()).prop_map(|(p, n)| Some(Guard { pred: p, negate: n })),
+    ]
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    let two_src_ops = prop::sample::select(vec![
+        Op::IAdd, Op::ISub, Op::IMul, Op::IMulHi, Op::IMin, Op::IMax, Op::Shl, Op::Shr,
+        Op::Sra, Op::And, Op::Or, Op::Xor, Op::FAdd, Op::FSub, Op::FMul, Op::FMin, Op::FMax,
+        Op::FDiv,
+    ]);
+    let one_src_ops = prop::sample::select(vec![
+        Op::Not, Op::I2F, Op::F2I, Op::FRcp, Op::FSqrt, Op::FExp2, Op::FLog2,
+    ]);
+    prop_oneof![
+        // Two-source ALU.
+        (two_src_ops, arb_reg(), arb_src(), arb_src(), arb_guard()).prop_map(
+            |(op, d, a, b, g)| {
+                let mut i = Instruction::new(op, Some(d), None, vec![a, b]);
+                i.guard = g;
+                i
+            }
+        ),
+        // One-source ALU.
+        (one_src_ops, arb_reg(), arb_src(), arb_guard()).prop_map(|(op, d, a, g)| {
+            let mut i = Instruction::new(op, Some(d), None, vec![a]);
+            i.guard = g;
+            i
+        }),
+        // Three-source (registers in the first two slots).
+        (
+            prop::sample::select(vec![Op::IMad, Op::FFma]),
+            arb_reg(),
+            arb_reg(),
+            arb_reg(),
+            arb_src()
+        )
+            .prop_map(|(op, d, a, b, c)| Instruction::new(
+                op,
+                Some(d),
+                None,
+                vec![a.into(), b.into(), c]
+            )),
+        // Wide-immediate MOV.
+        (arb_reg(), any::<u32>())
+            .prop_map(|(d, v)| Instruction::new(Op::Mov, Some(d), None, vec![Operand::Imm(v)])),
+        // S2R.
+        (prop::sample::select(SpecialReg::ALL.to_vec()), arb_reg())
+            .prop_map(|(s, d)| Instruction::new(Op::S2R(s), Some(d), None, vec![])),
+        // SETP.
+        (
+            prop::sample::select(CmpOp::ALL.to_vec()),
+            any::<bool>(),
+            arb_pred(),
+            arb_src(),
+            arb_src()
+        )
+            .prop_map(|(c, f, p, a, b)| {
+                let op = if f { Op::SetpF(c) } else { Op::Setp(c) };
+                Instruction::new(op, None, Some(p), vec![a, b])
+            }),
+        // Loads with 15-bit offsets.
+        (
+            prop::sample::select(MemSpace::ALL.to_vec()),
+            arb_reg(),
+            arb_src(),
+            -16384i32..16383
+        )
+            .prop_map(|(sp, d, a, off)| {
+                Instruction::new(Op::Ld(sp), Some(d), None, vec![a]).with_offset(off)
+            }),
+        // Stores with 12-bit offsets and register values.
+        (
+            prop::sample::select(vec![MemSpace::Global, MemSpace::Shared]),
+            arb_src(),
+            arb_reg(),
+            -2048i32..2047
+        )
+            .prop_map(|(sp, a, v, off)| {
+                Instruction::new(Op::St(sp), None, None, vec![a, v.into()]).with_offset(off)
+            }),
+        // Atomics.
+        (prop::sample::select(AtomOp::ALL.to_vec()), arb_reg(), arb_src(), arb_reg()).prop_map(
+            |(a, d, addr, v)| Instruction::new(Op::Atom(a), Some(d), None, vec![addr, v.into()])
+        ),
+        // Branches.
+        ((0usize..1 << 24), arb_guard()).prop_map(|(t, g)| {
+            let mut i = Instruction::new(Op::Bra { target: t }, None, None, vec![]);
+            i.guard = g;
+            i
+        }),
+        Just(Instruction::new(Op::Bar, None, None, vec![])),
+        Just(Instruction::new(Op::Exit, None, None, vec![])),
+    ]
+}
+
+fn arb_marking() -> impl Strategy<Value = Marking> {
+    prop::sample::select(vec![
+        Marking::Vector,
+        Marking::ConditionallyRedundant,
+        Marking::Redundant,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 2048, .. ProptestConfig::default() })]
+
+    #[test]
+    fn encode_decode_roundtrips(instr in arb_instruction(), marking in arb_marking()) {
+        let word = encode(&instr, marking).expect("generator stays in encodable ranges");
+        let (decoded, m2) = decode(word).expect("own encodings decode");
+        prop_assert_eq!(&decoded, &instr, "word {:#018x}", word);
+        prop_assert_eq!(m2, marking);
+    }
+
+    #[test]
+    fn text_roundtrips(instr in arb_instruction()) {
+        let text = instr.to_string();
+        let parsed = simt_isa::parse_instruction(1, &text)
+            .unwrap_or_else(|e| panic!("`{text}`: {e}"));
+        prop_assert_eq!(&parsed, &instr, "text `{}`", text);
+    }
+}

@@ -1,0 +1,594 @@
+//! The five 1D-threadblock benchmarks of Table 1: BIN, PT, FW, SR1, LIB.
+//!
+//! Each function builds the kernel in the virtual ISA, prepares inputs,
+//! and installs a CPU reference validator that mirrors the kernel's
+//! arithmetic (same operation order, `f32::mul_add` where the kernel uses
+//! `ffma`), so outputs match exactly or to float tolerance.
+
+use crate::common::{compare_f32, compare_u32, random_f32s, random_u32s, Scale, Workload};
+use gpu_sim::GlobalMemory;
+use simt_compiler::compile;
+use simt_isa::{CmpOp, Dim3, Guard, KernelBuilder, LaunchConfig, MemSpace, SpecialReg, Value};
+
+/// `binomialOptions` (CUDA SDK): one option per threadblock, backward
+/// induction over a recombining tree kept in shared memory. TB (256,1).
+#[must_use]
+pub fn binomial_options(scale: Scale) -> Workload {
+    let (num_options, steps) = match scale {
+        Scale::Test => (2u32, 8u32),
+        Scale::Eval => (24u32, 48u32),
+    };
+    const NODES: u32 = 256;
+
+    let mut b = KernelBuilder::new("binomial_options");
+    let tx = b.special(SpecialReg::TidX);
+    let cta = b.special(SpecialReg::CtaidX);
+    let smem = b.alloc_shared((NODES + 1) * 4);
+    let s0 = b.param(0);
+    let ds = b.param(1);
+    let xk = b.param(2);
+    let pu = b.param(3);
+    let pd = b.param(4);
+    let out = b.param(5);
+    let dsb = b.param(6);
+    // Per-block spot: s = s0 + ctaid * dsb.
+    let ctaf = b.i2f(cta);
+    let s = b.ffma(ctaf, dsb, s0);
+    // Payoff at node tx: max(s + tx*ds - xk, 0).
+    let txf = b.i2f(tx);
+    let gross = b.ffma(txf, ds, s);
+    let pay = b.fsub(gross, xk);
+    let zero = b.movf(0.0);
+    let v0 = b.fmax(pay, zero);
+    let addr = b.shl_imm(tx, 2);
+    b.store(MemSpace::Shared, addr, v0, smem as i32);
+    // Backward induction: v[t] = pu*v[t+1] + pd*v[t].
+    let i = b.mov(0u32);
+    let p = b.alloc_pred();
+    b.do_while(|b| {
+        b.barrier();
+        let up = b.load(MemSpace::Shared, addr, smem as i32 + 4);
+        let dn = b.load(MemSpace::Shared, addr, smem as i32);
+        let hi = b.fmul(pu, up);
+        let nv = b.ffma(pd, dn, hi);
+        b.barrier();
+        b.store(MemSpace::Shared, addr, nv, smem as i32);
+        b.iadd_to(i, i, 1u32);
+        b.setp_to(p, CmpOp::Lt, i, steps);
+        Guard::if_true(p)
+    });
+    // Thread 0 writes the root value.
+    let q = b.setp(CmpOp::Eq, tx, 0u32);
+    b.if_then(Guard::if_true(q), |b| {
+        let root = b.load(MemSpace::Shared, 0u32, smem as i32);
+        let oaddr = {
+            let o = b.shl_imm(cta, 2);
+            b.iadd(out, o)
+        };
+        b.store(MemSpace::Global, oaddr, root, 0);
+    });
+    let ck = compile(b.finish());
+
+    let (s0v, dsv, xv, puv, pdv, dsbv) = (20.0f32, 0.35f32, 28.0f32, 0.52f32, 0.47f32, 1.75f32);
+    let mut mem = GlobalMemory::new();
+    let out_addr = mem.alloc(u64::from(num_options) * 4);
+    let launch = LaunchConfig::new(num_options, NODES).with_params(vec![
+        Value::from_f32(s0v),
+        Value::from_f32(dsv),
+        Value::from_f32(xv),
+        Value::from_f32(puv),
+        Value::from_f32(pdv),
+        Value((out_addr) as u32),
+        Value::from_f32(dsbv),
+    ]);
+
+    // CPU reference.
+    let mut expected = Vec::with_capacity(num_options as usize);
+    for opt in 0..num_options {
+        let s = (opt as f32).mul_add(dsbv, s0v);
+        let mut v: Vec<f32> =
+            (0..=NODES).map(|t| ((t as f32).mul_add(dsv, s) - xv).max(0.0)).collect();
+        for _ in 0..steps {
+            let old = v.clone();
+            for t in 0..NODES as usize {
+                v[t] = pdv.mul_add(old[t], puv * old[t + 1]);
+            }
+        }
+        expected.push(v[0]);
+    }
+    Workload {
+        name: "binomialOptions",
+        abbr: "BIN",
+        block: Dim3::one_d(NODES),
+        is_2d: false,
+        ck,
+        launch,
+        memory: mem,
+        check: Box::new(move |m: &GlobalMemory| {
+            compare_f32(&m.read_vec_f32(out_addr, expected.len()), &expected, 1e-4)
+        }),
+    }
+}
+
+/// `pathfinder` (Rodinia): dynamic-programming grid traversal; each block
+/// owns a 1024-wide column segment kept in shared memory. TB (1024,1).
+#[must_use]
+pub fn pathfinder(scale: Scale) -> Workload {
+    let (blocks, rows) = match scale {
+        Scale::Test => (1u32, 4u32),
+        Scale::Eval => (4u32, 24u32),
+    };
+    const COLS: u32 = 1024;
+    const BIG: u32 = 0x3fff_ffff;
+
+    let mut b = KernelBuilder::new("pathfinder");
+    let tx = b.special(SpecialReg::TidX);
+    let cta = b.special(SpecialReg::CtaidX);
+    let smem = b.alloc_shared(COLS * 4);
+    let wall = b.param(0);
+    let dist = b.param(1);
+    let total_cols = b.param(2);
+    // Global column index and initial distance row.
+    let col = b.imad(cta, COLS, tx);
+    let coff = b.shl_imm(col, 2);
+    let daddr = b.iadd(dist, coff);
+    let d0 = b.load(MemSpace::Global, daddr, 0);
+    let saddr = b.shl_imm(tx, 2);
+    b.store(MemSpace::Shared, saddr, d0, smem as i32);
+    // Row pointer walks the wall matrix row by row.
+    let rowbase = b.mov(wall);
+    let r = b.mov(0u32);
+    let p = b.alloc_pred();
+    let ql = b.alloc_pred();
+    let qr = b.alloc_pred();
+    b.do_while(|b| {
+        b.barrier();
+        let c = b.load(MemSpace::Shared, saddr, smem as i32);
+        // left/right neighbours with BIG at segment boundaries.
+        let l = b.mov(BIG);
+        b.setp_to(ql, CmpOp::Gt, tx, 0u32);
+        b.emit(
+            simt_isa::Instruction::new(
+                simt_isa::Op::Ld(MemSpace::Shared),
+                Some(l),
+                None,
+                vec![saddr.into()],
+            )
+            .with_offset(smem as i32 - 4)
+            .with_guard(Guard::if_true(ql)),
+        );
+        let rt = b.mov(BIG);
+        b.setp_to(qr, CmpOp::Lt, tx, COLS - 1);
+        b.emit(
+            simt_isa::Instruction::new(
+                simt_isa::Op::Ld(MemSpace::Shared),
+                Some(rt),
+                None,
+                vec![saddr.into()],
+            )
+            .with_offset(smem as i32 + 4)
+            .with_guard(Guard::if_true(qr)),
+        );
+        let m1 = b.imin(l, c);
+        let m = b.imin(m1, rt);
+        let waddr = b.iadd(rowbase, coff);
+        let w = b.load(MemSpace::Global, waddr, 0);
+        let nv = b.iadd(m, w);
+        b.barrier();
+        b.store(MemSpace::Shared, saddr, nv, smem as i32);
+        // rowbase += total_cols * 4.
+        let stride = b.shl_imm(total_cols, 2);
+        b.iadd_to(rowbase, rowbase, stride);
+        b.iadd_to(r, r, 1u32);
+        b.setp_to(p, CmpOp::Lt, r, rows);
+        Guard::if_true(p)
+    });
+    b.barrier();
+    let fin = b.load(MemSpace::Shared, saddr, smem as i32);
+    b.store(MemSpace::Global, daddr, fin, 0);
+    let ck = compile(b.finish());
+
+    let total = (blocks * COLS) as usize;
+    let wall_vals = random_u32s(11, total * rows as usize, 0, 16);
+    let dist0 = random_u32s(13, total, 0, 64);
+    let mut mem = GlobalMemory::new();
+    let wall_addr = mem.alloc(wall_vals.len() as u64 * 4);
+    let dist_addr = mem.alloc(total as u64 * 4);
+    mem.write_slice_u32(wall_addr, &wall_vals);
+    mem.write_slice_u32(dist_addr, &dist0);
+    let launch = LaunchConfig::new(blocks, COLS).with_params(vec![
+        Value(wall_addr as u32),
+        Value(dist_addr as u32),
+        Value(blocks * COLS),
+    ]);
+
+    // CPU reference: per block segment with BIG boundaries (mirrors the
+    // kernel's segment-local neighbourhood).
+    let mut expected = dist0.clone();
+    for blk in 0..blocks as usize {
+        let base = blk * COLS as usize;
+        let mut cur = expected[base..base + COLS as usize].to_vec();
+        for row in 0..rows as usize {
+            let mut next = vec![0u32; COLS as usize];
+            for t in 0..COLS as usize {
+                let l = if t > 0 { cur[t - 1] } else { BIG };
+                let rr = if t + 1 < COLS as usize { cur[t + 1] } else { BIG };
+                let m = (l as i32).min(cur[t] as i32).min(rr as i32) as u32;
+                next[t] = m.wrapping_add(wall_vals[row * total + base + t]);
+            }
+            cur = next;
+        }
+        expected[base..base + COLS as usize].copy_from_slice(&cur);
+    }
+    Workload {
+        name: "pathfinder",
+        abbr: "PT",
+        block: Dim3::one_d(COLS),
+        is_2d: false,
+        ck,
+        launch,
+        memory: mem,
+        check: Box::new(move |m: &GlobalMemory| {
+            compare_u32(&m.read_vec_u32(dist_addr, total), &expected)
+        }),
+    }
+}
+
+/// `fastWalshTransform` (CUDA SDK): in-place integer Walsh-Hadamard
+/// butterfly over shared memory. TB (256,1).
+#[must_use]
+pub fn fast_walsh(scale: Scale) -> Workload {
+    let blocks = match scale {
+        Scale::Test => 2u32,
+        Scale::Eval => 48u32,
+    };
+    const N: u32 = 256;
+
+    let mut b = KernelBuilder::new("fast_walsh");
+    let tx = b.special(SpecialReg::TidX);
+    let cta = b.special(SpecialReg::CtaidX);
+    let smem = b.alloc_shared(N * 4);
+    let data = b.param(0);
+    let gid = b.imad(cta, N, tx);
+    let goff = b.shl_imm(gid, 2);
+    let gaddr = b.iadd(data, goff);
+    let v = b.load(MemSpace::Global, gaddr, 0);
+    let soff = b.shl_imm(tx, 2);
+    b.store(MemSpace::Shared, soff, v, smem as i32);
+    let stride = b.mov(1u32);
+    let p = b.alloc_pred();
+    let q = b.alloc_pred();
+    b.do_while(|b| {
+        b.barrier();
+        b.setp_to(q, CmpOp::Lt, tx, N / 2);
+        // i0 = 2*(tx - (tx & (stride-1))) + (tx & (stride-1))
+        let sm1 = b.isub(stride, 1u32);
+        let low = b.and(tx, sm1);
+        let high = b.isub(tx, low);
+        let twoh = b.shl_imm(high, 1);
+        let i0 = b.iadd(twoh, low);
+        let a0 = b.shl_imm(i0, 2);
+        let soffs = b.shl_imm(stride, 2);
+        let a1 = b.iadd(a0, soffs);
+        let t0 = b.mov(0u32);
+        let t1 = b.mov(0u32);
+        // Only the lower half of the block drives butterflies; guard the
+        // loads so upper threads do not touch out-of-range addresses.
+        b.emit(
+            simt_isa::Instruction::new(
+                simt_isa::Op::Ld(MemSpace::Shared),
+                Some(t0),
+                None,
+                vec![a0.into()],
+            )
+            .with_offset(smem as i32)
+            .with_guard(Guard::if_true(q)),
+        );
+        b.emit(
+            simt_isa::Instruction::new(
+                simt_isa::Op::Ld(MemSpace::Shared),
+                Some(t1),
+                None,
+                vec![a1.into()],
+            )
+            .with_offset(smem as i32)
+            .with_guard(Guard::if_true(q)),
+        );
+        let sum = b.iadd(t0, t1);
+        let dif = b.isub(t0, t1);
+        b.barrier();
+        b.emit(
+            simt_isa::Instruction::new(
+                simt_isa::Op::St(MemSpace::Shared),
+                None,
+                None,
+                vec![a0.into(), sum.into()],
+            )
+            .with_offset(smem as i32)
+            .with_guard(Guard::if_true(q)),
+        );
+        b.emit(
+            simt_isa::Instruction::new(
+                simt_isa::Op::St(MemSpace::Shared),
+                None,
+                None,
+                vec![a1.into(), dif.into()],
+            )
+            .with_offset(smem as i32)
+            .with_guard(Guard::if_true(q)),
+        );
+        b.iadd_to(stride, stride, stride);
+        b.setp_to(p, CmpOp::Lt, stride, N);
+        Guard::if_true(p)
+    });
+    b.barrier();
+    let out = b.load(MemSpace::Shared, soff, smem as i32);
+    b.store(MemSpace::Global, gaddr, out, 0);
+    let ck = compile(b.finish());
+
+    let n_total = (blocks * N) as usize;
+    let input: Vec<u32> = random_u32s(7, n_total, 0, 1000);
+    let mut mem = GlobalMemory::new();
+    let data_addr = mem.alloc(n_total as u64 * 4);
+    mem.write_slice_u32(data_addr, &input);
+    let launch = LaunchConfig::new(blocks, N).with_params(vec![Value(data_addr as u32)]);
+
+    // CPU reference.
+    let mut expected = input;
+    for blk in 0..blocks as usize {
+        let seg = &mut expected[blk * N as usize..(blk + 1) * N as usize];
+        let mut stride = 1usize;
+        while stride < N as usize {
+            let old = seg.to_vec();
+            for t in 0..(N / 2) as usize {
+                let low = t & (stride - 1);
+                let i0 = 2 * (t - low) + low;
+                let i1 = i0 + stride;
+                seg[i0] = old[i0].wrapping_add(old[i1]);
+                seg[i1] = old[i0].wrapping_sub(old[i1]);
+            }
+            stride *= 2;
+        }
+    }
+    Workload {
+        name: "fastWalshTransform",
+        abbr: "FW",
+        block: Dim3::one_d(N),
+        is_2d: false,
+        ck,
+        launch,
+        memory: mem,
+        check: Box::new(move |m: &GlobalMemory| {
+            compare_u32(&m.read_vec_u32(data_addr, n_total), &expected)
+        }),
+    }
+}
+
+/// `SRADV1` (Rodinia): speckle-reducing anisotropic diffusion, one thread
+/// per pixel on a flattened image. TB (512,1).
+#[must_use]
+pub fn srad_v1(scale: Scale) -> Workload {
+    let (w_log2, h) = match scale {
+        Scale::Test => (6u32, 8u32),     // 64 x 8
+        Scale::Eval => (7u32, 96u32),    // 128 x 96
+    };
+    let w = 1u32 << w_log2;
+    let n = w * h;
+    let blocks = n / 512;
+    assert!(blocks >= 1);
+
+    let mut b = KernelBuilder::new("srad_v1");
+    let tx = b.special(SpecialReg::TidX);
+    let cta = b.special(SpecialReg::CtaidX);
+    let jin = b.param(0);
+    let jout = b.param(1);
+    let lambda = b.param(2);
+    let gid = b.imad(cta, 512u32, tx);
+    let row = b.shr(gid, w_log2);
+    let col = b.and(gid, w - 1);
+    let goff = b.shl_imm(gid, 2);
+    let jaddr = b.iadd(jin, goff);
+    let jc = b.load(MemSpace::Global, jaddr, 0);
+    // Neighbours, clamped to the centre at the borders.
+    let qn = b.setp(CmpOp::Gt, row, 0u32);
+    let qs = b.setp(CmpOp::Lt, row, h - 1);
+    let qw = b.setp(CmpOp::Gt, col, 0u32);
+    let qe = b.setp(CmpOp::Lt, col, w - 1);
+    let jn = b.mov(jc);
+    let js = b.mov(jc);
+    let jw = b.mov(jc);
+    let je = b.mov(jc);
+    let stride_b = (w * 4) as i32;
+    for (dst, pred, off) in [(jn, qn, -stride_b), (js, qs, stride_b), (jw, qw, -4), (je, qe, 4)] {
+        b.emit(
+            simt_isa::Instruction::new(
+                simt_isa::Op::Ld(MemSpace::Global),
+                Some(dst),
+                None,
+                vec![jaddr.into()],
+            )
+            .with_offset(off)
+            .with_guard(Guard::if_true(pred)),
+        );
+    }
+    let dn = b.fsub(jn, jc);
+    let ds = b.fsub(js, jc);
+    let dw = b.fsub(jw, jc);
+    let de = b.fsub(je, jc);
+    let s1 = b.fadd(dn, ds);
+    let s2 = b.fadd(dw, de);
+    let lap = b.fadd(s1, s2);
+    // Diffusion coefficient c = 1 / (1 + lap^2).
+    let one = b.movf(1.0);
+    let l2 = b.ffma(lap, lap, one);
+    let c = b.frcp(l2);
+    // out = jc + 0.25 * lambda * c * lap.
+    let quarter = b.movf(0.25);
+    let t1 = b.fmul(quarter, lambda);
+    let t2 = b.fmul(t1, c);
+    let res = b.ffma(t2, lap, jc);
+    let oaddr = b.iadd(jout, goff);
+    b.store(MemSpace::Global, oaddr, res, 0);
+    let ck = compile(b.finish());
+
+    let lam = 0.5f32;
+    let img = random_f32s(17, n as usize, 0.1, 4.0);
+    let mut mem = GlobalMemory::new();
+    let jin_addr = mem.alloc(u64::from(n) * 4);
+    let jout_addr = mem.alloc(u64::from(n) * 4);
+    mem.write_slice_f32(jin_addr, &img);
+    let launch = LaunchConfig::new(blocks, 512u32).with_params(vec![
+        Value(jin_addr as u32),
+        Value(jout_addr as u32),
+        Value::from_f32(lam),
+    ]);
+
+    let mut expected = vec![0f32; n as usize];
+    for gid in 0..n as usize {
+        let (row, col) = (gid / w as usize, gid % w as usize);
+        let jc = img[gid];
+        let jn = if row > 0 { img[gid - w as usize] } else { jc };
+        let js = if row < (h - 1) as usize { img[gid + w as usize] } else { jc };
+        let jw = if col > 0 { img[gid - 1] } else { jc };
+        let je = if col < (w - 1) as usize { img[gid + 1] } else { jc };
+        let lap = ((jn - jc) + (js - jc)) + ((jw - jc) + (je - jc));
+        let c = 1.0 / lap.mul_add(lap, 1.0);
+        expected[gid] = (0.25 * lam * c).mul_add(lap, jc);
+    }
+    Workload {
+        name: "SRADV1",
+        abbr: "SR1",
+        block: Dim3::one_d(512),
+        is_2d: false,
+        ck,
+        launch,
+        memory: mem,
+        check: Box::new(move |m: &GlobalMemory| {
+            compare_f32(&m.read_vec_f32(jout_addr, expected.len()), &expected, 1e-4)
+        }),
+    }
+}
+
+/// `LIB` (GPGPU-sim distribution): LIBOR Monte-Carlo path evaluation. Each
+/// thread evolves one path; the per-step rate/volatility tables are loaded
+/// from uniform global addresses — heavily uniform-redundant, with no
+/// `__syncthreads()` (the paper highlights both properties). TB (256,1).
+#[must_use]
+pub fn lib_mc(scale: Scale) -> Workload {
+    let (blocks, steps) = match scale {
+        Scale::Test => (1u32, 6u32),
+        Scale::Eval => (8u32, 40u32),
+    };
+    const T: u32 = 256;
+
+    let mut b = KernelBuilder::new("lib_mc");
+    let tx = b.special(SpecialReg::TidX);
+    let cta = b.special(SpecialReg::CtaidX);
+    let rates = b.param(0);
+    let vols = b.param(1);
+    let outp = b.param(2);
+    let strike = b.param(3);
+    let gid = b.imad(cta, T, tx);
+    // Per-thread LCG seed.
+    let seed = b.imad(gid, 1_103_515_245u32, 12_345u32);
+    let l = b.movf(1.0);
+    let payoff = b.movf(0.0);
+    let i = b.mov(0u32);
+    let tbl = b.mov(0u32); // table byte offset, uniform
+    let p = b.alloc_pred();
+    b.do_while(|b| {
+        // Uniform table loads (same address in every thread) and the
+        // uniform per-step drift arithmetic of the LIBOR forward-rate
+        // update — the bulk of LIB's work, as in the paper.
+        let raddr = b.iadd(rates, tbl);
+        let rate = b.load(MemSpace::Global, raddr, 0);
+        let vaddr = b.iadd(vols, tbl);
+        let vol = b.load(MemSpace::Global, vaddr, 0);
+        let delta = b.movf(0.25);
+        let con1 = b.fmul(delta, rate);
+        let one = b.movf(1.0);
+        let den = b.fadd(one, con1);
+        let dinv = b.frcp(den);
+        let drift0 = b.fmul(con1, dinv);
+        let vsq = b.fmul(vol, vol);
+        let half = b.movf(0.5);
+        let vhalf = b.fmul(half, vsq);
+        let drift = b.fsub(drift0, vhalf);
+        let sqd = b.movf(0.5); // sqrt(delta)
+        let volsd = b.fmul(vol, sqd);
+        // Thread-local pseudo-random step in [-0.5, 0.5).
+        b.imad_to(seed, seed, 1_103_515_245u32, 12_345u32);
+        let bits = b.shr_imm(seed, 16);
+        let masked = b.and(bits, 0xFFFFu32);
+        let zf = b.i2f(masked);
+        let scale_c = b.movf(1.0 / 65536.0);
+        let u01 = b.fmul(zf, scale_c);
+        let halfc = b.movf(-0.5);
+        let z = b.fadd(u01, halfc);
+        // L *= (1 + drift + vol*sqrt(delta)*z)
+        let growth0 = b.fadd(one, drift);
+        let growth = b.ffma(volsd, z, growth0);
+        let nl = b.fmul(l, growth);
+        b.mov_to(l, nl);
+        // payoff += max(L - strike, 0)
+        let diff = b.fsub(l, strike);
+        let zero = b.movf(0.0);
+        let gain = b.fmax(diff, zero);
+        b.fadd_to(payoff, payoff, gain);
+        b.iadd_to(tbl, tbl, 4u32);
+        b.iadd_to(i, i, 1u32);
+        b.setp_to(p, CmpOp::Lt, i, steps);
+        Guard::if_true(p)
+    });
+    let ooff = b.shl_imm(gid, 2);
+    let oaddr = b.iadd(outp, ooff);
+    b.store(MemSpace::Global, oaddr, payoff, 0);
+    let ck = compile(b.finish());
+
+    let n = (blocks * T) as usize;
+    let rate_tbl = random_f32s(23, steps as usize, 0.001, 0.02);
+    let vol_tbl = random_f32s(29, steps as usize, 0.05, 0.2);
+    let strike_v = 1.05f32;
+    let mut mem = GlobalMemory::new();
+    let rates_addr = mem.alloc(u64::from(steps) * 4);
+    let vols_addr = mem.alloc(u64::from(steps) * 4);
+    let out_addr = mem.alloc(n as u64 * 4);
+    mem.write_slice_f32(rates_addr, &rate_tbl);
+    mem.write_slice_f32(vols_addr, &vol_tbl);
+    let launch = LaunchConfig::new(blocks, T).with_params(vec![
+        Value(rates_addr as u32),
+        Value(vols_addr as u32),
+        Value(out_addr as u32),
+        Value::from_f32(strike_v),
+    ]);
+
+    let mut expected = vec![0f32; n];
+    for (gid, e) in expected.iter_mut().enumerate() {
+        let mut seed = (gid as u32).wrapping_mul(1_103_515_245).wrapping_add(12_345);
+        let mut l = 1.0f32;
+        let mut payoff = 0.0f32;
+        for s in 0..steps as usize {
+            seed = seed.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+            let masked = (seed >> 16) & 0xFFFF;
+            let z = (masked as f32) * (1.0 / 65536.0) + -0.5;
+            let con1 = 0.25 * rate_tbl[s];
+            let drift = con1 * (1.0 / (1.0 + con1)) - 0.5 * (vol_tbl[s] * vol_tbl[s]);
+            let growth = (vol_tbl[s] * 0.5).mul_add(z, 1.0 + drift);
+            l *= growth;
+            payoff += (l - strike_v).max(0.0);
+        }
+        *e = payoff;
+    }
+    Workload {
+        name: "LIB",
+        abbr: "LIB",
+        block: Dim3::one_d(T),
+        is_2d: false,
+        ck,
+        launch,
+        memory: mem,
+        check: Box::new(move |m: &GlobalMemory| {
+            compare_f32(&m.read_vec_f32(out_addr, expected.len()), &expected, 1e-3)
+        }),
+    }
+}

@@ -1,0 +1,459 @@
+//! 2D-threadblock benchmarks, part 1: IMNLM, BP, DCT8x8, FWS.
+
+use crate::common::{compare_f32, compare_u32, random_f32s, random_u32s, Scale, Workload};
+use gpu_sim::GlobalMemory;
+use simt_compiler::compile;
+use simt_isa::{CmpOp, Dim3, Guard, KernelBuilder, LaunchConfig, MemSpace, SpecialReg, Value};
+
+/// `ImageDenoisingNLM` (CUDA SDK): non-local-means style 3x3 weighted
+/// average with exponential weights. TB (16,16).
+#[must_use]
+pub fn image_denoising_nlm(scale: Scale) -> Workload {
+    let (log_w, h) = match scale {
+        Scale::Test => (5u32, 16u32),  // 32 x 16
+        Scale::Eval => (6u32, 64u32),  // 64 x 64
+    };
+    let w = 1u32 << log_w;
+
+    let mut b = KernelBuilder::new("imnlm");
+    let tx = b.special(SpecialReg::TidX);
+    let ty = b.special(SpecialReg::TidY);
+    let cx = b.special(SpecialReg::CtaidX);
+    let cy = b.special(SpecialReg::CtaidY);
+    let src = b.param(0);
+    let dst = b.param(1);
+    let gx = b.imad(cx, 16u32, tx);
+    let gy = b.imad(cy, 16u32, ty);
+    let center_lin = b.shl(gy, log_w);
+    let center_idx = b.iadd(center_lin, gx);
+    let center_off = b.shl_imm(center_idx, 2);
+    let caddr = b.iadd(src, center_off);
+    let jc = b.load(MemSpace::Global, caddr, 0);
+    let acc = b.movf(0.0);
+    let norm = b.movf(0.0);
+    let wmax = b.mov(w - 1);
+    let hmax = b.mov(h - 1);
+    b.for_count(3u32, |b, dy| {
+        b.for_count(3u32, |b, dx| {
+            // Clamped neighbour coordinates.
+            let oy0 = b.iadd(gy, dy);
+            let oy1 = b.isub(oy0, 1u32);
+            let oy2 = b.imax(oy1, 0u32);
+            let oy = b.imin(oy2, hmax);
+            let ox0 = b.iadd(gx, dx);
+            let ox1 = b.isub(ox0, 1u32);
+            let ox2 = b.imax(ox1, 0u32);
+            let ox = b.imin(ox2, wmax);
+            let nlin = b.shl(oy, log_w);
+            let nidx = b.iadd(nlin, ox);
+            let noff = b.shl_imm(nidx, 2);
+            let naddr = b.iadd(src, noff);
+            let jn = b.load(MemSpace::Global, naddr, 0);
+            // weight = 2^(-(jn-jc)^2)
+            let d = b.fsub(jn, jc);
+            let d2 = b.fmul(d, d);
+            let neg = b.movf(-1.0);
+            let e = b.fmul(d2, neg);
+            let wgt = b.fexp2(e);
+            b.ffma_to(acc, wgt, jn, acc);
+            b.fadd_to(norm, norm, wgt);
+        });
+    });
+    let inv = b.frcp(norm);
+    let res = b.fmul(acc, inv);
+    let oaddr = b.iadd(dst, center_off);
+    b.store(MemSpace::Global, oaddr, res, 0);
+    let ck = compile(b.finish());
+
+    let n = (w * h) as usize;
+    let img = random_f32s(31, n, 0.0, 1.0);
+    let mut mem = GlobalMemory::new();
+    let src_addr = mem.alloc(n as u64 * 4);
+    let dst_addr = mem.alloc(n as u64 * 4);
+    mem.write_slice_f32(src_addr, &img);
+    let launch = LaunchConfig::new(Dim3::two_d(w / 16, h / 16), Dim3::two_d(16, 16))
+        .with_params(vec![Value(src_addr as u32), Value(dst_addr as u32)]);
+
+    let mut expected = vec![0f32; n];
+    for y in 0..h as usize {
+        for x in 0..w as usize {
+            let jc = img[y * w as usize + x];
+            let mut acc = 0f32;
+            let mut norm = 0f32;
+            for dy in 0..3i64 {
+                for dx in 0..3i64 {
+                    let oy = (y as i64 + dy - 1).clamp(0, i64::from(h) - 1) as usize;
+                    let ox = (x as i64 + dx - 1).clamp(0, i64::from(w) - 1) as usize;
+                    let jn = img[oy * w as usize + ox];
+                    let d = jn - jc;
+                    let wgt = (-d * d).exp2();
+                    acc = wgt.mul_add(jn, acc);
+                    norm += wgt;
+                }
+            }
+            expected[y * w as usize + x] = acc * (1.0 / norm);
+        }
+    }
+    Workload {
+        name: "ImageDenoisingNLM",
+        abbr: "IMNLM",
+        block: Dim3::two_d(16, 16),
+        is_2d: true,
+        ck,
+        launch,
+        memory: mem,
+        check: Box::new(move |m: &GlobalMemory| {
+            compare_f32(&m.read_vec_f32(dst_addr, expected.len()), &expected, 2e-3)
+        }),
+    }
+}
+
+/// `Backprop` layer-forward (Rodinia): weight x input products reduced
+/// along the input dimension with a shared-memory tree. TB (16,16).
+#[must_use]
+pub fn backprop(scale: Scale) -> Workload {
+    let (in_nodes, hid_nodes) = match scale {
+        Scale::Test => (16u32, 16u32),
+        Scale::Eval => (128u32, 64u32),
+    };
+
+    let mut b = KernelBuilder::new("backprop");
+    let tx = b.special(SpecialReg::TidX);
+    let ty = b.special(SpecialReg::TidY);
+    let cx = b.special(SpecialReg::CtaidX);
+    let cy = b.special(SpecialReg::CtaidY);
+    let input_p = b.param(0);
+    let weights_p = b.param(1);
+    let partial_p = b.param(2);
+    let in_total = b.param(3);
+    let smem_in = b.alloc_shared(16 * 4);
+    let smem_mat = b.alloc_shared(16 * 16 * 4);
+    let i_idx = b.imad(cx, 16u32, tx); // input node
+    let j_idx = b.imad(cy, 16u32, ty); // hidden node
+    // Row ty == 0 loads the input slice into shared memory.
+    let q0 = b.setp(CmpOp::Eq, ty, 0u32);
+    let ioff = b.shl_imm(i_idx, 2);
+    let iaddr = b.iadd(input_p, ioff);
+    let soff = b.shl_imm(tx, 2);
+    b.if_then(Guard::if_true(q0), |b| {
+        let v = b.load(MemSpace::Global, iaddr, 0);
+        b.store(MemSpace::Shared, soff, v, smem_in as i32);
+    });
+    b.barrier();
+    // product = w[j][i] * input[i]
+    let wlin = b.imad(j_idx, in_total, i_idx);
+    let woff = b.shl_imm(wlin, 2);
+    let waddr = b.iadd(weights_p, woff);
+    let wv = b.load(MemSpace::Global, waddr, 0);
+    let inv = b.load(MemSpace::Shared, soff, smem_in as i32);
+    let prod = b.fmul(wv, inv);
+    let mlin = b.imad(ty, 16u32, tx);
+    let moff = b.shl_imm(mlin, 2);
+    b.store(MemSpace::Shared, moff, prod, smem_mat as i32);
+    // Tree reduction along tx.
+    let qs = b.alloc_pred();
+    for s in [8u32, 4, 2, 1] {
+        b.barrier();
+        b.setp_to(qs, CmpOp::Lt, tx, s);
+        let partner = b.mov(0u32);
+        b.emit(
+            simt_isa::Instruction::new(
+                simt_isa::Op::Ld(MemSpace::Shared),
+                Some(partner),
+                None,
+                vec![moff.into()],
+            )
+            .with_offset(smem_mat as i32 + (s * 4) as i32)
+            .with_guard(Guard::if_true(qs)),
+        );
+        let mine = b.mov(0u32);
+        b.emit(
+            simt_isa::Instruction::new(
+                simt_isa::Op::Ld(MemSpace::Shared),
+                Some(mine),
+                None,
+                vec![moff.into()],
+            )
+            .with_offset(smem_mat as i32)
+            .with_guard(Guard::if_true(qs)),
+        );
+        let sum = b.fadd(mine, partner);
+        b.emit(
+            simt_isa::Instruction::new(
+                simt_isa::Op::St(MemSpace::Shared),
+                None,
+                None,
+                vec![moff.into(), sum.into()],
+            )
+            .with_offset(smem_mat as i32)
+            .with_guard(Guard::if_true(qs)),
+        );
+    }
+    b.barrier();
+    // Thread tx == 0 writes the partial sum for (block-x, hidden j).
+    let qw = b.setp(CmpOp::Eq, tx, 0u32);
+    b.if_then(Guard::if_true(qw), |b| {
+        let red = b.load(MemSpace::Shared, moff, smem_mat as i32);
+        // partial[(cx * hid_nodes) + j]
+        let plin = b.imad(cx, hid_nodes, j_idx);
+        let poff = b.shl_imm(plin, 2);
+        let paddr = b.iadd(partial_p, poff);
+        b.store(MemSpace::Global, paddr, red, 0);
+    });
+    let ck = compile(b.finish());
+
+    let input = random_f32s(41, in_nodes as usize, -1.0, 1.0);
+    let weights = random_f32s(43, (in_nodes * hid_nodes) as usize, -0.5, 0.5);
+    let xblocks = in_nodes / 16;
+    let yblocks = hid_nodes / 16;
+    let mut mem = GlobalMemory::new();
+    let in_addr = mem.alloc(u64::from(in_nodes) * 4);
+    let w_addr = mem.alloc(u64::from(in_nodes * hid_nodes) * 4);
+    let p_addr = mem.alloc(u64::from(xblocks * hid_nodes) * 4);
+    mem.write_slice_f32(in_addr, &input);
+    mem.write_slice_f32(w_addr, &weights);
+    let launch = LaunchConfig::new(Dim3::two_d(xblocks, yblocks), Dim3::two_d(16, 16))
+        .with_params(vec![
+            Value(in_addr as u32),
+            Value(w_addr as u32),
+            Value(p_addr as u32),
+            Value(in_nodes),
+        ]);
+
+    // CPU reference mirrors the tree-reduction order.
+    let mut expected = vec![0f32; (xblocks * hid_nodes) as usize];
+    for bx in 0..xblocks as usize {
+        for j in 0..hid_nodes as usize {
+            let mut vals: Vec<f32> = (0..16)
+                .map(|t| {
+                    let i = bx * 16 + t;
+                    weights[j * in_nodes as usize + i] * input[i]
+                })
+                .collect();
+            let mut s = 8;
+            while s >= 1 {
+                for t in 0..s {
+                    vals[t] += vals[t + s];
+                }
+                s /= 2;
+            }
+            expected[bx * hid_nodes as usize + j] = vals[0];
+        }
+    }
+    Workload {
+        name: "Backprop",
+        abbr: "BP",
+        block: Dim3::two_d(16, 16),
+        is_2d: true,
+        ck,
+        launch,
+        memory: mem,
+        check: Box::new(move |m: &GlobalMemory| {
+            compare_f32(&m.read_vec_f32(p_addr, expected.len()), &expected, 1e-3)
+        }),
+    }
+}
+
+/// `DCT8x8` (CUDA SDK): separable 8x8 discrete cosine transform, one tile
+/// per threadblock, cosine table in global memory. TB (8,8).
+#[must_use]
+pub fn dct8x8(scale: Scale) -> Workload {
+    let tiles = match scale {
+        Scale::Test => (2u32, 2u32),
+        Scale::Eval => (12u32, 12u32),
+    };
+    let (tw, th) = tiles;
+    let w = tw * 8;
+
+    let mut b = KernelBuilder::new("dct8x8");
+    let tx = b.special(SpecialReg::TidX);
+    let ty = b.special(SpecialReg::TidY);
+    let cx = b.special(SpecialReg::CtaidX);
+    let cy = b.special(SpecialReg::CtaidY);
+    let src = b.param(0);
+    let dst = b.param(1);
+    let cosp = b.param(2);
+    let smem_tile = b.alloc_shared(64 * 4);
+    let smem_tmp = b.alloc_shared(64 * 4);
+    // Load the tile.
+    let gx = b.imad(cx, 8u32, tx);
+    let gy = b.imad(cy, 8u32, ty);
+    let glin = b.imad(gy, w, gx);
+    let goff = b.shl_imm(glin, 2);
+    let gaddr = b.iadd(src, goff);
+    let v = b.load(MemSpace::Global, gaddr, 0);
+    let slin = b.imad(ty, 8u32, tx);
+    let soff = b.shl_imm(slin, 2);
+    b.store(MemSpace::Shared, soff, v, smem_tile as i32);
+    b.barrier();
+    // Row pass: tmp[ty][tx] = sum_k tile[ty][k] * C[tx][k].
+    let rowbase = b.shl_imm(ty, 5); // ty*8 elements * 4 bytes
+    let cosrow = b.shl_imm(tx, 5);
+    let acc = b.movf(0.0);
+    b.for_count(8u32, |b, k| {
+        let k4 = b.shl_imm(k, 2);
+        let ta = b.iadd(rowbase, k4);
+        let tv = b.load(MemSpace::Shared, ta, smem_tile as i32);
+        let ca0 = b.iadd(cosrow, k4);
+        let ca = b.iadd(cosp, ca0);
+        let cv = b.load(MemSpace::Global, ca, 0);
+        b.ffma_to(acc, tv, cv, acc);
+    });
+    b.store(MemSpace::Shared, soff, acc, smem_tmp as i32);
+    b.barrier();
+    // Column pass: out[ty][tx] = sum_k tmp[k][tx] * C[ty][k].
+    let colbase = b.shl_imm(tx, 2);
+    let cosrow2 = b.shl_imm(ty, 5);
+    let acc2 = b.movf(0.0);
+    b.for_count(8u32, |b, k| {
+        let krow = b.shl_imm(k, 5);
+        let ta0 = b.iadd(colbase, krow);
+        let tv = b.load(MemSpace::Shared, ta0, smem_tmp as i32);
+        let k4 = b.shl_imm(k, 2);
+        let ca0 = b.iadd(cosrow2, k4);
+        let ca = b.iadd(cosp, ca0);
+        let cv = b.load(MemSpace::Global, ca, 0);
+        b.ffma_to(acc2, tv, cv, acc2);
+    });
+    let oaddr = b.iadd(dst, goff);
+    b.store(MemSpace::Global, oaddr, acc2, 0);
+    let ck = compile(b.finish());
+
+    // Cosine table C[u][k].
+    let mut cos_tbl = vec![0f32; 64];
+    for u in 0..8 {
+        for k in 0..8 {
+            let a = if u == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
+            cos_tbl[u * 8 + k] =
+                (a * ((2 * k + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos()) as f32;
+        }
+    }
+    let n = (w * th * 8) as usize;
+    let img = random_f32s(47, n, -128.0, 128.0);
+    let mut mem = GlobalMemory::new();
+    let src_addr = mem.alloc(n as u64 * 4);
+    let dst_addr = mem.alloc(n as u64 * 4);
+    let cos_addr = mem.alloc(64 * 4);
+    mem.write_slice_f32(src_addr, &img);
+    mem.write_slice_f32(cos_addr, &cos_tbl);
+    let launch = LaunchConfig::new(Dim3::two_d(tw, th), Dim3::two_d(8, 8)).with_params(vec![
+        Value(src_addr as u32),
+        Value(dst_addr as u32),
+        Value(cos_addr as u32),
+    ]);
+
+    let mut expected = vec![0f32; n];
+    for tyb in 0..th as usize {
+        for txb in 0..tw as usize {
+            // Row pass.
+            let mut tmp = [0f32; 64];
+            for y in 0..8 {
+                for u in 0..8 {
+                    let mut acc = 0f32;
+                    for k in 0..8 {
+                        let pix = img[(tyb * 8 + y) * w as usize + txb * 8 + k];
+                        acc = pix.mul_add(cos_tbl[u * 8 + k], acc);
+                    }
+                    tmp[y * 8 + u] = acc;
+                }
+            }
+            // Column pass.
+            for v in 0..8 {
+                for x in 0..8 {
+                    let mut acc = 0f32;
+                    for k in 0..8 {
+                        acc = tmp[k * 8 + x].mul_add(cos_tbl[v * 8 + k], acc);
+                    }
+                    expected[(tyb * 8 + v) * w as usize + txb * 8 + x] = acc;
+                }
+            }
+        }
+    }
+    Workload {
+        name: "DCT8x8",
+        abbr: "DCT8x8",
+        block: Dim3::two_d(8, 8),
+        is_2d: true,
+        ck,
+        launch,
+        memory: mem,
+        check: Box::new(move |m: &GlobalMemory| {
+            compare_f32(&m.read_vec_f32(dst_addr, expected.len()), &expected, 1e-2)
+        }),
+    }
+}
+
+/// `Floyd-Warshall` (Pannotia): one relaxation step
+/// `d[i][j] = min(d[i][j], d[i][k] + d[k][j])`. The `d[k][j]` row load is
+/// conditionally redundant (address derives from `tid.x`), making this the
+/// paper's example of a memory-bound 2D benchmark. TB (16,16).
+#[must_use]
+pub fn floyd_warshall(scale: Scale) -> Workload {
+    let n = match scale {
+        Scale::Test => 32u32,
+        Scale::Eval => 192u32,
+    };
+    let k = n / 2; // relaxation pivot for this launch
+
+    let mut b = KernelBuilder::new("floyd_warshall");
+    let tx = b.special(SpecialReg::TidX);
+    let ty = b.special(SpecialReg::TidY);
+    let cx = b.special(SpecialReg::CtaidX);
+    let cy = b.special(SpecialReg::CtaidY);
+    let din = b.param(0);
+    let dout = b.param(1);
+    let j = b.imad(cx, 16u32, tx);
+    let i = b.imad(cy, 16u32, ty);
+    // d[i][j]
+    let ij = b.imad(i, n, j);
+    let ijo = b.shl_imm(ij, 2);
+    let ija = b.iadd(din, ijo);
+    let dij = b.load(MemSpace::Global, ija, 0);
+    // d[i][k]
+    let ik = b.imad(i, n, k);
+    let iko = b.shl_imm(ik, 2);
+    let ika = b.iadd(din, iko);
+    let dik = b.load(MemSpace::Global, ika, 0);
+    // d[k][j] — the conditionally redundant row.
+    let kreg = b.mov(k);
+    let kj = b.imad(kreg, n, j);
+    let kjo = b.shl_imm(kj, 2);
+    let kja = b.iadd(din, kjo);
+    let dkj = b.load(MemSpace::Global, kja, 0);
+    let viak = b.iadd(dik, dkj);
+    let best = b.imin(dij, viak);
+    let oa = b.iadd(dout, ijo);
+    b.store(MemSpace::Global, oa, best, 0);
+    let ck = compile(b.finish());
+
+    let total = (n * n) as usize;
+    let d0 = random_u32s(53, total, 1, 1000);
+    let mut mem = GlobalMemory::new();
+    let din_addr = mem.alloc(total as u64 * 4);
+    let dout_addr = mem.alloc(total as u64 * 4);
+    mem.write_slice_u32(din_addr, &d0);
+    let launch = LaunchConfig::new(Dim3::two_d(n / 16, n / 16), Dim3::two_d(16, 16))
+        .with_params(vec![Value(din_addr as u32), Value(dout_addr as u32)]);
+
+    let mut expected = vec![0u32; total];
+    for i in 0..n as usize {
+        for j in 0..n as usize {
+            let dij = d0[i * n as usize + j] as i32;
+            let dik = d0[i * n as usize + k as usize] as i32;
+            let dkj = d0[k as usize * n as usize + j] as i32;
+            expected[i * n as usize + j] = dij.min(dik.wrapping_add(dkj)) as u32;
+        }
+    }
+    Workload {
+        name: "Floyd-Warshall",
+        abbr: "FWS",
+        block: Dim3::two_d(16, 16),
+        is_2d: true,
+        ck,
+        launch,
+        memory: mem,
+        check: Box::new(move |m: &GlobalMemory| {
+            compare_u32(&m.read_vec_u32(dout_addr, expected.len()), &expected)
+        }),
+    }
+}

@@ -1,0 +1,443 @@
+//! 2D-threadblock benchmarks, part 2: HS, CP, CONVTEX, MM.
+
+use crate::common::{compare_f32, random_f32s, Scale, Workload};
+use gpu_sim::GlobalMemory;
+use simt_compiler::compile;
+use simt_isa::{CmpOp, Dim3, Guard, KernelBuilder, LaunchConfig, MemSpace, SpecialReg, Value};
+
+/// `HotSpot` (Rodinia): one step of the thermal stencil
+/// `t' = t + cn*(n+s-2t) + ce*(e+w-2t) + ca*(amb-t) + p`. TB (16,16).
+#[must_use]
+pub fn hotspot(scale: Scale) -> Workload {
+    let (log_w, h) = match scale {
+        Scale::Test => (5u32, 16u32),
+        Scale::Eval => (6u32, 96u32),
+    };
+    let w = 1u32 << log_w;
+
+    let mut b = KernelBuilder::new("hotspot");
+    let tx = b.special(SpecialReg::TidX);
+    let ty = b.special(SpecialReg::TidY);
+    let cx = b.special(SpecialReg::CtaidX);
+    let cy = b.special(SpecialReg::CtaidY);
+    let temp_p = b.param(0);
+    let power_p = b.param(1);
+    let out_p = b.param(2);
+    let cn = b.param(3);
+    let ce = b.param(4);
+    let ca = b.param(5);
+    let amb = b.param(6);
+    let gx = b.imad(cx, 16u32, tx);
+    let gy = b.imad(cy, 16u32, ty);
+    let lin0 = b.shl(gy, log_w);
+    let lin = b.iadd(lin0, gx);
+    let off = b.shl_imm(lin, 2);
+    let taddr = b.iadd(temp_p, off);
+    let tc = b.load(MemSpace::Global, taddr, 0);
+    // Clamped neighbours.
+    let qn = b.setp(CmpOp::Gt, gy, 0u32);
+    let qs = b.setp(CmpOp::Lt, gy, h - 1);
+    let qw = b.setp(CmpOp::Gt, gx, 0u32);
+    let qe = b.setp(CmpOp::Lt, gx, w - 1);
+    let tn = b.mov(tc);
+    let ts = b.mov(tc);
+    let tw_ = b.mov(tc);
+    let te = b.mov(tc);
+    let row_b = (w * 4) as i32;
+    for (dst, pred, o) in [(tn, qn, -row_b), (ts, qs, row_b), (tw_, qw, -4), (te, qe, 4)] {
+        b.emit(
+            simt_isa::Instruction::new(
+                simt_isa::Op::Ld(MemSpace::Global),
+                Some(dst),
+                None,
+                vec![taddr.into()],
+            )
+            .with_offset(o)
+            .with_guard(Guard::if_true(pred)),
+        );
+    }
+    let paddr = b.iadd(power_p, off);
+    let pw = b.load(MemSpace::Global, paddr, 0);
+    // Vertical and horizontal diffusion.
+    let two = b.movf(2.0);
+    let t2 = b.fmul(two, tc);
+    let vsum0 = b.fadd(tn, ts);
+    let vsum = b.fsub(vsum0, t2);
+    let hsum0 = b.fadd(te, tw_);
+    let hsum = b.fsub(hsum0, t2);
+    let d0 = b.fmul(cn, vsum);
+    let d1 = b.ffma(ce, hsum, d0);
+    let adiff = b.fsub(amb, tc);
+    let d2 = b.ffma(ca, adiff, d1);
+    let d3 = b.fadd(d2, pw);
+    let res = b.fadd(tc, d3);
+    let oaddr = b.iadd(out_p, off);
+    b.store(MemSpace::Global, oaddr, res, 0);
+    let ck = compile(b.finish());
+
+    let n = (w * h) as usize;
+    let temp = random_f32s(61, n, 320.0, 340.0);
+    let power = random_f32s(67, n, 0.0, 0.05);
+    let (cnv, cev, cav, ambv) = (0.03f32, 0.02f32, 0.005f32, 300.0f32);
+    let mut mem = GlobalMemory::new();
+    let t_addr = mem.alloc(n as u64 * 4);
+    let p_addr = mem.alloc(n as u64 * 4);
+    let o_addr = mem.alloc(n as u64 * 4);
+    mem.write_slice_f32(t_addr, &temp);
+    mem.write_slice_f32(p_addr, &power);
+    let launch = LaunchConfig::new(Dim3::two_d(w / 16, h / 16), Dim3::two_d(16, 16))
+        .with_params(vec![
+            Value(t_addr as u32),
+            Value(p_addr as u32),
+            Value(o_addr as u32),
+            Value::from_f32(cnv),
+            Value::from_f32(cev),
+            Value::from_f32(cav),
+            Value::from_f32(ambv),
+        ]);
+
+    let mut expected = vec![0f32; n];
+    for y in 0..h as usize {
+        for x in 0..w as usize {
+            let idx = y * w as usize + x;
+            let tc = temp[idx];
+            let tn = if y > 0 { temp[idx - w as usize] } else { tc };
+            let ts = if y < (h - 1) as usize { temp[idx + w as usize] } else { tc };
+            let twv = if x > 0 { temp[idx - 1] } else { tc };
+            let te = if x < (w - 1) as usize { temp[idx + 1] } else { tc };
+            let t2 = 2.0 * tc;
+            let vsum = (tn + ts) - t2;
+            let hsum = (te + twv) - t2;
+            let d = cav.mul_add(ambv - tc, cev.mul_add(hsum, cnv * vsum));
+            expected[idx] = tc + (d + power[idx]);
+        }
+    }
+    Workload {
+        name: "HotSpot",
+        abbr: "HS",
+        block: Dim3::two_d(16, 16),
+        is_2d: true,
+        ck,
+        launch,
+        memory: mem,
+        check: Box::new(move |m: &GlobalMemory| {
+            compare_f32(&m.read_vec_f32(o_addr, expected.len()), &expected, 1e-3)
+        }),
+    }
+}
+
+/// `CP` (Parboil-style coulombic potential): each thread accumulates the
+/// potential of all atoms at its grid point; atom records are loaded from
+/// uniform addresses. TB (16,8).
+#[must_use]
+pub fn coulombic_potential(scale: Scale) -> Workload {
+    let (gw, gh, natoms) = match scale {
+        Scale::Test => (32u32, 16u32, 8u32),
+        Scale::Eval => (128u32, 64u32, 32u32),
+    };
+
+    let mut b = KernelBuilder::new("cp");
+    let tx = b.special(SpecialReg::TidX);
+    let ty = b.special(SpecialReg::TidY);
+    let cx = b.special(SpecialReg::CtaidX);
+    let cy = b.special(SpecialReg::CtaidY);
+    let atoms_p = b.param(0);
+    let out_p = b.param(1);
+    let spacing = b.param(2);
+    let gx = b.imad(cx, 16u32, tx);
+    let gy = b.imad(cy, 8u32, ty);
+    let gxf0 = b.i2f(gx);
+    let gxf = b.fmul(gxf0, spacing);
+    let gyf0 = b.i2f(gy);
+    let gyf = b.fmul(gyf0, spacing);
+    let energy = b.movf(0.0);
+    let aoff = b.mov(0u32); // uniform atom table offset
+    let i = b.mov(0u32);
+    let p = b.alloc_pred();
+    b.do_while(|b| {
+        let abase = b.iadd(atoms_p, aoff);
+        let ax = b.load(MemSpace::Global, abase, 0);
+        let ay = b.load(MemSpace::Global, abase, 4);
+        let aq = b.load(MemSpace::Global, abase, 8);
+        let dx = b.fsub(gxf, ax);
+        let dy = b.fsub(gyf, ay);
+        let dy2 = b.fmul(dy, dy);
+        let r2 = b.ffma(dx, dx, dy2);
+        // softened 1/sqrt(r2 + 0.05)
+        let soft = b.movf(0.05);
+        let r2s = b.fadd(r2, soft);
+        let r = b.fsqrt(r2s);
+        let rinv = b.frcp(r);
+        b.ffma_to(energy, aq, rinv, energy);
+        b.iadd_to(aoff, aoff, 16u32);
+        b.iadd_to(i, i, 1u32);
+        b.setp_to(p, CmpOp::Lt, i, natoms);
+        Guard::if_true(p)
+    });
+    let lin = b.imad(gy, gw, gx);
+    let off = b.shl_imm(lin, 2);
+    let oaddr = b.iadd(out_p, off);
+    b.store(MemSpace::Global, oaddr, energy, 0);
+    let ck = compile(b.finish());
+
+    let spacing_v = 0.25f32;
+    let ax = random_f32s(71, natoms as usize, 0.0, gw as f32 * spacing_v);
+    let ay = random_f32s(73, natoms as usize, 0.0, gh as f32 * spacing_v);
+    let aq = random_f32s(79, natoms as usize, -1.0, 1.0);
+    let mut atom_tbl = vec![0f32; natoms as usize * 4];
+    for a in 0..natoms as usize {
+        atom_tbl[a * 4] = ax[a];
+        atom_tbl[a * 4 + 1] = ay[a];
+        atom_tbl[a * 4 + 2] = aq[a];
+    }
+    let n = (gw * gh) as usize;
+    let mut mem = GlobalMemory::new();
+    let a_addr = mem.alloc(atom_tbl.len() as u64 * 4);
+    let o_addr = mem.alloc(n as u64 * 4);
+    mem.write_slice_f32(a_addr, &atom_tbl);
+    let launch = LaunchConfig::new(Dim3::two_d(gw / 16, gh / 8), Dim3::two_d(16, 8))
+        .with_params(vec![
+            Value(a_addr as u32),
+            Value(o_addr as u32),
+            Value::from_f32(spacing_v),
+        ]);
+
+    let mut expected = vec![0f32; n];
+    for y in 0..gh as usize {
+        for x in 0..gw as usize {
+            let gxf = x as f32 * spacing_v;
+            let gyf = y as f32 * spacing_v;
+            let mut e = 0f32;
+            for a in 0..natoms as usize {
+                let dx = gxf - ax[a];
+                let dy = gyf - ay[a];
+                let r2 = dx.mul_add(dx, dy * dy);
+                let r = (r2 + 0.05).sqrt();
+                e = aq[a].mul_add(1.0 / r, e);
+            }
+            expected[y * gw as usize + x] = e;
+        }
+    }
+    Workload {
+        name: "CP",
+        abbr: "CP",
+        block: Dim3::two_d(16, 8),
+        is_2d: true,
+        ck,
+        launch,
+        memory: mem,
+        check: Box::new(move |m: &GlobalMemory| {
+            compare_f32(&m.read_vec_f32(o_addr, expected.len()), &expected, 2e-3)
+        }),
+    }
+}
+
+/// `convolutionTexture` (CUDA SDK): row convolution with a 5-tap kernel
+/// held at uniform addresses, clamped at image borders. TB (16,16).
+#[must_use]
+pub fn convolution_texture(scale: Scale) -> Workload {
+    let (log_w, h) = match scale {
+        Scale::Test => (5u32, 16u32),
+        Scale::Eval => (7u32, 64u32),
+    };
+    let w = 1u32 << log_w;
+    const RADIUS: u32 = 2;
+
+    let mut b = KernelBuilder::new("convtex");
+    let tx = b.special(SpecialReg::TidX);
+    let ty = b.special(SpecialReg::TidY);
+    let cx = b.special(SpecialReg::CtaidX);
+    let cy = b.special(SpecialReg::CtaidY);
+    let src = b.param(0);
+    let dst = b.param(1);
+    let kern = b.param(2);
+    let gx = b.imad(cx, 16u32, tx);
+    let gy = b.imad(cy, 16u32, ty);
+    let rowbase0 = b.shl(gy, log_w);
+    let acc = b.movf(0.0);
+    let wmax = b.mov(w - 1);
+    b.for_count(2 * RADIUS + 1, |b, k| {
+        // col = clamp(gx + k - RADIUS, 0, w-1)
+        let c0 = b.iadd(gx, k);
+        let c1 = b.isub(c0, RADIUS);
+        let c2 = b.imax(c1, 0u32);
+        let col = b.imin(c2, wmax);
+        let lin = b.iadd(rowbase0, col);
+        let soff = b.shl_imm(lin, 2);
+        let saddr = b.iadd(src, soff);
+        let v = b.load(MemSpace::Global, saddr, 0);
+        // Uniform kernel tap.
+        let koff = b.shl_imm(k, 2);
+        let kaddr = b.iadd(kern, koff);
+        let kv = b.load(MemSpace::Global, kaddr, 0);
+        b.ffma_to(acc, v, kv, acc);
+    });
+    let olin = b.iadd(rowbase0, gx);
+    let ooff = b.shl_imm(olin, 2);
+    let oaddr = b.iadd(dst, ooff);
+    b.store(MemSpace::Global, oaddr, acc, 0);
+    let ck = compile(b.finish());
+
+    let taps: Vec<f32> = vec![0.0625, 0.25, 0.375, 0.25, 0.0625];
+    let n = (w * h) as usize;
+    let img = random_f32s(83, n, -1.0, 1.0);
+    let mut mem = GlobalMemory::new();
+    let s_addr = mem.alloc(n as u64 * 4);
+    let d_addr = mem.alloc(n as u64 * 4);
+    let k_addr = mem.alloc(taps.len() as u64 * 4);
+    mem.write_slice_f32(s_addr, &img);
+    mem.write_slice_f32(k_addr, &taps);
+    let launch = LaunchConfig::new(Dim3::two_d(w / 16, h / 16), Dim3::two_d(16, 16))
+        .with_params(vec![
+            Value(s_addr as u32),
+            Value(d_addr as u32),
+            Value(k_addr as u32),
+        ]);
+
+    let mut expected = vec![0f32; n];
+    for y in 0..h as usize {
+        for x in 0..w as usize {
+            let mut acc = 0f32;
+            for (k, tap) in taps.iter().enumerate() {
+                let col = (x as i64 + k as i64 - i64::from(RADIUS))
+                    .clamp(0, i64::from(w) - 1) as usize;
+                acc = img[y * w as usize + col].mul_add(*tap, acc);
+            }
+            expected[y * w as usize + x] = acc;
+        }
+    }
+    Workload {
+        name: "convolutionTexture",
+        abbr: "CONVTEX",
+        block: Dim3::two_d(16, 16),
+        is_2d: true,
+        ck,
+        launch,
+        memory: mem,
+        check: Box::new(move |m: &GlobalMemory| {
+            compare_f32(&m.read_vec_f32(d_addr, expected.len()), &expected, 1e-3)
+        }),
+    }
+}
+
+/// `MatrixMul` (CUDA SDK): classic shared-memory tiled matrix multiply.
+/// With a (32,32) TB the `b_tile[k][tx]` shared loads of the inner product
+/// are unstructured-redundant — the paper's flagship example (Figure 6).
+#[must_use]
+pub fn matrix_mul(scale: Scale) -> Workload {
+    let n = match scale {
+        Scale::Test => 64u32,
+        Scale::Eval => 128u32,
+    };
+    const TILE: u32 = 32;
+
+    let mut b = KernelBuilder::new("matrix_mul");
+    let tx = b.special(SpecialReg::TidX);
+    let ty = b.special(SpecialReg::TidY);
+    let cx = b.special(SpecialReg::CtaidX);
+    let cy = b.special(SpecialReg::CtaidY);
+    let a_p = b.param(0);
+    let b_p = b.param(1);
+    let c_p = b.param(2);
+    let smem_a = b.alloc_shared(TILE * TILE * 4);
+    let smem_b = b.alloc_shared(TILE * TILE * 4);
+    let row = b.imad(cy, TILE, ty);
+    let col = b.imad(cx, TILE, tx);
+    let acc = b.movf(0.0);
+    // Per-thread tile slots.
+    let slot_lin = b.imad(ty, TILE, tx);
+    let slot = b.shl_imm(slot_lin, 2);
+    // Walking pointers: A[row][t*TILE+tx], B[t*TILE+ty][col].
+    let arow0 = b.imad(row, n, tx);
+    let aoff = b.shl_imm(arow0, 2);
+    let aptr = b.iadd(a_p, aoff);
+    let brow0 = b.imad(ty, n, col);
+    let boff = b.shl_imm(brow0, 2);
+    let bptr = b.iadd(b_p, boff);
+    let t = b.mov(0u32);
+    let p = b.alloc_pred();
+    let pk = b.alloc_pred();
+    b.do_while(|b| {
+        let av = b.load(MemSpace::Global, aptr, 0);
+        b.store(MemSpace::Shared, slot, av, smem_a as i32);
+        let bv = b.load(MemSpace::Global, bptr, 0);
+        b.store(MemSpace::Shared, slot, bv, smem_b as i32);
+        b.barrier();
+        // Inner product over the tile, unrolled x8 like the paper's
+        // Figure 6 kernel: the b_tile address walks k*TILE+tx
+        // (conditionally redundant), the a_tile address walks ty*TILE+k
+        // (vector). Unrolled taps use immediate offsets.
+        let a_addr = b.shl_imm(ty, 7); // ty*TILE*4
+        let b_addr = b.shl_imm(tx, 2);
+        let k = b.mov(0u32);
+        b.do_while(|b| {
+            for j in 0..8i32 {
+                let la = b.load(MemSpace::Shared, a_addr, smem_a as i32 + j * 4);
+                let lb = b.load(MemSpace::Shared, b_addr, smem_b as i32 + j * (TILE as i32 * 4));
+                b.ffma_to(acc, la, lb, acc);
+            }
+            b.iadd_to(a_addr, a_addr, 32u32);
+            b.iadd_to(b_addr, b_addr, TILE * 4 * 8);
+            b.iadd_to(k, k, 8u32);
+            b.setp_to(pk, CmpOp::Lt, k, TILE);
+            Guard::if_true(pk)
+        });
+        b.barrier();
+        // Advance the walking pointers by one tile.
+        b.iadd_to(aptr, aptr, TILE * 4);
+        let bstep = TILE * n * 4;
+        b.iadd_to(bptr, bptr, bstep);
+        b.iadd_to(t, t, 1u32);
+        b.setp_to(p, CmpOp::Lt, t, n / TILE);
+        Guard::if_true(p)
+    });
+    let clin = b.imad(row, n, col);
+    let coff = b.shl_imm(clin, 2);
+    let caddr = b.iadd(c_p, coff);
+    b.store(MemSpace::Global, caddr, acc, 0);
+    let ck = compile(b.finish());
+
+    let total = (n * n) as usize;
+    let a_m = random_f32s(89, total, -1.0, 1.0);
+    let b_m = random_f32s(97, total, -1.0, 1.0);
+    let mut mem = GlobalMemory::new();
+    let a_addr = mem.alloc(total as u64 * 4);
+    let b_addr = mem.alloc(total as u64 * 4);
+    let c_addr = mem.alloc(total as u64 * 4);
+    mem.write_slice_f32(a_addr, &a_m);
+    mem.write_slice_f32(b_addr, &b_m);
+    let launch = LaunchConfig::new(Dim3::two_d(n / TILE, n / TILE), Dim3::two_d(TILE, TILE))
+        .with_params(vec![
+            Value(a_addr as u32),
+            Value(b_addr as u32),
+            Value(c_addr as u32),
+        ]);
+
+    // CPU reference with the same accumulation order (k within tile, tiles
+    // in order).
+    let mut expected = vec![0f32; total];
+    for i in 0..n as usize {
+        for j in 0..n as usize {
+            let mut acc = 0f32;
+            for t in 0..(n / TILE) as usize {
+                for k in 0..TILE as usize {
+                    let kk = t * TILE as usize + k;
+                    acc = a_m[i * n as usize + kk].mul_add(b_m[kk * n as usize + j], acc);
+                }
+            }
+            expected[i * n as usize + j] = acc;
+        }
+    }
+    Workload {
+        name: "MatrixMul",
+        abbr: "MM",
+        block: Dim3::two_d(TILE, TILE),
+        is_2d: true,
+        ck,
+        launch,
+        memory: mem,
+        check: Box::new(move |m: &GlobalMemory| {
+            compare_f32(&m.read_vec_f32(c_addr, expected.len()), &expected, 1e-3)
+        }),
+    }
+}

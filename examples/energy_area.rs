@@ -1,0 +1,48 @@
+//! The cost side of DARSIE: the Section-6.3 area estimate for the added
+//! hardware, and the GPUWattch-style energy breakdown of a run, including
+//! the overhead of the DARSIE structures themselves.
+//!
+//! ```text
+//! cargo run --release --example energy_area
+//! ```
+
+use darsie_repro::energy::{AreaEstimate, AreaParams, EnergyModel};
+use darsie_repro::sim::Technique;
+use workloads::{by_abbr, Scale};
+
+fn main() {
+    println!("=== Section 6.3 area estimate ===");
+    println!("{}\n", AreaEstimate::compute(&AreaParams::default()).report());
+
+    let w = by_abbr("CONVTEX", Scale::Test).expect("CONVTEX is in the catalog");
+    let cfg = darsie_repro::sim::GpuConfig {
+        shadow_check: false,
+        ..darsie_repro::sim::GpuConfig::test_small()
+    };
+    let model = EnergyModel::with_sms(cfg.num_sms);
+    let base = w.run(&cfg, Technique::Base);
+    let dars = w.run(&cfg, Technique::darsie());
+
+    println!("=== convolutionTexture energy (pJ) ===");
+    for (label, r) in [("BASE", &base), ("DARSIE", &dars)] {
+        let e = model.evaluate(&r.stats);
+        println!(
+            "{label:7} total {:>12.0}  frontend {:>10.0}  RF {:>10.0}  exec {:>10.0}  \
+             mem {:>10.0}  smem {:>8.0}  static {:>10.0}  darsie-overhead {:>6.0}",
+            e.total(),
+            e.frontend,
+            e.register_file,
+            e.execute,
+            e.memory,
+            e.shared_memory,
+            e.static_energy,
+            e.darsie_overhead
+        );
+    }
+    println!(
+        "\nenergy reduction: {:.1}% (overhead of the added structures: {:.2}% of dynamic)",
+        model.reduction_percent(&base.stats, &dars.stats),
+        model.evaluate(&dars.stats).darsie_overhead / model.evaluate(&dars.stats).dynamic()
+            * 100.0
+    );
+}

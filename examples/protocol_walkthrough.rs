@@ -1,0 +1,79 @@
+//! The paper's Figure 5, replayed step by step on the actual hardware
+//! structures: three warps, a TB-redundant register `R1` written twice
+//! (creating versions v1 and v2), warps skipping at their own pace, and
+//! the version release once every warp has moved on.
+//!
+//! ```text
+//! cargo run --release --example protocol_walkthrough
+//! ```
+
+use darsie::{DarsieStats, MajorityMask, ProbeOutcome, RenameState, SkipTable};
+
+fn main() {
+    let mut table = SkipTable::new(8);
+    let mut rename = RenameState::new(32);
+    let majority = MajorityMask::new(3);
+    let mut stats = DarsieStats::default();
+    let mut t = 0u64;
+    let mut step = |label: &str| {
+        t += 1;
+        println!("T{t}: {label}");
+        t
+    };
+
+    const PC0: usize = 0; // "LD R1(v1), tx"  — writes R1, version 1
+    const PC2: usize = 2; // "ADD R1(v2), R1(v1), 4" — writes R1, version 2
+    const R1: u8 = 1;
+
+    // T1: warp 0 arrives at PC0 first and becomes the leader.
+    let now = step("warp 0 probes PC0 -> becomes leader, allocates R1 v1");
+    assert_eq!(table.probe(PC0, 1, &mut stats), ProbeOutcome::BecomeLeader);
+    assert!(table.insert_leader(PC0, 1, 0, true, now, &mut stats));
+    let (v1, p1) = rename.allocate_version(0, R1, &mut stats).expect("freelist has room");
+    println!("     R1 v{v1} -> physical register {p1}");
+    let released = table.leader_writeback(PC0, 1, 0, now);
+    assert_eq!(released, 0, "nobody waiting yet");
+
+    // T2: warp 1 probes PC0, finds the leader's value, skips.
+    let now = step("warp 1 probes PC0 -> Skip (binds R1 v1), pc += 8");
+    assert_eq!(table.probe(PC0, 1, &mut stats), ProbeOutcome::Skip);
+    assert_eq!(rename.bind(1, R1, v1, &mut stats), Some(p1));
+    table.record_pass(PC0, 1, 1, majority.mask(), now);
+
+    // T3: warp 0 reaches PC2 and writes R1 again: version 2 is created
+    // while v1 is still live (warp 2 has not consumed it).
+    let now = step("warp 0 probes PC2 -> leader again, allocates R1 v2");
+    assert_eq!(table.probe(PC2, 1, &mut stats), ProbeOutcome::BecomeLeader);
+    assert!(table.insert_leader(PC2, 1, 0, false, now, &mut stats));
+    let (v2, p2) = rename.allocate_version(0, R1, &mut stats).expect("room");
+    println!("     R1 v{v2} -> physical register {p2}; live versions = {}", rename.live_versions());
+    assert_eq!(rename.live_versions(), 2, "v1 and v2 coexist (Fig. 5, Trename3)");
+    let _ = table.leader_writeback(PC2, 1, 0, now);
+
+    // T4: the straggler warp 2 finally reaches PC0. Its own write count
+    // for R1 is still 0, so it matches *instance 1* and reads v1 — not
+    // the newer v2 (the crux of the versioning scheme).
+    let now = step("warp 2 probes PC0 (instance 1) -> skips with the OLD v1");
+    assert_eq!(table.probe(PC0, 1, &mut stats), ProbeOutcome::Skip);
+    assert_eq!(rename.bind(2, R1, v1, &mut stats), Some(p1), "old version still readable");
+    let removed = table.record_pass(PC0, 1, 2, majority.mask(), now);
+    assert!(removed, "all three warps have now passed PC0; entry retires");
+
+    // T5: warps 1 and 2 skip PC2, rebinding to v2; v1 loses its last
+    // references and its physical register returns to the freelist.
+    let now = step("warps 1,2 skip PC2 -> rebind to v2; v1 is released");
+    assert_eq!(table.probe(PC2, 1, &mut stats), ProbeOutcome::Skip);
+    rename.bind(1, R1, v2, &mut stats);
+    table.record_pass(PC2, 1, 1, majority.mask(), now);
+    rename.bind(2, R1, v2, &mut stats);
+    rename.unbind(0, R1); // leader also moves on
+    rename.bind(0, R1, v2, &mut stats);
+    let done = table.record_pass(PC2, 1, 2, majority.mask(), now);
+    assert!(done);
+    assert_eq!(rename.live_versions(), 1, "only v2 remains");
+    println!("     live versions = {}, free physical registers = {}",
+        rename.live_versions(), rename.free_regs());
+
+    println!("\nFigure 5 protocol replay complete: {} probes, {} leader elections",
+        stats.skip_table_probes, stats.leaders_elected);
+}

@@ -1,0 +1,41 @@
+//! The Section-1 survey, recomputed over this repository's corpus: what
+//! fraction of applications use multi-dimensional threadblocks, and do
+//! they pass DARSIE's launch-time check? (The paper surveyed 133 CUDA
+//! applications on silicon — that corpus is closed, so this reproduces
+//! the statistic over the Table-1 benchmarks instead.)
+//!
+//! ```text
+//! cargo run --release --example survey
+//! ```
+
+use workloads::{catalog, Scale};
+
+fn main() {
+    let apps = catalog(Scale::Test);
+    let multi: Vec<_> = apps.iter().filter(|w| w.block.dimensionality() > 1).collect();
+    println!("applications surveyed:        {}", apps.len());
+    println!(
+        "multi-dimensional TBs:        {} ({:.0}%)   [paper: 33% overall, 60% of library-optimized]",
+        multi.len(),
+        multi.len() as f64 / apps.len() as f64 * 100.0
+    );
+    let pass = multi
+        .iter()
+        .filter(|w| w.launch.promotes_conditional_redundancy())
+        .count();
+    println!(
+        "...that pass the launch check: {pass}/{} ({:.0}%)   [paper: 127 of 128 2D kernels]",
+        multi.len(),
+        pass as f64 / multi.len() as f64 * 100.0
+    );
+    for w in &apps {
+        println!(
+            "  {:8} ({:4},{:4})  {}  promotes={}",
+            w.abbr,
+            w.block.x,
+            w.block.y,
+            if w.block.dimensionality() > 1 { "multi-D" } else { "1-D    " },
+            w.launch.promotes_conditional_redundancy()
+        );
+    }
+}

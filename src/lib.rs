@@ -1,0 +1,20 @@
+//! Umbrella crate for the DARSIE (ASPLOS 2020) reproduction.
+//!
+//! Re-exports every layer of the stack so examples and downstream users can
+//! depend on a single crate:
+//!
+//! * [`isa`] — the virtual SIMT instruction set and kernel builder DSL;
+//! * [`compiler`] — the DARSIE redundancy compiler pass and taxonomy analyses;
+//! * [`hw`] — the DARSIE hardware structures (PC skip table, renaming, ...);
+//! * [`sim`] — the cycle-level GPU simulator and technique integrations;
+//! * [`energy`] — the GPUWattch-style energy and area models;
+//! * [`workloads`] — the 13 Table-1 benchmarks.
+//!
+//! See `README.md` for a walkthrough and `DESIGN.md` for the system map.
+
+pub use darsie as hw;
+pub use gpu_energy as energy;
+pub use gpu_sim as sim;
+pub use simt_compiler as compiler;
+pub use simt_isa as isa;
+pub use workloads;

@@ -1,0 +1,114 @@
+//! The central soundness property: every redundancy-elimination technique
+//! preserves architected state. Each workload runs under every technique
+//! with the shadow-check oracle enabled; outputs are validated against the
+//! CPU reference and the final memory image must match the baseline's
+//! bit for bit.
+
+use darsie_repro::sim::{GpuConfig, Technique};
+use workloads::{catalog, Scale};
+
+fn cfg() -> GpuConfig {
+    GpuConfig::test_small() // shadow_check = true
+}
+
+#[test]
+fn all_techniques_preserve_architected_state() {
+    for w in catalog(Scale::Test) {
+        let base = w.run(&cfg(), Technique::Base);
+        let base_fp = base.memory.fingerprint();
+        for tech in [
+            Technique::Uv,
+            Technique::DacIdeal,
+            Technique::darsie(),
+            Technique::Darsie(darsie::DarsieConfig::ignore_store()),
+            Technique::Darsie(darsie::DarsieConfig::no_cf_sync()),
+            Technique::Darsie(darsie::DarsieConfig::no_versioning()),
+            Technique::SiliconSync,
+        ] {
+            // run() already validates outputs against the CPU reference.
+            let r = w.run(&cfg(), tech.clone());
+            assert_eq!(
+                r.memory.fingerprint(),
+                base_fp,
+                "{} under {}: memory image diverged from baseline",
+                w.abbr,
+                tech.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn instruction_count_is_conserved() {
+    // Eliminated instructions replace executions one for one: for every
+    // technique, executed + eliminated equals the baseline's executed
+    // count (control flow is deterministic).
+    for w in catalog(Scale::Test) {
+        let base = w.run(&cfg(), Technique::Base).stats.instrs_executed;
+        for tech in [Technique::Uv, Technique::DacIdeal, Technique::darsie()] {
+            let s = w.run(&cfg(), tech.clone()).stats;
+            let total =
+                s.instrs_executed + s.instrs_skipped.total() + s.instrs_reused.total();
+            assert_eq!(
+                total,
+                base,
+                "{} under {}: executed {} + eliminated {} != baseline {}",
+                w.abbr,
+                tech.label(),
+                s.instrs_executed,
+                s.instrs_skipped.total() + s.instrs_reused.total(),
+                base
+            );
+        }
+    }
+}
+
+#[test]
+fn darsie_skips_on_promoted_2d_blocks_only() {
+    for w in catalog(Scale::Test) {
+        let s = w.run(&cfg(), Technique::darsie()).stats;
+        if w.launch.promotes_conditional_redundancy() {
+            assert!(
+                s.instrs_skipped.total() > 0,
+                "{} promotes but skipped nothing",
+                w.abbr
+            );
+        }
+        if !w.is_2d {
+            // 1D blocks can still skip *definitely* redundant (uniform)
+            // work, but never affine/unstructured.
+            assert_eq!(s.instrs_skipped.affine, 0, "{}", w.abbr);
+            assert_eq!(s.instrs_skipped.unstructured, 0, "{}", w.abbr);
+        }
+    }
+}
+
+#[test]
+fn schedulers_produce_identical_results() {
+    use darsie_repro::sim::SchedulerPolicy;
+    for abbr in ["MM", "HS", "LIB"] {
+        let w = workloads::by_abbr(abbr, Scale::Test).expect("exists");
+        let gto = w.run(&cfg(), Technique::darsie());
+        let lrr_cfg = GpuConfig { scheduler: SchedulerPolicy::Lrr, ..cfg() };
+        let lrr = w.run(&lrr_cfg, Technique::darsie());
+        assert_eq!(
+            gto.memory.fingerprint(),
+            lrr.memory.fingerprint(),
+            "{abbr}: scheduler policy changed results"
+        );
+    }
+}
+
+#[test]
+fn multi_sm_partitioning_preserves_results() {
+    for abbr in ["FW", "DCT8x8"] {
+        let w = workloads::by_abbr(abbr, Scale::Test).expect("exists");
+        let one = w.run(&cfg(), Technique::darsie());
+        let four = w.run(&GpuConfig { num_sms: 4, ..cfg() }, Technique::darsie());
+        assert_eq!(
+            one.memory.fingerprint(),
+            four.memory.fingerprint(),
+            "{abbr}: SM count changed results"
+        );
+    }
+}
