@@ -5,7 +5,13 @@
 //! darsie-sim MM --technique darsie --sms 4 --scale eval
 //! darsie-sim LIB --technique base --scheduler lrr
 //! darsie-sim --list
+//! darsie-sim verify [ABBR ...] [--scale test|eval]
 //! ```
+//!
+//! The `verify` subcommand runs the `simt-verify` static checks and the
+//! differential marking-soundness oracle over the selected workloads
+//! (all of them by default) and exits non-zero on any error-severity
+//! finding.
 
 use darsie::DarsieConfig;
 use gpu_energy::EnergyModel;
@@ -14,7 +20,8 @@ use workloads::{by_abbr, catalog, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: darsie-sim <ABBR> [options]   |   darsie-sim --list\n\
+        "usage: darsie-sim <ABBR> [options]   |   darsie-sim --list   |   \
+         darsie-sim verify [ABBR ...] [--scale test|eval]\n\
          options:\n\
            --technique base|uv|dac|darsie|darsie-ignore-store|darsie-no-cf-sync|silicon-sync\n\
            --scale test|eval        (default eval)\n\
@@ -27,6 +34,61 @@ fn usage() -> ! {
            --no-validate            skip the CPU-reference check"
     );
     std::process::exit(2);
+}
+
+/// `darsie-sim verify`: run all three `simt-verify` passes over the
+/// selected workloads at their native launches and exit 1 on any
+/// error-severity finding.
+fn verify_command(args: &[String]) {
+    let mut scale = Scale::Test;
+    let mut abbrs: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = match it.next().map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("eval") => Scale::Eval,
+                    _ => usage(),
+                }
+            }
+            s if !s.starts_with("--") => abbrs.push(s.to_string()),
+            _ => usage(),
+        }
+    }
+    let selected: Vec<workloads::Workload> = if abbrs.is_empty() {
+        catalog(scale)
+    } else {
+        abbrs
+            .iter()
+            .map(|a| {
+                by_abbr(a, scale).unwrap_or_else(|| {
+                    eprintln!("unknown benchmark `{a}` (try --list)");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for w in &selected {
+        let report = simt_verify::verify_full(&w.ck, &w.launch, w.memory.clone());
+        errors += report.error_count();
+        warnings += report.warning_count();
+        if report.items.is_empty() {
+            println!(
+                "verify {:8} ({}, TB=({},{},{})): clean",
+                w.abbr, w.name, w.block.x, w.block.y, w.block.z
+            );
+        } else {
+            print!("{}", report.render());
+        }
+    }
+    println!("verified {} workload(s): {errors} error(s), {warnings} warning(s)", selected.len());
+    if errors > 0 {
+        std::process::exit(1);
+    }
 }
 
 fn main() {
@@ -42,6 +104,10 @@ fn main() {
                 if w.is_2d { "2D" } else { "1D" }
             );
         }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("verify") {
+        verify_command(&args[1..]);
         return;
     }
     let Some(abbr) = args.first().filter(|a| !a.starts_with("--")) else { usage() };
@@ -90,9 +156,7 @@ fn main() {
         "uv" => Technique::Uv,
         "dac" | "dac-ideal" => Technique::DacIdeal,
         "darsie" => Technique::Darsie(dcfg),
-        "darsie-ignore-store" => {
-            Technique::Darsie(DarsieConfig { ignore_store: true, ..dcfg })
-        }
+        "darsie-ignore-store" => Technique::Darsie(DarsieConfig { ignore_store: true, ..dcfg }),
         "darsie-no-cf-sync" => Technique::Darsie(DarsieConfig { no_cf_sync: true, ..dcfg }),
         "silicon-sync" => Technique::SiliconSync,
         _ => usage(),
@@ -111,7 +175,11 @@ fn main() {
     };
 
     let start = std::time::Instant::now();
-    let r = if validate { w.run(&cfg, technique.clone()) } else { w.run_unchecked(&cfg, technique.clone()) };
+    let r = if validate {
+        w.run(&cfg, technique.clone())
+    } else {
+        w.run_unchecked(&cfg, technique.clone())
+    };
     let wall = start.elapsed();
     let s = &r.stats;
 
@@ -137,12 +205,18 @@ fn main() {
         s.l2_hits,
         s.l2_hits + s.l2_misses
     );
-    println!("  shared ops           {:>12}  ({} bank conflicts)", s.smem_ops, s.smem_bank_conflicts);
+    println!(
+        "  shared ops           {:>12}  ({} bank conflicts)",
+        s.smem_ops, s.smem_bank_conflicts
+    );
     println!("  barrier waits        {:>12}", s.barrier_waits);
     if s.darsie.skip_table_probes > 0 {
         println!("  -- DARSIE --");
         println!("  skip-table probes    {:>12}", s.darsie.skip_table_probes);
-        println!("  leaders / skips      {:>12} / {}", s.darsie.leaders_elected, s.darsie.instructions_skipped);
+        println!(
+            "  leaders / skips      {:>12} / {}",
+            s.darsie.leaders_elected, s.darsie.instructions_skipped
+        );
         println!("  load invalidations   {:>12}", s.darsie.load_invalidations);
         println!("  wait-for-leader cyc  {:>12}", s.darsie.wait_for_leader_cycles);
         println!("  branch-sync cyc      {:>12}", s.darsie.branch_sync_cycles);

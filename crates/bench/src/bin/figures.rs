@@ -51,8 +51,8 @@ fn main() {
     }
     if artifacts.iter().any(|a| a == "all") {
         artifacts = [
-            "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig6", "fig8", "fig9",
-            "fig10", "fig11", "fig12", "area",
+            "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig6", "fig8", "fig9", "fig10",
+            "fig11", "fig12", "area",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -84,28 +84,24 @@ fn main() {
             "fig3" => println!("{}", fig3_walkthrough()),
             "fig6" => println!("{}", fig6_markings()),
             "fig8" => {
-                let r = fig8_report
-                    .get_or_insert_with(|| collect(scale, &cfg, &fig8_techniques()));
+                let r = fig8_report.get_or_insert_with(|| collect(scale, &cfg, &fig8_techniques()));
                 println!("{}", r.render_fig8());
             }
             "fig9" => {
-                let r = fig8_report
-                    .get_or_insert_with(|| collect(scale, &cfg, &fig8_techniques()));
+                let r = fig8_report.get_or_insert_with(|| collect(scale, &cfg, &fig8_techniques()));
                 println!("{}", r.render_insn_reduction(false));
             }
             "fig10" => {
-                let r = fig8_report
-                    .get_or_insert_with(|| collect(scale, &cfg, &fig8_techniques()));
+                let r = fig8_report.get_or_insert_with(|| collect(scale, &cfg, &fig8_techniques()));
                 println!("{}", r.render_insn_reduction(true));
             }
             "fig11" => {
-                let r = fig8_report
-                    .get_or_insert_with(|| collect(scale, &cfg, &fig8_techniques()));
+                let r = fig8_report.get_or_insert_with(|| collect(scale, &cfg, &fig8_techniques()));
                 println!("{}", r.render_fig11());
             }
             "fig12" => {
-                let r = fig12_report
-                    .get_or_insert_with(|| collect(scale, &cfg, &fig12_techniques()));
+                let r =
+                    fig12_report.get_or_insert_with(|| collect(scale, &cfg, &fig12_techniques()));
                 println!(
                     "{}",
                     r.render_speedups("Figure 12: effect of synchronization (speedup over BASE)")
@@ -122,8 +118,8 @@ fn main() {
 fn fig3_walkthrough() -> String {
     use std::fmt::Write as _;
     let mut out = String::from("Figure 3: tid.x chain under 1D and 2D threadblocks (warp=4)\n");
-    for (label, block) in [("1D (8,1)", simt_isa::Dim3::one_d(8)),
-        ("2D (4,2)", simt_isa::Dim3::two_d(4, 2))]
+    for (label, block) in
+        [("1D (8,1)", simt_isa::Dim3::one_d(8)), ("2D (4,2)", simt_isa::Dim3::two_d(4, 2))]
     {
         let mut b = KernelBuilder::new("fig3");
         let t = b.special(SpecialReg::TidX);
@@ -135,9 +131,7 @@ fn fig3_walkthrough() -> String {
         let mut mem = gpu_sim::GlobalMemory::new();
         // Array of "random" words at base 16.
         mem.write_slice_u32(16, &[7, 3, 0, 90, 55, 8, 22, 1]);
-        let launch = LaunchConfig::new(1u32, block)
-            .with_warp_size(4)
-            .with_params(vec![Value(0)]);
+        let launch = LaunchConfig::new(1u32, block).with_warp_size(4).with_params(vec![Value(0)]);
         let (trace, _) = trace_redundancy(&ck, &launch, mem);
         let _ = writeln!(
             out,
@@ -151,5 +145,8 @@ fn fig3_walkthrough() -> String {
 /// Figure 6: the compiler's DR/CR/V markings on the MatrixMul kernel.
 fn fig6_markings() -> String {
     let w = workloads::by_abbr("MM", Scale::Test).expect("MM exists");
-    format!("Figure 6: compiler markings for the MatrixMul kernel\n{}", w.ck.annotated_disassembly())
+    format!(
+        "Figure 6: compiler markings for the MatrixMul kernel\n{}",
+        w.ck.annotated_disassembly()
+    )
 }

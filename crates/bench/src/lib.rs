@@ -177,12 +177,8 @@ impl Report {
     #[must_use]
     pub fn render_insn_reduction(&self, two_d: bool) -> String {
         let fig = if two_d { "Figure 10" } else { "Figure 9" };
-        let labels: Vec<&str> = self.rows[0]
-            .per_tech
-            .iter()
-            .map(|(l, _)| *l)
-            .filter(|l| *l != "BASE")
-            .collect();
+        let labels: Vec<&str> =
+            self.rows[0].per_tech.iter().map(|(l, _)| *l).filter(|l| *l != "BASE").collect();
         let mut out =
             format!("{fig}: % of warp instructions eliminated (uniform/affine/unstructured)\n");
         for r in self.rows.iter().filter(|r| r.is_2d == two_d) {
@@ -201,16 +197,9 @@ impl Report {
         }
         for l in &labels {
             let g = gmean(
-                self.rows
-                    .iter()
-                    .filter(|r| r.is_2d == two_d)
-                    .map(|r| 1.0 - r.insn_reduction(l).0),
+                self.rows.iter().filter(|r| r.is_2d == two_d).map(|r| 1.0 - r.insn_reduction(l).0),
             );
-            out.push_str(&format!(
-                "GMEAN    {:>20}  total {:5.1}%\n",
-                l,
-                (1.0 - g) * 100.0
-            ));
+            out.push_str(&format!("GMEAN    {:>20}  total {:5.1}%\n", l, (1.0 - g) * 100.0));
         }
         out
     }
@@ -219,12 +208,8 @@ impl Report {
     #[must_use]
     pub fn render_fig11(&self) -> String {
         let model = EnergyModel::with_sms(self.num_sms);
-        let labels: Vec<&str> = self.rows[0]
-            .per_tech
-            .iter()
-            .map(|(l, _)| *l)
-            .filter(|l| *l != "BASE")
-            .collect();
+        let labels: Vec<&str> =
+            self.rows[0].per_tech.iter().map(|(l, _)| *l).filter(|l| *l != "BASE").collect();
         let mut out = String::from("Figure 11: % energy reduction vs BASE\n");
         out.push_str(&format!("{:10}", "bench"));
         for l in &labels {
@@ -296,9 +281,8 @@ pub fn limit_study(scale: Scale) -> Vec<LimitRow> {
 pub fn render_fig1(rows: &[LimitRow]) -> String {
     let n = rows.len() as f64;
     let avg = |i: usize| rows.iter().map(|r| r.levels[i]).sum::<f64>() / n * 100.0;
-    let mut out = String::from(
-        "Figure 1: redundant instructions per thread-grouping level (average)\n",
-    );
+    let mut out =
+        String::from("Figure 1: redundant instructions per thread-grouping level (average)\n");
     out.push_str(&format!("Grid-wide redundant insn: {:5.1}%\n", avg(0)));
     out.push_str(&format!("TB-wide redundant insn:   {:5.1}%\n", avg(1)));
     out.push_str(&format!("Warp-wide redundant insn: {:5.1}%\n", avg(2)));
@@ -391,11 +375,7 @@ mod tests {
     #[test]
     fn collect_and_render_smoke() {
         let cfg = GpuConfig { shadow_check: false, ..GpuConfig::test_small() };
-        let report = collect(
-            Scale::Test,
-            &cfg,
-            &[Technique::Base, Technique::darsie()],
-        );
+        let report = collect(Scale::Test, &cfg, &[Technique::Base, Technique::darsie()]);
         assert_eq!(report.rows.len(), 13);
         let fig8 = report.render_fig8();
         assert!(fig8.contains("GMEAN-2D"), "{fig8}");
@@ -405,12 +385,8 @@ mod tests {
         let fig11 = report.render_fig11();
         assert!(fig11.contains('%'));
         // DARSIE must eliminate instructions on the 2D subset.
-        let g: f64 = report
-            .rows
-            .iter()
-            .filter(|r| r.is_2d)
-            .map(|r| r.insn_reduction("DARSIE").0)
-            .sum();
+        let g: f64 =
+            report.rows.iter().filter(|r| r.is_2d).map(|r| r.insn_reduction("DARSIE").0).sum();
         assert!(g > 0.0, "no 2D skipping at all");
     }
 

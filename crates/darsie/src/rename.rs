@@ -192,7 +192,8 @@ mod tests {
     fn allocate_bind_free_cycle() {
         let mut r = RenameState::new(4);
         let mut s = stats();
-        let (v1, p1) = r.allocate_version(0, 5, &mut s).unwrap();
+        let (v1, p1) =
+            r.allocate_version(0, 5, &mut s).expect("freelist still holds free physical registers");
         assert_eq!(v1, 1);
         assert_eq!(r.free_regs(), 3);
         // Followers bind the same version.
@@ -200,7 +201,8 @@ mod tests {
         assert_eq!(r.bind(2, 5, v1, &mut s), Some(p1));
         assert_eq!(r.lookup(1, 5, &mut s), Some((v1, p1)));
         // Second write to the same register creates version 2.
-        let (v2, _p2) = r.allocate_version(0, 5, &mut s).unwrap();
+        let (v2, _p2) =
+            r.allocate_version(0, 5, &mut s).expect("freelist still holds free physical registers");
         assert_eq!(v2, 2);
         assert_eq!(r.live_versions(), 2, "v1 still referenced by warps 1,2");
         // Warps 1 and 2 move on to v2; v1 is freed.
@@ -224,7 +226,8 @@ mod tests {
     fn release_warp_frees_orphaned_versions() {
         let mut r = RenameState::new(4);
         let mut s = stats();
-        let (v1, _) = r.allocate_version(0, 7, &mut s).unwrap();
+        let (v1, _) =
+            r.allocate_version(0, 7, &mut s).expect("freelist still holds free physical registers");
         r.bind(1, 7, v1, &mut s);
         r.release_warp(0);
         assert_eq!(r.live_versions(), 1, "warp 1 still holds v1");
@@ -238,7 +241,8 @@ mod tests {
     fn rebinding_same_version_does_not_double_free() {
         let mut r = RenameState::new(4);
         let mut s = stats();
-        let (v1, _) = r.allocate_version(0, 7, &mut s).unwrap();
+        let (v1, _) =
+            r.allocate_version(0, 7, &mut s).expect("freelist still holds free physical registers");
         r.bind(1, 7, v1, &mut s);
         r.bind(1, 7, v1, &mut s);
         assert_eq!(r.live_versions(), 1);
@@ -250,8 +254,10 @@ mod tests {
     fn distinct_registers_version_independently() {
         let mut r = RenameState::new(8);
         let mut s = stats();
-        let (va, _) = r.allocate_version(0, 1, &mut s).unwrap();
-        let (vb, _) = r.allocate_version(0, 2, &mut s).unwrap();
+        let (va, _) =
+            r.allocate_version(0, 1, &mut s).expect("freelist still holds free physical registers");
+        let (vb, _) =
+            r.allocate_version(0, 2, &mut s).expect("freelist still holds free physical registers");
         assert_eq!(va, 1);
         assert_eq!(vb, 1, "versions are per register name");
         assert_eq!(r.live_versions(), 2);
@@ -261,7 +267,8 @@ mod tests {
     fn accounting_counts_reads_and_writes() {
         let mut r = RenameState::new(4);
         let mut s = stats();
-        let (v, _) = r.allocate_version(0, 3, &mut s).unwrap();
+        let (v, _) =
+            r.allocate_version(0, 3, &mut s).expect("freelist still holds free physical registers");
         r.bind(1, 3, v, &mut s);
         let _ = r.lookup(1, 3, &mut s);
         let _ = r.lookup(2, 3, &mut s);
@@ -274,9 +281,11 @@ mod tests {
     fn binding_a_dead_version_is_harmless() {
         let mut r = RenameState::new(2);
         let mut s = stats();
-        let (v1, _) = r.allocate_version(0, 5, &mut s).unwrap();
+        let (v1, _) =
+            r.allocate_version(0, 5, &mut s).expect("freelist still holds free physical registers");
         // Leader moves on; v1 loses its last reference and is freed.
-        let (_v2, _) = r.allocate_version(0, 5, &mut s).unwrap();
+        let (_v2, _) =
+            r.allocate_version(0, 5, &mut s).expect("freelist still holds free physical registers");
         assert_eq!(r.live_versions(), 1);
         // A late follower tries to bind the dead version.
         assert_eq!(r.bind(3, 5, v1, &mut s), None);
@@ -287,7 +296,8 @@ mod tests {
     fn unbind_releases_single_binding() {
         let mut r = RenameState::new(2);
         let mut s = stats();
-        let (v, _) = r.allocate_version(0, 3, &mut s).unwrap();
+        let (v, _) =
+            r.allocate_version(0, 3, &mut s).expect("freelist still holds free physical registers");
         r.bind(1, 3, v, &mut s);
         r.unbind(0, 3);
         assert_eq!(r.live_versions(), 1, "warp 1 still bound");
@@ -301,7 +311,8 @@ mod tests {
     fn free_version_undoes_allocation() {
         let mut r = RenameState::new(2);
         let mut s = stats();
-        let (v, _) = r.allocate_version(0, 9, &mut s).unwrap();
+        let (v, _) =
+            r.allocate_version(0, 9, &mut s).expect("freelist still holds free physical registers");
         r.free_version(9, v);
         assert_eq!(r.free_regs(), 2);
         assert_eq!(r.live_versions(), 0);

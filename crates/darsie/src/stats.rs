@@ -65,11 +65,7 @@ mod tests {
     #[test]
     fn merge_adds_fields() {
         let mut a = DarsieStats { instructions_skipped: 3, rename_reads: 5, ..Default::default() };
-        let b = DarsieStats {
-            instructions_skipped: 4,
-            leaders_elected: 2,
-            ..Default::default()
-        };
+        let b = DarsieStats { instructions_skipped: 4, leaders_elected: 2, ..Default::default() };
         a.merge(&b);
         assert_eq!(a.instructions_skipped, 7);
         assert_eq!(a.leaders_elected, 2);

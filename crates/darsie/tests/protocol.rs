@@ -24,8 +24,11 @@ enum Event {
 fn arb_event() -> impl Strategy<Value = Event> {
     prop_oneof![
         (0u8..6, 1u8..4, 0u8..8).prop_map(|(pc, i, w)| Event::Probe { pc, instance: i, warp: w }),
-        (0u8..6, 1u8..4, 0u8..8)
-            .prop_map(|(pc, i, w)| Event::Writeback { pc, instance: i, warp: w }),
+        (0u8..6, 1u8..4, 0u8..8).prop_map(|(pc, i, w)| Event::Writeback {
+            pc,
+            instance: i,
+            warp: w
+        }),
         (0u8..6, 1u8..4, 0u8..8).prop_map(|(pc, i, w)| Event::Wait { pc, instance: i, warp: w }),
         (0u8..6, 1u8..4, 0u8..8).prop_map(|(pc, i, w)| Event::Pass { pc, instance: i, warp: w }),
         Just(Event::InvalidateLoads),

@@ -121,14 +121,12 @@ impl EnergyModel {
             + s.instrs_fetched as f64 * self.decode_pj;
         let register_file =
             s.rf_reads as f64 * self.rf_read_pj + s.rf_writes as f64 * self.rf_write_pj;
-        let execute =
-            s.alu_ops as f64 * self.alu_op_pj + s.sfu_ops as f64 * self.sfu_op_pj;
+        let execute = s.alu_ops as f64 * self.alu_op_pj + s.sfu_ops as f64 * self.sfu_op_pj;
         let memory = (s.l1_hits + s.l1_misses) as f64 * self.l1_access_pj
             + (s.l2_hits + s.l2_misses) as f64 * self.l2_access_pj
             + s.l2_misses as f64 * self.dram_access_pj
             + s.atomic_ops as f64 * self.atomic_pj;
-        let shared_memory =
-            (s.smem_ops + s.smem_bank_conflicts) as f64 * self.smem_access_pj;
+        let shared_memory = (s.smem_ops + s.smem_bank_conflicts) as f64 * self.smem_access_pj;
         let static_energy = s.cycles as f64 * self.static_per_sm_cycle_pj * self.num_sms;
         let d = &s.darsie;
         let darsie_overhead = d.skip_table_probes as f64 * self.skip_probe_pj

@@ -334,7 +334,10 @@ mod tests {
         assert_eq!(alu(Op::IMad, 3, 4, 5), 17);
         assert_eq!(alu(Op::Sra, (-8i32) as u32, 1, 0) as i32, -4);
         assert_eq!(alu(Op::Shr, (-8i32) as u32, 1, 0), 0x7FFF_FFFC);
-        assert_eq!(f32::from_bits(alu(Op::FFma, 2.0f32.to_bits(), 3.0f32.to_bits(), 1.0f32.to_bits())), 7.0);
+        assert_eq!(
+            f32::from_bits(alu(Op::FFma, 2.0f32.to_bits(), 3.0f32.to_bits(), 1.0f32.to_bits())),
+            7.0
+        );
         assert_eq!(f32::from_bits(alu(Op::FSqrt, 9.0f32.to_bits(), 0, 0)), 3.0);
         assert_eq!(alu(Op::F2I, (-2.7f32).to_bits(), 0, 0) as i32, -2, "truncates toward zero");
         assert_eq!(alu(Op::F2I, f32::NAN.to_bits(), 0, 0), 0);
@@ -381,12 +384,14 @@ mod tests {
         let mut ctx = ctx_fixture(&mut g, &mut sh);
         let mut w = Warp::new(0, 0, 0, 8, 8, 0x1, 0); // single lane
         w.set_reg(Reg(0), 0, 0x1000);
-        let ld = Instruction::new(Op::Ld(MemSpace::Global), Some(Reg(1)), None, vec![Reg(0).into()]);
+        let ld =
+            Instruction::new(Op::Ld(MemSpace::Global), Some(Reg(1)), None, vec![Reg(0).into()]);
         let e = execute(&mut w, &ld, &mut ctx);
         assert_eq!(w.reg(Reg(1), 0), 77);
         assert!(matches!(e, ExecEffect::Memory { space: MemSpace::Global, is_store: false, .. }));
 
-        let lds = Instruction::new(Op::Ld(MemSpace::Shared), Some(Reg(2)), None, vec![Operand::Imm(12)]);
+        let lds =
+            Instruction::new(Op::Ld(MemSpace::Shared), Some(Reg(2)), None, vec![Operand::Imm(12)]);
         execute(&mut w, &lds, &mut ctx);
         assert_eq!(w.reg(Reg(2), 0), 55);
 
@@ -415,8 +420,9 @@ mod tests {
             ctaid: Dim3::three_d(0, 0, 0),
         };
         let mut w = Warp::new(0, 0, 0, 4, 8, 0xFF, 0);
-        let ld = Instruction::new(Op::Ld(MemSpace::Param), Some(Reg(0)), None, vec![Operand::Imm(0)])
-            .with_offset(4);
+        let ld =
+            Instruction::new(Op::Ld(MemSpace::Param), Some(Reg(0)), None, vec![Operand::Imm(0)])
+                .with_offset(4);
         execute(&mut w, &ld, &mut ctx);
         assert_eq!(w.reg_vector(Reg(0)), vec![222; 8]);
     }

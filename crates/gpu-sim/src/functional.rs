@@ -1,0 +1,231 @@
+//! Headless, timing-free execution of one threadblock through the
+//! functional executor (`exec.rs`).
+//!
+//! This is the shared substrate for every value-level oracle in the
+//! workspace: the redundancy tracer (`tracer.rs`) and the marking
+//! soundness sanitizer in `simt-verify` both drive it with their own
+//! [`FunctionalObserver`]. Warps are stepped round-robin with correct
+//! barrier semantics (a `bar.sync` parks the warp until every non-exited
+//! warp of the TB arrives), SIMT-stack divergence and reconvergence, but
+//! no pipeline model — one instruction per warp per scheduling pass.
+
+use crate::exec::{execute, ExecContext, ExecEffect};
+use crate::mem::GlobalMemory;
+use crate::warp::{Warp, WarpState};
+use simt_compiler::CompiledKernel;
+use simt_isa::{Dim3, Instruction, LaunchConfig};
+use std::collections::HashMap;
+
+/// Hooks invoked around every dynamic warp instruction of a headless run.
+///
+/// `occurrence` is the 1-based dynamic execution count of `pc` *within
+/// the observed warp* — the DARSIE instance number used to align the same
+/// dynamic occurrence across warps of a TB.
+pub trait FunctionalObserver {
+    /// Called before `instr` executes: the warp still holds its
+    /// pre-execution register state and the active mask of the issuing
+    /// path (the warp has not advanced past `pc` yet).
+    fn before_instruction(
+        &mut self,
+        _warp_index: usize,
+        _pc: usize,
+        _occurrence: u32,
+        _instr: &Instruction,
+        _warp: &Warp,
+    ) {
+    }
+
+    /// Called after `instr` executed, with destination registers /
+    /// predicates updated. Branch, barrier and exit control effects are
+    /// applied to the warp *after* this hook returns.
+    fn after_instruction(
+        &mut self,
+        _warp_index: usize,
+        _pc: usize,
+        _occurrence: u32,
+        _instr: &Instruction,
+        _warp: &Warp,
+    ) {
+    }
+}
+
+/// Observer that records nothing (plain functional execution).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl FunctionalObserver for NullObserver {}
+
+/// The `i`-th threadblock of a grid in row-major (x fastest) launch order.
+#[must_use]
+pub fn ctaid_at(grid: Dim3, i: u64) -> Dim3 {
+    Dim3::three_d(
+        (i % u64::from(grid.x)) as u32,
+        ((i / u64::from(grid.x)) % u64::from(grid.y)) as u32,
+        (i / (u64::from(grid.x) * u64::from(grid.y))) as u32,
+    )
+}
+
+/// Runs one threadblock to completion, invoking `observer` around every
+/// dynamic warp instruction. Global memory effects are applied to
+/// `global`; shared memory is private to the TB and dropped afterwards.
+pub fn run_tb_functional<O: FunctionalObserver>(
+    ck: &CompiledKernel,
+    launch: &LaunchConfig,
+    ctaid: Dim3,
+    global: &mut GlobalMemory,
+    observer: &mut O,
+) {
+    let ws = launch.warp_size;
+    let threads = launch.threads_per_block();
+    let num_warps = launch.warps_per_block() as usize;
+    let mut shared = vec![0u32; (ck.kernel.shared_mem_bytes as usize).div_ceil(4)];
+    let mut warps: Vec<Warp> = (0..num_warps)
+        .map(|w| {
+            let lanes = threads.saturating_sub(w as u32 * ws).min(ws);
+            let full = if lanes >= 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+            Warp::new(w, 0, w as u32, ck.kernel.num_regs, ws, full, w as u64)
+        })
+        .collect();
+    let mut occurrences: Vec<HashMap<usize, u32>> = vec![HashMap::new(); num_warps];
+    let mut at_barrier = vec![false; num_warps];
+
+    loop {
+        let mut progressed = false;
+        for w in 0..num_warps {
+            if warps[w].state == WarpState::Done || at_barrier[w] {
+                continue;
+            }
+            let Some(pc) = warps[w].next_pc() else {
+                warps[w].state = WarpState::Done;
+                continue;
+            };
+            let instr = ck.kernel.instrs[pc].clone();
+            let o = occurrences[w].entry(pc).or_insert(0);
+            *o += 1;
+            let occurrence = *o;
+
+            observer.before_instruction(w, pc, occurrence, &instr, &warps[w]);
+
+            warps[w].advance();
+            let effect = {
+                let mut ctx = ExecContext {
+                    global,
+                    shared: &mut shared,
+                    params: &launch.params,
+                    grid: launch.grid,
+                    block: launch.block,
+                    ctaid,
+                };
+                execute(&mut warps[w], &instr, &mut ctx)
+            };
+            progressed = true;
+
+            observer.after_instruction(w, pc, occurrence, &instr, &warps[w]);
+
+            match effect {
+                ExecEffect::Branch { taken, target } => {
+                    let reconv = ck.recon.recon[pc].unwrap_or(usize::MAX);
+                    warps[w].take_branch(pc, target, taken, reconv);
+                    warps[w].reconverge();
+                }
+                ExecEffect::Barrier => {
+                    at_barrier[w] = true;
+                    warps[w].reconverge();
+                }
+                ExecEffect::Exit => {
+                    if warps[w].exit_path() {
+                        warps[w].state = WarpState::Done;
+                    }
+                    warps[w].reconverge();
+                }
+                _ => {
+                    warps[w].reconverge();
+                }
+            }
+        }
+        // Barrier release: once every live warp is parked, open the gate.
+        let all_blocked_or_done =
+            warps.iter().enumerate().all(|(i, w)| w.state == WarpState::Done || at_barrier[i]);
+        if all_blocked_or_done {
+            if warps.iter().all(|w| w.state == WarpState::Done) {
+                break;
+            }
+            at_barrier.fill(false);
+        }
+        if !progressed && !at_barrier.iter().any(|&b| b) {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_isa::{KernelBuilder, LaunchConfig, MemSpace, SpecialReg, Value};
+
+    /// Counting observer: every before has a matching after, occurrences
+    /// are 1-based and contiguous per (warp, pc).
+    #[derive(Default)]
+    struct Counter {
+        before: u64,
+        after: u64,
+        max_occurrence: u32,
+    }
+
+    impl FunctionalObserver for Counter {
+        fn before_instruction(
+            &mut self,
+            _w: usize,
+            _pc: usize,
+            occ: u32,
+            _i: &Instruction,
+            _warp: &Warp,
+        ) {
+            self.before += 1;
+            self.max_occurrence = self.max_occurrence.max(occ);
+        }
+        fn after_instruction(
+            &mut self,
+            _w: usize,
+            _pc: usize,
+            _occ: u32,
+            _i: &Instruction,
+            _warp: &Warp,
+        ) {
+            self.after += 1;
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_instruction_once() {
+        let mut b = KernelBuilder::new("obs");
+        let t = b.special(SpecialReg::TidX);
+        let out = b.param(0);
+        let off = b.shl_imm(t, 2);
+        let addr = b.iadd(out, off);
+        b.store(MemSpace::Global, addr, t, 0);
+        let ck = simt_compiler::compile(b.finish());
+
+        let mut mem = GlobalMemory::new();
+        let buf = mem.alloc(64 * 4);
+        let launch = LaunchConfig::new(1u32, Dim3::one_d(64)).with_params(vec![Value(buf as u32)]);
+        let mut obs = Counter::default();
+        run_tb_functional(&ck, &launch, Dim3::three_d(0, 0, 0), &mut mem, &mut obs);
+        assert_eq!(obs.before, obs.after);
+        // 2 warps x 6 instructions (incl. exit), straight-line code.
+        assert_eq!(obs.before, 2 * ck.kernel.instrs.len() as u64);
+        assert_eq!(obs.max_occurrence, 1);
+        // The store really happened.
+        assert_eq!(mem.read_u32(buf + 4 * 63), 63);
+    }
+
+    #[test]
+    fn ctaid_enumeration_is_row_major() {
+        let grid = Dim3::three_d(2, 3, 2);
+        assert_eq!(ctaid_at(grid, 0), Dim3::three_d(0, 0, 0));
+        assert_eq!(ctaid_at(grid, 1), Dim3::three_d(1, 0, 0));
+        assert_eq!(ctaid_at(grid, 2), Dim3::three_d(0, 1, 0));
+        assert_eq!(ctaid_at(grid, 6), Dim3::three_d(0, 0, 1));
+        assert_eq!(ctaid_at(grid, 11), Dim3::three_d(1, 2, 1));
+    }
+}

@@ -55,8 +55,9 @@ impl Gpu {
         memory: GlobalMemory,
     ) -> SimResult {
         let kd = Arc::new(KernelData::new(ck.clone(), launch.clone()));
-        let mut sms: Vec<Sm> =
-            (0..self.cfg.num_sms).map(|i| Sm::new(i, &self.cfg, self.technique.clone(), Arc::clone(&kd))).collect();
+        let mut sms: Vec<Sm> = (0..self.cfg.num_sms)
+            .map(|i| Sm::new(i, &self.cfg, self.technique.clone(), Arc::clone(&kd)))
+            .collect();
 
         // Grid iteration order: x fastest, like the hardware dispatcher.
         let total_tbs = launch.num_blocks();

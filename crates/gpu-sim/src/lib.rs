@@ -57,6 +57,7 @@
 pub mod config;
 pub mod events;
 pub mod exec;
+pub mod functional;
 pub mod gpu;
 pub mod mem;
 pub mod occupancy;
@@ -69,8 +70,10 @@ pub mod warp;
 
 pub use config::{GpuConfig, SchedulerPolicy, Technique};
 pub use events::{EventKind, EventLog, PipeEvent};
+pub use functional::{ctaid_at, run_tb_functional, FunctionalObserver, NullObserver};
 pub use gpu::{Gpu, SimResult};
 pub use mem::GlobalMemory;
 pub use occupancy::{occupancy, Limiter, Occupancy};
 pub use stats::{SimStats, TaxonomyCounts};
 pub use tracer::{trace_redundancy, RedundancyTrace};
+pub use warp::Warp;

@@ -161,9 +161,7 @@ impl TagCache {
     #[must_use]
     pub fn probe(&self, line_addr: u64) -> bool {
         let set = self.set_of(line_addr);
-        self.lines[set * self.assoc..(set + 1) * self.assoc]
-            .iter()
-            .any(|(t, _)| *t == line_addr)
+        self.lines[set * self.assoc..(set + 1) * self.assoc].iter().any(|(t, _)| *t == line_addr)
     }
 
     /// Invalidates the line if present (write-through store policy).

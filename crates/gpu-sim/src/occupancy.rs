@@ -58,12 +58,8 @@ pub fn occupancy(kernel: &Kernel, launch: &LaunchConfig, cfg: &GpuConfig) -> Occ
 
     let by_warps = cfg.max_warps_per_sm / wpb;
     let by_slots = cfg.max_tbs_per_sm;
-    let by_regs = if regs_per_tb == 0 { u32::MAX } else { cfg.vector_regs_per_sm / regs_per_tb };
-    let by_smem = if kernel.shared_mem_bytes == 0 {
-        u32::MAX
-    } else {
-        cfg.shared_mem_per_sm / kernel.shared_mem_bytes
-    };
+    let by_regs = cfg.vector_regs_per_sm.checked_div(regs_per_tb).unwrap_or(u32::MAX);
+    let by_smem = cfg.shared_mem_per_sm.checked_div(kernel.shared_mem_bytes).unwrap_or(u32::MAX);
 
     let (tbs, limited_by) = [
         (by_warps, Limiter::Warps),

@@ -57,11 +57,8 @@ impl ReuseBuffer {
     pub fn insert(&mut self, key: ReuseKey, value: Box<[u32]>) {
         self.tick += 1;
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
-            if let Some(victim) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, (_, lru))| *lru)
-                .map(|(k, _)| k.clone())
+            if let Some(victim) =
+                self.entries.iter().min_by_key(|(_, (_, lru))| *lru).map(|(k, _)| k.clone())
             {
                 self.entries.remove(&victim);
             }

@@ -166,10 +166,7 @@ impl Sm {
         let free_tb_slots = self.tbs.iter().filter(|t| t.is_none()).count() as u32;
         let free_warps = self.warps.iter().filter(|w| w.is_none()).count() as u32;
         let wpb = self.kd.launch.warps_per_block().max(1);
-        let placeable = (regs_free / base)
-            .min(free_tb_slots)
-            .min(free_warps / wpb)
-            .max(1);
+        let placeable = (regs_free / base).min(free_tb_slots).min(free_warps / wpb).max(1);
         let spare_after = regs_free - placeable * base;
         (spare_after / placeable).min(d.rename_regs_per_tb as u32)
     }
@@ -295,8 +292,7 @@ impl Sm {
                 let tb_idx = w.tb;
                 let warp_in_tb = w.warp_in_tb;
                 if let Some(tb) = self.tbs[tb_idx].as_mut() {
-                    let released =
-                        tb.skip_table.leader_writeback(pc, instance, warp_in_tb, now);
+                    let released = tb.skip_table.leader_writeback(pc, instance, warp_in_tb, now);
                     release_waiting(&mut self.warps, tb, released, pc, instance);
                 }
             }
@@ -501,18 +497,15 @@ impl Sm {
         // Execution unit availability.
         let kind = instr.op.kind();
         match kind {
-            OpKind::IntAlu | OpKind::FpAlu
-                if self.sp_busy[sched] > now => {
-                    return IssueOutcome::Stall;
-                }
-            OpKind::Sfu
-                if self.sfu_busy > now => {
-                    return IssueOutcome::Stall;
-                }
-            OpKind::Load | OpKind::Store | OpKind::Atomic
-                if self.lsu_busy > now => {
-                    return IssueOutcome::Stall;
-                }
+            OpKind::IntAlu | OpKind::FpAlu if self.sp_busy[sched] > now => {
+                return IssueOutcome::Stall;
+            }
+            OpKind::Sfu if self.sfu_busy > now => {
+                return IssueOutcome::Stall;
+            }
+            OpKind::Load | OpKind::Store | OpKind::Atomic if self.lsu_busy > now => {
+                return IssueOutcome::Stall;
+            }
             _ => {}
         }
 
@@ -522,8 +515,7 @@ impl Sm {
         let mut uv_key = None;
         let full_active = {
             let w = self.warps[wslot].as_ref().expect("warp exists");
-            w.active_mask() == w.full_mask
-                && w.full_mask.count_ones() == self.kd.launch.warp_size
+            w.active_mask() == w.full_mask && w.full_mask.count_ones() == self.kd.launch.warp_size
         };
         if matches!(self.technique, Technique::Uv)
             && full_active
@@ -568,9 +560,7 @@ impl Sm {
             if live & (1 << i) == 0 || counts[i] >= my {
                 return true;
             }
-            self.warps[slot]
-                .as_ref()
-                .is_none_or(|other| other.state == WarpState::AtBarrier)
+            self.warps[slot].as_ref().is_none_or(|other| other.state == WarpState::AtBarrier)
         });
         let w = self.warps[wslot].as_mut().expect("warp exists");
         if all_reached {
@@ -820,8 +810,8 @@ impl Sm {
                 let w = self.warps[wslot].as_mut().expect("warp exists");
                 w.reconverge();
                 self.handle_memory(
-                    now, wslot, tb_idx, pc, leader, instr, space, &addrs, is_store, is_atomic,
-                    l2, dram,
+                    now, wslot, tb_idx, pc, leader, instr, space, &addrs, is_store, is_atomic, l2,
+                    dram,
                 );
                 IssueOutcome::Issued
             }
@@ -880,9 +870,7 @@ impl Sm {
         };
 
         // DARSIE branch synchronization (Section 4.3.3).
-        let wants_sync = self
-            .darsie()
-            .is_some_and(|d| !d.no_cf_sync);
+        let wants_sync = self.darsie().is_some_and(|d| !d.no_cf_sync);
         if wants_sync && instr.guard.is_some() {
             let tb = self.tbs[tb_idx].as_mut().expect("TB exists");
             if tb.majority.contains(warp_in_tb) {
@@ -910,11 +898,7 @@ impl Sm {
         IssueOutcome::IssuedControl { tb_done: 0 }
     }
 
-    fn apply_branch_sync_resolution(
-        &mut self,
-        tb_idx: usize,
-        resolved: Option<(u32, Vec<u32>)>,
-    ) {
+    fn apply_branch_sync_resolution(&mut self, tb_idx: usize, resolved: Option<(u32, Vec<u32>)>) {
         let Some((released, evicted)) = resolved else { return };
         self.stats.darsie.majority_evictions += evicted.len() as u64;
         let slots: Vec<(usize, usize)> = {
@@ -1094,9 +1078,7 @@ impl Sm {
     }
 
     fn free_tb(&mut self, tb_idx: usize) {
-        let pool = self.tbs[tb_idx]
-            .as_ref()
-            .map_or(0, |t| t.rename.capacity() as u32);
+        let pool = self.tbs[tb_idx].as_ref().map_or(0, |t| t.rename.capacity() as u32);
         self.tbs[tb_idx] = None;
         self.used_regs -= self.regs_per_tb() + pool;
         self.used_smem -= self.kd.ck.kernel.shared_mem_bytes;

@@ -162,10 +162,8 @@ impl TbState {
                 *counts.entry(npc).or_default() += 1;
             }
         }
-        let majority_pc = counts
-            .iter()
-            .max_by_key(|(pc, n)| (**n, usize::MAX - **pc))
-            .map(|(pc, _)| *pc);
+        let majority_pc =
+            counts.iter().max_by_key(|(pc, n)| (**n, usize::MAX - **pc)).map(|(pc, _)| *pc);
         let mut evicted = Vec::new();
         for &(w, npc) in &e.outcomes {
             if expected & (1 << w) == 0 {
@@ -223,12 +221,7 @@ mod tests {
     use super::*;
 
     fn tb(warps: usize) -> TbState {
-        TbState::new(
-            Dim3::three_d(0, 0, 0),
-            (0..warps).collect(),
-            64,
-            &DarsieConfig::default(),
-        )
+        TbState::new(Dim3::three_d(0, 0, 0), (0..warps).collect(), 64, &DarsieConfig::default())
     }
 
     #[test]

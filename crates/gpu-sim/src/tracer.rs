@@ -10,11 +10,11 @@
 //! also serves as a validation target for the static analysis — statically
 //! marked instructions must be dynamically redundant.
 
-use crate::exec::{execute, ExecContext, ExecEffect};
+use crate::functional::{ctaid_at, run_tb_functional, FunctionalObserver};
 use crate::mem::GlobalMemory;
-use crate::warp::{Warp, WarpState};
+use crate::warp::Warp;
 use simt_compiler::{CompiledKernel, Taxonomy};
-use simt_isa::{Dim3, LaunchConfig, Operand};
+use simt_isa::{Instruction, LaunchConfig, Operand};
 use std::collections::HashMap;
 
 /// Totals produced by [`trace_redundancy`].
@@ -63,8 +63,12 @@ impl RedundancyTrace {
     #[must_use]
     pub fn taxonomy_fractions(&self) -> [f64; 4] {
         let non = self.executed - self.tb_redundant;
-        [self.frac(self.uniform), self.frac(self.affine), self.frac(self.unstructured),
-            self.frac(non)]
+        [
+            self.frac(self.uniform),
+            self.frac(self.affine),
+            self.frac(self.unstructured),
+            self.frac(non),
+        ]
     }
 }
 
@@ -132,12 +136,10 @@ pub fn trace_redundancy(
     let grid = launch.grid;
     let total = launch.num_blocks();
     for i in 0..total {
-        let ctaid = Dim3::three_d(
-            (i % u64::from(grid.x)) as u32,
-            ((i / u64::from(grid.x)) % u64::from(grid.y)) as u32,
-            (i / (u64::from(grid.x) * u64::from(grid.y))) as u32,
-        );
-        let tb_sigs = run_tb_functionally(ck, launch, ctaid, &mut global, &mut trace);
+        let ctaid = ctaid_at(grid, i);
+        let mut obs = SigObserver::new(launch, &mut trace);
+        run_tb_functional(ck, launch, ctaid, &mut global, &mut obs);
+        let tb_sigs = obs.sigs;
         // TB-level comparison: for each (pc, occ), all warps must have
         // executed it with identical signatures and full masks.
         let num_warps = tb_sigs.len();
@@ -192,152 +194,104 @@ pub fn trace_redundancy(
     (trace, global)
 }
 
-/// Executes one TB functionally (round-robin, barrier-aware) and records
-/// per-warp dynamic signatures.
-fn run_tb_functionally(
-    ck: &CompiledKernel,
-    launch: &LaunchConfig,
-    ctaid: Dim3,
-    global: &mut GlobalMemory,
-    trace: &mut RedundancyTrace,
-) -> Vec<HashMap<(usize, u32), DynSig>> {
-    let ws = launch.warp_size;
-    let threads = launch.threads_per_block();
-    let num_warps = launch.warps_per_block() as usize;
-    let mut shared = vec![0u32; (ck.kernel.shared_mem_bytes as usize).div_ceil(4)];
-    let mut warps: Vec<Warp> = (0..num_warps)
-        .map(|w| {
-            let lanes = threads.saturating_sub(w as u32 * ws).min(ws);
-            let full = if lanes >= 32 { u32::MAX } else { (1u32 << lanes) - 1 };
-            Warp::new(w, 0, w as u32, ck.kernel.num_regs, ws, full, w as u64)
-        })
-        .collect();
-    let mut sigs: Vec<HashMap<(usize, u32), DynSig>> = vec![HashMap::new(); num_warps];
-    let mut occ: Vec<HashMap<usize, u32>> = vec![HashMap::new(); num_warps];
-    let mut at_barrier = vec![false; num_warps];
+/// Scratch carried from an instruction's `before` hook to its `after`.
+struct PendingSig {
+    hash: u64,
+    worst: VecPattern,
+    any_reg: bool,
+    warp_uniform: bool,
+    full: bool,
+}
 
-    loop {
-        let mut progressed = false;
-        let all_blocked_or_done = |warps: &[Warp], at_barrier: &[bool]| {
-            warps
-                .iter()
-                .enumerate()
-                .all(|(i, w)| w.state == WarpState::Done || at_barrier[i])
-        };
-        for w in 0..num_warps {
-            if warps[w].state == WarpState::Done || at_barrier[w] {
-                continue;
-            }
-            let Some(pc) = warps[w].next_pc() else {
-                warps[w].state = WarpState::Done;
-                continue;
-            };
-            let instr = ck.kernel.instrs[pc].clone();
-            let o = occ[w].entry(pc).or_insert(0);
-            *o += 1;
-            let occurrence = *o;
+/// Observer recording the per-warp dynamic signatures of one TB run on
+/// the shared headless runner (`functional.rs`).
+struct SigObserver<'a> {
+    trace: &'a mut RedundancyTrace,
+    ws: u32,
+    sigs: Vec<HashMap<(usize, u32), DynSig>>,
+    pending: Option<PendingSig>,
+}
 
-            // Signature before execution: operand vectors.
-            let full = warps[w].active_mask() == warps[w].full_mask
-                && warps[w].full_mask.count_ones() == ws;
-            let mut hash: u64 = 0xcbf2_9ce4_8422_2325 ^ (pc as u64);
-            let mut worst = VecPattern::Uniform;
-            let mut any_reg = false;
-            let mut warp_uniform = true;
-            for &src in &instr.srcs {
-                match src {
-                    Operand::Reg(r) => {
-                        any_reg = true;
-                        let v = warps[w].reg_vector(r);
-                        hash_words(&mut hash, &v);
-                        let p = vector_pattern(&v);
-                        worst = worst_of(worst, p);
-                        warp_uniform &= p == VecPattern::Uniform;
-                    }
-                    Operand::Imm(imm) => hash_words(&mut hash, &[imm]),
-                }
-            }
-
-            warps[w].advance();
-            let effect = {
-                let mut ctx = ExecContext {
-                    global,
-                    shared: &mut shared,
-                    params: &launch.params,
-                    grid: launch.grid,
-                    block: launch.block,
-                    ctaid,
-                };
-                execute(&mut warps[w], &instr, &mut ctx)
-            };
-            trace.executed += 1;
-            *trace.per_pc_executed.entry(pc).or_default() += 1;
-            progressed = true;
-
-            // Fold the result into the signature (covers S2R and loads).
-            if let Some(d) = instr.dst {
-                let v = warps[w].reg_vector(d);
-                hash_words(&mut hash, &v);
-                let p = vector_pattern(&v);
-                // S2R has no register sources; loads are classified by the
-                // data they return (Figure 3 labels the *output* register:
-                // a load from an affine-redundant address is unstructured
-                // unless the data itself happens to be patterned).
-                if !any_reg || instr.op.is_load() {
-                    worst = p;
-                    warp_uniform = p == VecPattern::Uniform;
-                }
-            }
-            let taxonomy = match worst {
-                VecPattern::Uniform => Taxonomy::Uniform,
-                VecPattern::Affine => Taxonomy::Affine,
-                VecPattern::Arbitrary => Taxonomy::Unstructured,
-            };
-            if warp_uniform && full && !instr.srcs.is_empty() {
-                trace.warp_redundant += 1;
-            }
-            sigs[w].insert((pc, occurrence), DynSig {
-                hash,
-                full_mask: full,
-                taxonomy,
-                warp_uniform,
-            });
-
-            match effect {
-                ExecEffect::Branch { taken, target } => {
-                    let reconv = ck.recon.recon[pc].unwrap_or(usize::MAX);
-                    warps[w].take_branch(pc, target, taken, reconv);
-                    warps[w].reconverge();
-                }
-                ExecEffect::Barrier => {
-                    at_barrier[w] = true;
-                    warps[w].reconverge();
-                }
-                ExecEffect::Exit => {
-                    if warps[w].exit_path() {
-                        warps[w].state = WarpState::Done;
-                    }
-                    warps[w].reconverge();
-                }
-                _ => {
-                    warps[w].reconverge();
-                }
-            }
-        }
-        // Barrier release.
-        if all_blocked_or_done(&warps, &at_barrier) {
-            if warps.iter().all(|w| w.state == WarpState::Done) {
-                break;
-            }
-            for b in at_barrier.iter_mut() {
-                *b = false;
-            }
-        }
-        if !progressed && !at_barrier.iter().any(|&b| b) {
-            break;
+impl<'a> SigObserver<'a> {
+    fn new(launch: &LaunchConfig, trace: &'a mut RedundancyTrace) -> Self {
+        SigObserver {
+            trace,
+            ws: launch.warp_size,
+            sigs: vec![HashMap::new(); launch.warps_per_block() as usize],
+            pending: None,
         }
     }
-    sigs
+}
+
+impl FunctionalObserver for SigObserver<'_> {
+    fn before_instruction(
+        &mut self,
+        _w: usize,
+        pc: usize,
+        _occurrence: u32,
+        instr: &Instruction,
+        warp: &Warp,
+    ) {
+        // Signature before execution: operand vectors.
+        let full = warp.active_mask() == warp.full_mask && warp.full_mask.count_ones() == self.ws;
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325 ^ (pc as u64);
+        let mut worst = VecPattern::Uniform;
+        let mut any_reg = false;
+        let mut warp_uniform = true;
+        for &src in &instr.srcs {
+            match src {
+                Operand::Reg(r) => {
+                    any_reg = true;
+                    let v = warp.reg_vector(r);
+                    hash_words(&mut hash, &v);
+                    let p = vector_pattern(&v);
+                    worst = worst_of(worst, p);
+                    warp_uniform &= p == VecPattern::Uniform;
+                }
+                Operand::Imm(imm) => hash_words(&mut hash, &[imm]),
+            }
+        }
+        self.pending = Some(PendingSig { hash, worst, any_reg, warp_uniform, full });
+    }
+
+    fn after_instruction(
+        &mut self,
+        w: usize,
+        pc: usize,
+        occurrence: u32,
+        instr: &Instruction,
+        warp: &Warp,
+    ) {
+        let PendingSig { mut hash, mut worst, any_reg, mut warp_uniform, full } =
+            self.pending.take().expect("before_instruction always precedes after_instruction");
+        self.trace.executed += 1;
+        *self.trace.per_pc_executed.entry(pc).or_default() += 1;
+
+        // Fold the result into the signature (covers S2R and loads).
+        if let Some(d) = instr.dst {
+            let v = warp.reg_vector(d);
+            hash_words(&mut hash, &v);
+            let p = vector_pattern(&v);
+            // S2R has no register sources; loads are classified by the
+            // data they return (Figure 3 labels the *output* register:
+            // a load from an affine-redundant address is unstructured
+            // unless the data itself happens to be patterned).
+            if !any_reg || instr.op.is_load() {
+                worst = p;
+                warp_uniform = p == VecPattern::Uniform;
+            }
+        }
+        let taxonomy = match worst {
+            VecPattern::Uniform => Taxonomy::Uniform,
+            VecPattern::Affine => Taxonomy::Affine,
+            VecPattern::Arbitrary => Taxonomy::Unstructured,
+        };
+        if warp_uniform && full && !instr.srcs.is_empty() {
+            self.trace.warp_redundant += 1;
+        }
+        self.sigs[w]
+            .insert((pc, occurrence), DynSig { hash, full_mask: full, taxonomy, warp_uniform });
+    }
 }
 
 fn worst_of(a: VecPattern, b: VecPattern) -> VecPattern {
@@ -352,7 +306,7 @@ fn worst_of(a: VecPattern, b: VecPattern) -> VecPattern {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simt_isa::{KernelBuilder, MemSpace, SpecialReg, Value};
+    use simt_isa::{Dim3, KernelBuilder, MemSpace, SpecialReg, Value};
 
     /// The Figure-3 kernel: read in[tid.x * 4 + base].
     fn fig3(ck_2d: bool) -> (CompiledKernel, LaunchConfig, GlobalMemory) {
@@ -373,7 +327,12 @@ mod tests {
         let mut mem = GlobalMemory::new();
         let a_in = mem.alloc(1024 * 4);
         let a_out = mem.alloc(4096 * 4);
-        mem.write_slice_u32(a_in, &(0..1024u32).map(|i| i.wrapping_mul(2_654_435_761).rotate_left(11)).collect::<Vec<_>>());
+        mem.write_slice_u32(
+            a_in,
+            &(0..1024u32)
+                .map(|i| i.wrapping_mul(2_654_435_761).rotate_left(11))
+                .collect::<Vec<_>>(),
+        );
         let block = if ck_2d { Dim3::two_d(32, 8) } else { Dim3::one_d(256) };
         let launch = LaunchConfig::new(Dim3::two_d(2, 1), block)
             .with_params(vec![Value(a_in as u32), Value(a_out as u32)]);

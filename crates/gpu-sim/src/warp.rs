@@ -179,11 +179,7 @@ impl Warp {
     #[must_use]
     pub fn fetch_pc(&self) -> Option<usize> {
         let top = self.stack.last()?;
-        let buffered = self
-            .ibuffer
-            .iter()
-            .filter(|e| matches!(e, IBufEntry::Instr { .. }))
-            .count()
+        let buffered = self.ibuffer.iter().filter(|e| matches!(e, IBufEntry::Instr { .. })).count()
             + self
                 .ibuffer
                 .iter()
@@ -483,12 +479,8 @@ mod tests {
     #[test]
     fn scoreboard_blocks_raw_and_waw() {
         let mut w = warp();
-        let add = Instruction::new(
-            Op::IAdd,
-            Some(Reg(2)),
-            None,
-            vec![Reg(1).into(), Operand::Imm(1)],
-        );
+        let add =
+            Instruction::new(Op::IAdd, Some(Reg(2)), None, vec![Reg(1).into(), Operand::Imm(1)]);
         assert!(w.scoreboard_ready(&add));
         w.mark_pending(Reg(1));
         assert!(!w.scoreboard_ready(&add), "RAW");

@@ -19,11 +19,7 @@ fn divergent_paths_both_execute_and_reconverge() {
     let out = b.param(0);
     let p = b.setp(CmpOp::Lt, lane, 16u32);
     let r = b.alloc();
-    b.if_then_else(
-        Guard::if_true(p),
-        |b| b.mov_to(r, 111u32),
-        |b| b.mov_to(r, 222u32),
-    );
+    b.if_then_else(Guard::if_true(p), |b| b.mov_to(r, 111u32), |b| b.mov_to(r, 222u32));
     // After reconvergence every lane stores its own value.
     let off = b.shl_imm(lane, 2);
     let addr = b.iadd(out, off);
@@ -32,8 +28,7 @@ fn divergent_paths_both_execute_and_reconverge() {
 
     let mut mem = GlobalMemory::new();
     let out_addr = mem.alloc(32 * 4);
-    let launch =
-        LaunchConfig::new(1u32, 32u32).with_params(vec![Value(out_addr as u32)]);
+    let launch = LaunchConfig::new(1u32, 32u32).with_params(vec![Value(out_addr as u32)]);
     let res = Gpu::new(cfg(), Technique::Base).launch(&ck, &launch, mem);
     let vals = res.memory.read_vec_u32(out_addr, 32);
     for (lane, v) in vals.iter().enumerate() {
@@ -54,19 +49,11 @@ fn nested_divergence() {
         Guard::if_true(p_hi),
         |b| {
             b.setp_to(q, CmpOp::Lt, lane, 8u32);
-            b.if_then_else(
-                Guard::if_true(q),
-                |b| b.mov_to(r, 1u32),
-                |b| b.mov_to(r, 2u32),
-            );
+            b.if_then_else(Guard::if_true(q), |b| b.mov_to(r, 1u32), |b| b.mov_to(r, 2u32));
         },
         |b| {
             b.setp_to(q, CmpOp::Lt, lane, 24u32);
-            b.if_then_else(
-                Guard::if_true(q),
-                |b| b.mov_to(r, 3u32),
-                |b| b.mov_to(r, 4u32),
-            );
+            b.if_then_else(Guard::if_true(q), |b| b.mov_to(r, 3u32), |b| b.mov_to(r, 4u32));
         },
     );
     let off = b.shl_imm(lane, 2);

@@ -37,17 +37,11 @@ pub struct State {
 
 impl State {
     fn bottom(num_regs: usize, num_preds: usize) -> State {
-        State {
-            regs: vec![AbsClass::VECTOR; num_regs],
-            preds: vec![AbsClass::VECTOR; num_preds],
-        }
+        State { regs: vec![AbsClass::VECTOR; num_regs], preds: vec![AbsClass::VECTOR; num_preds] }
     }
 
     fn top(num_regs: usize, num_preds: usize) -> State {
-        State {
-            regs: vec![AbsClass::TOP; num_regs],
-            preds: vec![AbsClass::TOP; num_preds],
-        }
+        State { regs: vec![AbsClass::TOP; num_regs], preds: vec![AbsClass::TOP; num_preds] }
     }
 
     fn meet_with(&mut self, other: &State) -> bool {
@@ -117,13 +111,8 @@ fn special_class(s: SpecialReg, opts: AnalysisOptions) -> AbsClass {
 /// the old destination), given operand classes.
 fn value_class(instr: &Instruction, st: &State, opts: AnalysisOptions) -> AbsClass {
     let src = |i: usize| st.operand(instr.srcs[i]);
-    let red_of_all = || {
-        instr
-            .srcs
-            .iter()
-            .map(|&o| st.operand(o).red)
-            .fold(Red::Redundant, Red::meet)
-    };
+    let red_of_all =
+        || instr.srcs.iter().map(|&o| st.operand(o).red).fold(Red::Redundant, Red::meet);
     match instr.op {
         Op::S2R(s) => special_class(s, opts),
         Op::Mov => src(0),
@@ -132,13 +121,10 @@ fn value_class(instr: &Instruction, st: &State, opts: AnalysisOptions) -> AbsCla
             AbsClass { red: red_of_all(), pat: src(0).pat.linear(src(1).pat) }
         }
         // Products: affine x uniform stays affine.
-        Op::IMul | Op::FMul => {
-            AbsClass { red: red_of_all(), pat: src(0).pat.product(src(1).pat) }
+        Op::IMul | Op::FMul => AbsClass { red: red_of_all(), pat: src(0).pat.product(src(1).pat) },
+        Op::IMad | Op::FFma => {
+            AbsClass { red: red_of_all(), pat: src(0).pat.product(src(1).pat).linear(src(2).pat) }
         }
-        Op::IMad | Op::FFma => AbsClass {
-            red: red_of_all(),
-            pat: src(0).pat.product(src(1).pat).linear(src(2).pat),
-        },
         // A left shift by a uniform amount scales the stride.
         Op::Shl => AbsClass {
             red: red_of_all(),
@@ -152,21 +138,25 @@ fn value_class(instr: &Instruction, st: &State, opts: AnalysisOptions) -> AbsCla
             pat: if src(0).pat == Pat::Uniform { Pat::Uniform } else { Pat::Arbitrary },
         },
         // Two-source opaque ops.
-        Op::IMulHi | Op::Shr | Op::Sra | Op::And | Op::Or | Op::Xor | Op::IMin | Op::IMax
-        | Op::FMin | Op::FMax | Op::FDiv => {
-            AbsClass { red: red_of_all(), pat: src(0).pat.opaque(src(1).pat) }
-        }
+        Op::IMulHi
+        | Op::Shr
+        | Op::Sra
+        | Op::And
+        | Op::Or
+        | Op::Xor
+        | Op::IMin
+        | Op::IMax
+        | Op::FMin
+        | Op::FMax
+        | Op::FDiv => AbsClass { red: red_of_all(), pat: src(0).pat.opaque(src(1).pat) },
         Op::Setp(_) | Op::SetpF(_) => {
             AbsClass { red: red_of_all(), pat: src(0).pat.opaque(src(1).pat) }
         }
         Op::Sel(p) => {
             let pc = st.pred(p);
             let red = red_of_all().meet(pc.red);
-            let pat = if pc.pat == Pat::Uniform {
-                src(0).pat.meet(src(1).pat)
-            } else {
-                Pat::Arbitrary
-            };
+            let pat =
+                if pc.pat == Pat::Uniform { src(0).pat.meet(src(1).pat) } else { Pat::Arbitrary };
             AbsClass { red, pat }
         }
         Op::Ld(space) => {
@@ -196,11 +186,7 @@ fn transfer(instr: &Instruction, st: &mut State, opts: AnalysisOptions) -> AbsCl
     let guard_class = instr.guard.map(|g| st.pred(g.pred));
     let mut vclass = value_class(instr, st, opts);
     // The class attributed to the *instruction*: its sources plus guard.
-    let mut iclass = instr
-        .srcs
-        .iter()
-        .map(|&o| st.operand(o))
-        .fold(vclass, AbsClass::meet);
+    let mut iclass = instr.srcs.iter().map(|&o| st.operand(o)).fold(vclass, AbsClass::meet);
     if let Op::Sel(p) = instr.op {
         iclass = iclass.meet(st.pred(p));
     }
@@ -393,7 +379,7 @@ mod tests {
         let ty = b.special(SpecialReg::TidY); // vector
         let pv = b.setp(CmpOp::Lt, ty, 4u32); // vector predicate
         let dst = b.mov(7u32); // uniform
-        // Vector-guarded write of a uniform value: dst becomes vector.
+                               // Vector-guarded write of a uniform value: dst becomes vector.
         b.emit(
             simt_isa::Instruction::new(
                 simt_isa::Op::Mov,

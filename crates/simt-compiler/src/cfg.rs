@@ -70,10 +70,9 @@ impl Cfg {
                         leader[pc + 1] = true;
                     }
                 }
-                Op::Exit
-                    if pc + 1 < n => {
-                        leader[pc + 1] = true;
-                    }
+                Op::Exit if pc + 1 < n => {
+                    leader[pc + 1] = true;
+                }
                 _ => {}
             }
         }
@@ -85,7 +84,12 @@ impl Cfg {
             block_of[pc] = blocks.len();
             let is_last = pc + 1 == n || leader[pc + 1];
             if is_last {
-                blocks.push(BasicBlock { start, end: pc + 1, succs: Vec::new(), preds: Vec::new() });
+                blocks.push(BasicBlock {
+                    start,
+                    end: pc + 1,
+                    succs: Vec::new(),
+                    preds: Vec::new(),
+                });
                 start = pc + 1;
             }
         }

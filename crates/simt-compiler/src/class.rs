@@ -288,10 +288,7 @@ mod tests {
     #[test]
     fn taxonomy_mapping() {
         assert_eq!(AbsClass::UNIFORM.taxonomy(), Taxonomy::Uniform);
-        assert_eq!(
-            AbsClass { red: Red::Redundant, pat: Pat::Affine }.taxonomy(),
-            Taxonomy::Affine
-        );
+        assert_eq!(AbsClass { red: Red::Redundant, pat: Pat::Affine }.taxonomy(), Taxonomy::Affine);
         assert_eq!(
             AbsClass { red: Red::Redundant, pat: Pat::Arbitrary }.taxonomy(),
             Taxonomy::Unstructured

@@ -84,11 +84,8 @@ impl PostDoms {
                 let mut new_idom = UNDEF;
                 for &s in &cfg.blocks[b].succs {
                     if po[s] != UNDEF && ipdom[s] != UNDEF {
-                        new_idom = if new_idom == UNDEF {
-                            s
-                        } else {
-                            intersect(&ipdom, new_idom, s)
-                        };
+                        new_idom =
+                            if new_idom == UNDEF { s } else { intersect(&ipdom, new_idom, s) };
                     }
                 }
                 if new_idom != UNDEF && ipdom[b] != new_idom {
@@ -169,22 +166,14 @@ mod tests {
         let t = b.special(SpecialReg::TidX);
         let p = b.setp(CmpOp::Lt, t, 4u32);
         let out = b.alloc();
-        b.if_then_else(
-            Guard::if_true(p),
-            |b| b.mov_to(out, 1u32),
-            |b| b.mov_to(out, 2u32),
-        );
+        b.if_then_else(Guard::if_true(p), |b| b.mov_to(out, 1u32), |b| b.mov_to(out, 2u32));
         b.store(simt_isa::MemSpace::Global, 0u32, out, 0);
         let k = b.finish();
         let cfg = Cfg::build(&k);
         let pd = PostDoms::compute(&cfg);
         let rt = ReconvergenceTable::compute(&k, &cfg, &pd);
         // The first guarded branch must reconverge at the store instruction.
-        let store_pc = k
-            .instrs
-            .iter()
-            .position(|i| i.op.is_store())
-            .expect("kernel stores");
+        let store_pc = k.instrs.iter().position(|i| i.op.is_store()).expect("kernel stores");
         let branch_pc = k
             .instrs
             .iter()

@@ -149,8 +149,10 @@ impl LaunchPlan {
             let is_mem = instr.op.is_load() || instr.op.is_store();
             if writes_reg && tax.is_redundant() {
                 plan.skippable[pc] = true;
-                plan.skippable_is_load[pc] =
-                    matches!(instr.op, Op::Ld(simt_isa::MemSpace::Global | simt_isa::MemSpace::Shared));
+                plan.skippable_is_load[pc] = matches!(
+                    instr.op,
+                    Op::Ld(simt_isa::MemSpace::Global | simt_isa::MemSpace::Shared)
+                );
             }
             if writes_reg && !is_mem && fc.is_dac_affine() {
                 plan.dac_affine[pc] = true;

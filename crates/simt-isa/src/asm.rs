@@ -364,16 +364,19 @@ mod tests {
 
     #[test]
     fn parse_basic_alu() {
-        let i = parse_instruction(1, "iadd R1, R2, 0x10").unwrap();
+        let i = parse_instruction(1, "iadd R1, R2, 0x10")
+            .expect("well-formed binary ALU asm must parse");
         assert_eq!(i.to_string(), "iadd R1, R2, 0x10");
-        let i = parse_instruction(1, "imad R0, R1, R2, 0x7").unwrap();
+        let i = parse_instruction(1, "imad R0, R1, R2, 0x7")
+            .expect("well-formed three-source ALU asm must parse");
         assert_eq!(i.op, Op::IMad);
         assert_eq!(i.srcs.len(), 3);
     }
 
     #[test]
     fn parse_guard_and_branch() {
-        let i = parse_instruction(1, "@!P0 bra 0x20").unwrap();
+        let i = parse_instruction(1, "@!P0 bra 0x20")
+            .expect("guarded branch with an aligned target must parse");
         assert_eq!(i.guard, Some(Guard::if_false(Pred(0))));
         assert_eq!(i.op, Op::Bra { target: 4 });
         assert!(parse_instruction(1, "bra 0x21").is_err(), "unaligned target");
@@ -381,25 +384,32 @@ mod tests {
 
     #[test]
     fn parse_memory_forms() {
-        let i = parse_instruction(1, "ld.shared R3, [R7+0x80]").unwrap();
+        let i = parse_instruction(1, "ld.shared R3, [R7+0x80]")
+            .expect("load with a bracketed address and offset must parse");
         assert_eq!(i.op, Op::Ld(MemSpace::Shared));
         assert_eq!(i.offset, 0x80);
-        let i = parse_instruction(1, "st.global [R2], R9").unwrap();
+        let i = parse_instruction(1, "st.global [R2], R9")
+            .expect("store with a bracketed address must parse");
         assert_eq!(i.op, Op::St(MemSpace::Global));
-        let i = parse_instruction(1, "atom.add R1, [R2], R3").unwrap();
+        let i = parse_instruction(1, "atom.add R1, [R2], R3")
+            .expect("atomic with destination and bracketed address must parse");
         assert_eq!(i.op, Op::Atom(AtomOp::Add));
     }
 
     #[test]
     fn parse_setp_sel_s2r() {
-        let i = parse_instruction(1, "setp.lt.s32 P2, R0, 0x8").unwrap();
+        let i = parse_instruction(1, "setp.lt.s32 P2, R0, 0x8")
+            .expect("integer setp with a predicate destination must parse");
         assert_eq!(i.op, Op::Setp(CmpOp::Lt));
         assert_eq!(i.pdst, Some(Pred(2)));
-        let i = parse_instruction(1, "setp.ge.f32 P0, R1, R2").unwrap();
+        let i = parse_instruction(1, "setp.ge.f32 P0, R1, R2")
+            .expect("float setp with a predicate destination must parse");
         assert_eq!(i.op, Op::SetpF(CmpOp::Ge));
-        let i = parse_instruction(1, "sel.P3 R5, R1, R2").unwrap();
+        let i = parse_instruction(1, "sel.P3 R5, R1, R2")
+            .expect("sel naming its predicate in the mnemonic must parse");
         assert_eq!(i.op, Op::Sel(Pred(3)));
-        let i = parse_instruction(1, "s2r %tid.x R0").unwrap();
+        let i = parse_instruction(1, "s2r %tid.x R0")
+            .expect("s2r naming a special register must parse");
         assert_eq!(i.op, Op::S2R(SpecialReg::TidX));
     }
 
@@ -440,18 +450,17 @@ DR 0x0000  mov R0, 0x1
 CR 0x0008  iadd R1, R0, 0x2   // comment
 V  0x0010  exit
 ";
-        let (k, m) = parse_kernel("tagged", src).unwrap();
+        let (k, m) = parse_kernel("tagged", src)
+            .expect("marking tags, byte PCs and comments are all skippable");
         assert_eq!(k.len(), 3);
-        assert_eq!(
-            m,
-            vec![Marking::Redundant, Marking::ConditionallyRedundant, Marking::Vector]
-        );
+        assert_eq!(m, vec![Marking::Redundant, Marking::ConditionallyRedundant, Marking::Vector]);
         assert!(k.validate().is_ok());
     }
 
     #[test]
     fn negative_offsets_parse() {
-        let i = parse_instruction(1, "ld.global R1, [R2+-0x4]").unwrap();
+        let i = parse_instruction(1, "ld.global R1, [R2+-0x4]")
+            .expect("negative load offsets are valid asm and must parse");
         assert_eq!(i.offset, -4);
     }
 }

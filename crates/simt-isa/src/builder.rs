@@ -329,13 +329,7 @@ impl KernelBuilder {
     }
 
     /// Integer compare into an existing predicate.
-    pub fn setp_to(
-        &mut self,
-        p: Pred,
-        cmp: CmpOp,
-        a: impl Into<Operand>,
-        b: impl Into<Operand>,
-    ) {
+    pub fn setp_to(&mut self, p: Pred, cmp: CmpOp, a: impl Into<Operand>, b: impl Into<Operand>) {
         self.emit(Instruction::new(Op::Setp(cmp), None, Some(p), vec![a.into(), b.into()]));
     }
 
@@ -357,23 +351,15 @@ impl KernelBuilder {
     pub fn load(&mut self, space: MemSpace, addr: impl Into<Operand>, offset: i32) -> Reg {
         let dst = self.alloc();
         self.emit(
-            Instruction::new(Op::Ld(space), Some(dst), None, vec![addr.into()])
-                .with_offset(offset),
+            Instruction::new(Op::Ld(space), Some(dst), None, vec![addr.into()]).with_offset(offset),
         );
         dst
     }
 
     /// Load into an existing register.
-    pub fn load_to(
-        &mut self,
-        dst: Reg,
-        space: MemSpace,
-        addr: impl Into<Operand>,
-        offset: i32,
-    ) {
+    pub fn load_to(&mut self, dst: Reg, space: MemSpace, addr: impl Into<Operand>, offset: i32) {
         self.emit(
-            Instruction::new(Op::Ld(space), Some(dst), None, vec![addr.into()])
-                .with_offset(offset),
+            Instruction::new(Op::Ld(space), Some(dst), None, vec![addr.into()]).with_offset(offset),
         );
     }
 
@@ -392,12 +378,7 @@ impl KernelBuilder {
     }
 
     /// Global atomic; returns the old value.
-    pub fn atom(
-        &mut self,
-        op: AtomOp,
-        addr: impl Into<Operand>,
-        value: impl Into<Operand>,
-    ) -> Reg {
+    pub fn atom(&mut self, op: AtomOp, addr: impl Into<Operand>, value: impl Into<Operand>) -> Reg {
         let dst = self.alloc();
         self.emit(Instruction::new(Op::Atom(op), Some(dst), None, vec![addr.into(), value.into()]));
         dst
@@ -584,11 +565,7 @@ mod tests {
         let t = b.special(SpecialReg::TidX);
         let p = b.setp(CmpOp::Eq, t, 0u32);
         let out = b.alloc();
-        b.if_then_else(
-            Guard::if_true(p),
-            |b| b.mov_to(out, 1u32),
-            |b| b.mov_to(out, 2u32),
-        );
+        b.if_then_else(Guard::if_true(p), |b| b.mov_to(out, 1u32), |b| b.mov_to(out, 2u32));
         b.store(MemSpace::Global, 0u32, out, 0);
         let k = b.finish();
         assert_eq!(k.validate(), Ok(()));

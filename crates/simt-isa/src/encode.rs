@@ -84,12 +84,44 @@ impl std::error::Error for DecodeError {}
 // Base opcode numbers. Embedded data (cmp op, memory space, ...) is encoded
 // in the payload.
 const OPCODES: &[(&str, u8)] = &[
-    ("iadd", 0), ("isub", 1), ("imul", 2), ("imulhi", 3), ("imad", 4), ("imin", 5),
-    ("imax", 6), ("shl", 7), ("shr", 8), ("sra", 9), ("and", 10), ("or", 11), ("xor", 12),
-    ("not", 13), ("fadd", 14), ("fsub", 15), ("fmul", 16), ("ffma", 17), ("fmin", 18),
-    ("fmax", 19), ("fdiv", 20), ("frcp", 21), ("fsqrt", 22), ("fexp2", 23), ("flog2", 24),
-    ("mov", 25), ("i2f", 26), ("f2i", 27), ("s2r", 28), ("setp", 29), ("setpf", 30),
-    ("sel", 31), ("ld", 32), ("st", 33), ("atom", 34), ("bra", 35), ("bar", 36), ("exit", 37),
+    ("iadd", 0),
+    ("isub", 1),
+    ("imul", 2),
+    ("imulhi", 3),
+    ("imad", 4),
+    ("imin", 5),
+    ("imax", 6),
+    ("shl", 7),
+    ("shr", 8),
+    ("sra", 9),
+    ("and", 10),
+    ("or", 11),
+    ("xor", 12),
+    ("not", 13),
+    ("fadd", 14),
+    ("fsub", 15),
+    ("fmul", 16),
+    ("ffma", 17),
+    ("fmin", 18),
+    ("fmax", 19),
+    ("fdiv", 20),
+    ("frcp", 21),
+    ("fsqrt", 22),
+    ("fexp2", 23),
+    ("flog2", 24),
+    ("mov", 25),
+    ("i2f", 26),
+    ("f2i", 27),
+    ("s2r", 28),
+    ("setp", 29),
+    ("setpf", 30),
+    ("sel", 31),
+    ("ld", 32),
+    ("st", 33),
+    ("atom", 34),
+    ("bra", 35),
+    ("bar", 36),
+    ("exit", 37),
 ];
 
 fn opcode_num(op: Op) -> u8 {
@@ -207,9 +239,7 @@ pub fn encode(instr: &Instruction, marking: Marking) -> Result<u64, EncodeError>
         }
         Op::Sel(p) => {
             // [36:34] pred, [33:17] src0, [16:0] src1.
-            (u64::from(p.0) << 34)
-                | (encode_src(instr.srcs[0])? << 17)
-                | encode_src(instr.srcs[1])?
+            (u64::from(p.0) << 34) | (encode_src(instr.srcs[0])? << 17) | encode_src(instr.srcs[1])?
         }
         Op::Ld(s) => {
             // [38:37] space, [36:20] addr, [14:0] offset (signed 15-bit).
@@ -282,10 +312,7 @@ pub fn decode(w: u64) -> Result<(Instruction, Marking), DecodeError> {
     let opcode = ((w >> 57) & 0x7F) as u8;
     let marking = Marking::from_bits((w >> 55) & 0b11).ok_or(DecodeError::BadMarking)?;
     let guard = if w & (1 << 54) != 0 {
-        Some(Guard {
-            pred: Pred(((w >> 50) & 0x7) as u8),
-            negate: w & (1 << 53) != 0,
-        })
+        Some(Guard { pred: Pred(((w >> 50) & 0x7) as u8), negate: w & (1 << 53) != 0 })
     } else {
         None
     };
@@ -327,11 +354,7 @@ pub fn decode(w: u64) -> Result<(Instruction, Marking), DecodeError> {
         }
         "setp" => (Op::Setp(cmp_of(payload >> 34)), two_srcs(payload), 0),
         "setpf" => (Op::SetpF(cmp_of(payload >> 34)), two_srcs(payload), 0),
-        "sel" => (
-            Op::Sel(Pred(((payload >> 34) & 0x7) as u8)),
-            two_srcs(payload),
-            0,
-        ),
+        "sel" => (Op::Sel(Pred(((payload >> 34) & 0x7) as u8)), two_srcs(payload), 0),
         "ld" => (
             Op::Ld(space_of(payload >> 37)),
             vec![decode_src((payload >> 20) & 0x1FFFF)],
@@ -430,12 +453,7 @@ mod tests {
             Marking::Redundant,
         );
         roundtrip(
-            Instruction::new(
-                Op::Shl,
-                Some(Reg(0)),
-                None,
-                vec![Reg(200).into(), Operand::Imm(7)],
-            ),
+            Instruction::new(Op::Shl, Some(Reg(0)), None, vec![Reg(200).into(), Operand::Imm(7)]),
             Marking::ConditionallyRedundant,
         );
     }

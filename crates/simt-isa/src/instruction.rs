@@ -175,8 +175,7 @@ impl fmt::Display for Instruction {
         for (i, s) in self.srcs.iter().enumerate() {
             sep(f, &mut first)?;
             if self.op.kind() == crate::op::OpKind::Load
-                || ((self.op.kind() == crate::op::OpKind::Store
-                    || matches!(self.op, Op::Atom(_)))
+                || ((self.op.kind() == crate::op::OpKind::Store || matches!(self.op, Op::Atom(_)))
                     && i == 0)
             {
                 if self.offset != 0 {
@@ -218,12 +217,8 @@ mod tests {
 
     #[test]
     fn display_alu() {
-        let i = Instruction::new(
-            Op::IAdd,
-            Some(Reg(1)),
-            None,
-            vec![Reg(2).into(), Operand::Imm(0x10)],
-        );
+        let i =
+            Instruction::new(Op::IAdd, Some(Reg(1)), None, vec![Reg(2).into(), Operand::Imm(0x10)]);
         assert_eq!(i.to_string(), "iadd R1, R2, 0x10");
     }
 

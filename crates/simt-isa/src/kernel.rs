@@ -48,6 +48,23 @@ pub enum KernelError {
     },
     /// The kernel has no `Exit` instruction.
     NoExit,
+    /// A `bar.sync` carries a guard predicate. Barrier arrival is TB-wide;
+    /// guarding it would make arrival thread-dependent, which the barrier
+    /// semantics cannot express (self-inconsistent predication).
+    PredicatedBarrier {
+        /// Offending instruction index.
+        pc: usize,
+    },
+    /// A shared-memory access with an immediate address is statically
+    /// outside the kernel's declared shared-memory allocation.
+    SharedOffsetOutOfRange {
+        /// Offending instruction index.
+        pc: usize,
+        /// Effective byte address (immediate base plus instruction offset).
+        addr: i64,
+        /// Declared shared-memory size in bytes.
+        size: u32,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -70,6 +87,16 @@ impl fmt::Display for KernelError {
                 write!(f, "instruction {pc}: predicate id out of range")
             }
             KernelError::NoExit => write!(f, "kernel has no exit instruction"),
+            KernelError::PredicatedBarrier { pc } => {
+                write!(f, "instruction {pc}: bar.sync must not be guarded")
+            }
+            KernelError::SharedOffsetOutOfRange { pc, addr, size } => {
+                write!(
+                    f,
+                    "instruction {pc}: static shared-memory address {addr} outside \
+                     allocation of {size} bytes"
+                )
+            }
         }
     }
 }
@@ -98,13 +125,8 @@ impl Kernel {
     /// stream.
     #[must_use]
     pub fn new(name: impl Into<String>, instrs: Vec<Instruction>) -> Kernel {
-        let mut k = Kernel {
-            name: name.into(),
-            instrs,
-            num_regs: 0,
-            shared_mem_bytes: 0,
-            num_params: 0,
-        };
+        let mut k =
+            Kernel { name: name.into(), instrs, num_regs: 0, shared_mem_bytes: 0, num_params: 0 };
         k.num_regs = k.compute_reg_demand();
         k
     }
@@ -173,17 +195,36 @@ impl Kernel {
                     return Err(KernelError::RegOutOfRange { pc });
                 }
             }
-            let preds = i
-                .pdst
-                .into_iter()
-                .chain(i.guard.map(|g| g.pred))
-                .chain(match i.op {
-                    Op::Sel(p) => Some(p),
-                    _ => None,
-                });
+            let preds = i.pdst.into_iter().chain(i.guard.map(|g| g.pred)).chain(match i.op {
+                Op::Sel(p) => Some(p),
+                _ => None,
+            });
             for p in preds {
                 if p.0 >= NUM_PREDS {
                     return Err(KernelError::PredOutOfRange { pc });
+                }
+            }
+            if matches!(i.op, Op::Bar) && i.guard.is_some() {
+                return Err(KernelError::PredicatedBarrier { pc });
+            }
+            if let Op::Ld(crate::op::MemSpace::Shared) | Op::St(crate::op::MemSpace::Shared) = i.op
+            {
+                // The address operand is the first source; when it is a
+                // static immediate the access is fully decidable here. The
+                // executor reads/writes one 32-bit word at
+                // `base + offset`, so the whole word must sit inside the
+                // declared allocation (matching `exec.rs` semantics of
+                // word index `addr / 4 < ceil(size / 4)`).
+                if let Some(&crate::instruction::Operand::Imm(base)) = i.srcs.first() {
+                    let addr = i64::from(base) + i64::from(i.offset);
+                    let words = i64::from(self.shared_mem_bytes.div_ceil(4));
+                    if addr < 0 || addr / 4 >= words {
+                        return Err(KernelError::SharedOffsetOutOfRange {
+                            pc,
+                            addr,
+                            size: self.shared_mem_bytes,
+                        });
+                    }
                 }
             }
             if matches!(i.op, Op::Exit) {
@@ -201,8 +242,11 @@ impl Kernel {
     pub fn disassemble(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "// kernel {} (regs={}, smem={}B)", self.name, self.num_regs,
-            self.shared_mem_bytes);
+        let _ = writeln!(
+            out,
+            "// kernel {} (regs={}, smem={}B)",
+            self.name, self.num_regs, self.shared_mem_bytes
+        );
         for (pc, i) in self.instrs.iter().enumerate() {
             let _ = writeln!(out, "{:#06x}  {}", Kernel::byte_pc(pc), i);
         }
@@ -277,9 +321,7 @@ impl LaunchConfig {
     /// `tid.x` lane pattern repeats identically in every warp).
     #[must_use]
     pub fn promotes_conditional_redundancy(&self) -> bool {
-        self.block.y > 1
-            && self.block.x.is_power_of_two()
-            && self.block.x <= self.warp_size
+        self.block.y > 1 && self.block.x.is_power_of_two() && self.block.x <= self.warp_size
     }
 }
 
@@ -381,6 +423,60 @@ mod tests {
             ],
         );
         assert_eq!(k.validate(), Err(KernelError::PredOutOfRange { pc: 0 }));
+    }
+
+    #[test]
+    fn validate_rejects_predicated_barrier() {
+        let k = Kernel::new(
+            "t",
+            vec![
+                Instruction::new(Op::Bar, None, None, vec![]).with_guard(Guard::if_true(Pred(0))),
+                exit(),
+            ],
+        );
+        assert_eq!(k.validate(), Err(KernelError::PredicatedBarrier { pc: 0 }));
+        // The same barrier without a guard is fine.
+        let k = Kernel::new("t", vec![Instruction::new(Op::Bar, None, None, vec![]), exit()]);
+        assert_eq!(k.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_shared_offset_out_of_range() {
+        use crate::op::MemSpace;
+        let mk = |instr: Instruction, smem: u32| {
+            let mut k = Kernel::new("t", vec![instr, exit()]);
+            k.shared_mem_bytes = smem;
+            k
+        };
+        // Static store one word past a 16-byte allocation.
+        let st = Instruction::new(
+            Op::St(MemSpace::Shared),
+            None,
+            None,
+            vec![Operand::Imm(16), Reg(0).into()],
+        );
+        assert_eq!(
+            mk(st, 16).validate(),
+            Err(KernelError::SharedOffsetOutOfRange { pc: 0, addr: 16, size: 16 })
+        );
+        // Static load with a negative effective address.
+        let ld =
+            Instruction::new(Op::Ld(MemSpace::Shared), Some(Reg(0)), None, vec![Operand::Imm(0)])
+                .with_offset(-4);
+        assert_eq!(
+            mk(ld, 16).validate(),
+            Err(KernelError::SharedOffsetOutOfRange { pc: 0, addr: -4, size: 16 })
+        );
+        // The last in-bounds word is accepted, offset included.
+        let ld =
+            Instruction::new(Op::Ld(MemSpace::Shared), Some(Reg(0)), None, vec![Operand::Imm(8)])
+                .with_offset(4);
+        assert_eq!(mk(ld, 16).validate(), Ok(()));
+        // Register addresses are dynamic and stay out of scope here.
+        let ld =
+            Instruction::new(Op::Ld(MemSpace::Shared), Some(Reg(0)), None, vec![Reg(1).into()])
+                .with_offset(1 << 20);
+        assert_eq!(mk(ld, 16).validate(), Ok(()));
     }
 
     #[test]

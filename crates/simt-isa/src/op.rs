@@ -280,7 +280,14 @@ impl Op {
             | Op::S2R(_)
             | Op::Setp(_)
             | Op::Sel(_) => OpKind::IntAlu,
-            Op::FAdd | Op::FSub | Op::FMul | Op::FFma | Op::FMin | Op::FMax | Op::I2F | Op::F2I
+            Op::FAdd
+            | Op::FSub
+            | Op::FMul
+            | Op::FFma
+            | Op::FMin
+            | Op::FMax
+            | Op::I2F
+            | Op::F2I
             | Op::SetpF(_) => OpKind::FpAlu,
             Op::FDiv | Op::FRcp | Op::FSqrt | Op::FExp2 | Op::FLog2 => OpKind::Sfu,
             Op::Ld(_) => OpKind::Load,
@@ -297,8 +304,15 @@ impl Op {
     pub fn num_srcs(self) -> usize {
         match self {
             Op::S2R(_) | Op::Bra { .. } | Op::Bar | Op::Exit => 0,
-            Op::Not | Op::Mov | Op::I2F | Op::F2I | Op::FRcp | Op::FSqrt | Op::FExp2
-            | Op::FLog2 | Op::Ld(_) => 1,
+            Op::Not
+            | Op::Mov
+            | Op::I2F
+            | Op::F2I
+            | Op::FRcp
+            | Op::FSqrt
+            | Op::FExp2
+            | Op::FLog2
+            | Op::Ld(_) => 1,
             Op::IMad | Op::FFma => 3,
             _ => 2,
         }

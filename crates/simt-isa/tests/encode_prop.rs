@@ -32,22 +32,41 @@ fn arb_guard() -> impl Strategy<Value = Option<Guard>> {
 
 fn arb_instruction() -> impl Strategy<Value = Instruction> {
     let two_src_ops = prop::sample::select(vec![
-        Op::IAdd, Op::ISub, Op::IMul, Op::IMulHi, Op::IMin, Op::IMax, Op::Shl, Op::Shr,
-        Op::Sra, Op::And, Op::Or, Op::Xor, Op::FAdd, Op::FSub, Op::FMul, Op::FMin, Op::FMax,
+        Op::IAdd,
+        Op::ISub,
+        Op::IMul,
+        Op::IMulHi,
+        Op::IMin,
+        Op::IMax,
+        Op::Shl,
+        Op::Shr,
+        Op::Sra,
+        Op::And,
+        Op::Or,
+        Op::Xor,
+        Op::FAdd,
+        Op::FSub,
+        Op::FMul,
+        Op::FMin,
+        Op::FMax,
         Op::FDiv,
     ]);
     let one_src_ops = prop::sample::select(vec![
-        Op::Not, Op::I2F, Op::F2I, Op::FRcp, Op::FSqrt, Op::FExp2, Op::FLog2,
+        Op::Not,
+        Op::I2F,
+        Op::F2I,
+        Op::FRcp,
+        Op::FSqrt,
+        Op::FExp2,
+        Op::FLog2,
     ]);
     prop_oneof![
         // Two-source ALU.
-        (two_src_ops, arb_reg(), arb_src(), arb_src(), arb_guard()).prop_map(
-            |(op, d, a, b, g)| {
-                let mut i = Instruction::new(op, Some(d), None, vec![a, b]);
-                i.guard = g;
-                i
-            }
-        ),
+        (two_src_ops, arb_reg(), arb_src(), arb_src(), arb_guard()).prop_map(|(op, d, a, b, g)| {
+            let mut i = Instruction::new(op, Some(d), None, vec![a, b]);
+            i.guard = g;
+            i
+        }),
         // One-source ALU.
         (one_src_ops, arb_reg(), arb_src(), arb_guard()).prop_map(|(op, d, a, g)| {
             let mut i = Instruction::new(op, Some(d), None, vec![a]);
@@ -69,8 +88,12 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
                 vec![a.into(), b.into(), c]
             )),
         // Wide-immediate MOV.
-        (arb_reg(), any::<u32>())
-            .prop_map(|(d, v)| Instruction::new(Op::Mov, Some(d), None, vec![Operand::Imm(v)])),
+        (arb_reg(), any::<u32>()).prop_map(|(d, v)| Instruction::new(
+            Op::Mov,
+            Some(d),
+            None,
+            vec![Operand::Imm(v)]
+        )),
         // S2R.
         (prop::sample::select(SpecialReg::ALL.to_vec()), arb_reg())
             .prop_map(|(s, d)| Instruction::new(Op::S2R(s), Some(d), None, vec![])),
@@ -87,12 +110,7 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
                 Instruction::new(op, None, Some(p), vec![a, b])
             }),
         // Loads with 15-bit offsets.
-        (
-            prop::sample::select(MemSpace::ALL.to_vec()),
-            arb_reg(),
-            arb_src(),
-            -16384i32..16383
-        )
+        (prop::sample::select(MemSpace::ALL.to_vec()), arb_reg(), arb_src(), -16384i32..16383)
             .prop_map(|(sp, d, a, off)| {
                 Instruction::new(Op::Ld(sp), Some(d), None, vec![a]).with_offset(off)
             }),
@@ -122,11 +140,7 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
 }
 
 fn arb_marking() -> impl Strategy<Value = Marking> {
-    prop::sample::select(vec![
-        Marking::Vector,
-        Marking::ConditionallyRedundant,
-        Marking::Redundant,
-    ])
+    prop::sample::select(vec![Marking::Vector, Marking::ConditionallyRedundant, Marking::Redundant])
 }
 
 proptest! {

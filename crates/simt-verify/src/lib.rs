@@ -1,0 +1,258 @@
+//! `simt-verify`: a static kernel verifier and marking-soundness
+//! sanitizer for the DARSIE toolchain.
+//!
+//! DARSIE's correctness hinges on the compiler's *definitely /
+//! conditionally redundant* markings being sound: a wrongly marked
+//! instruction silently corrupts follower warps through the
+//! rename-sharing hardware. This crate makes every kernel, workload and
+//! compiler change self-checking with three independent analysis passes
+//! over [`simt_compiler::CompiledKernel`]:
+//!
+//! 1. **Dataflow checking** ([`dataflow`]) — definite and potential
+//!    reads of uninitialized registers / predicates on any path,
+//!    unreachable basic blocks, and register / predicate writes no path
+//!    ever observes.
+//! 2. **Divergence-safety linting** ([`divergence`]) — `bar.sync`
+//!    instructions reachable between a potentially divergent branch and
+//!    its reconvergence point, where barrier arrival becomes
+//!    thread-dependent, plus guarded barriers. Reuses the compiler's
+//!    reconvergence table and predicate-uniformity classes.
+//! 3. **Marking-soundness sanitizing** ([`oracle`]) — a differential
+//!    oracle that replays the kernel per-warp on the headless functional
+//!    executor and demands that every instruction marked
+//!    `Marking::Redundant` (and every launch-promoted `CondRedundant`)
+//!    produced bit-identical result vectors in all warps of every
+//!    threadblock — the analog of a race detector for DARSIE's
+//!    value sharing.
+//!
+//! Every finding is a [`Diagnostic`] with a stable lint code (`V0xx`
+//! dataflow, `V1xx` divergence, `V2xx` marking soundness) and a severity;
+//! [`Diagnostics`] aggregates them into a report. The `darsie-sim verify`
+//! subcommand runs all three passes over the shipped workloads.
+
+pub mod dataflow;
+pub mod divergence;
+pub mod oracle;
+
+use gpu_sim::GlobalMemory;
+use simt_compiler::CompiledKernel;
+use simt_isa::LaunchConfig;
+use std::fmt;
+
+/// How bad a finding is. `Error` findings fail verification; warnings and
+/// notes are advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational observation.
+    Note,
+    /// Suspicious but not provably wrong (e.g. a value defined on only
+    /// some paths — the undefined path reads architectural zero).
+    Warning,
+    /// Provably inconsistent kernel or unsound marking.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable lint codes. The numeric bands group the passes: `V0xx`
+/// dataflow, `V1xx` divergence safety, `V2xx` marking soundness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintCode {
+    /// `V001` — a register or predicate is read but no path from entry
+    /// defines it.
+    UninitRead,
+    /// `V002` — a register or predicate is read but only some paths from
+    /// entry define it.
+    MaybeUninitRead,
+    /// `V003` — a basic block is unreachable from the kernel entry.
+    UnreachableBlock,
+    /// `V004` — a register or predicate write is never observed by any
+    /// subsequent read on any path.
+    DeadWrite,
+    /// `V101` — a `bar.sync` sits between a potentially divergent branch
+    /// and its reconvergence point.
+    BarrierUnderDivergence,
+    /// `V102` — a `bar.sync` carries a guard predicate.
+    PredicatedBarrier,
+    /// `V201` — an instruction marked definitely redundant produced
+    /// different result vectors across warps of one TB.
+    UnsoundMarking,
+    /// `V202` — a conditionally redundant instruction, promoted by this
+    /// launch's dimensionality check, produced different result vectors
+    /// across warps of one TB.
+    UnsoundPromotion,
+}
+
+impl LintCode {
+    /// The stable code string used in reports and tests.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::UninitRead => "V001",
+            LintCode::MaybeUninitRead => "V002",
+            LintCode::UnreachableBlock => "V003",
+            LintCode::DeadWrite => "V004",
+            LintCode::BarrierUnderDivergence => "V101",
+            LintCode::PredicatedBarrier => "V102",
+            LintCode::UnsoundMarking => "V201",
+            LintCode::UnsoundPromotion => "V202",
+        }
+    }
+
+    /// Fixed severity of this lint.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            LintCode::UninitRead
+            | LintCode::BarrierUnderDivergence
+            | LintCode::PredicatedBarrier
+            | LintCode::UnsoundMarking
+            | LintCode::UnsoundPromotion => Severity::Error,
+            LintCode::MaybeUninitRead | LintCode::UnreachableBlock => Severity::Warning,
+            LintCode::DeadWrite => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// One finding of one pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The lint that fired.
+    pub code: LintCode,
+    /// Severity (always `code.severity()`).
+    pub severity: Severity,
+    /// Static instruction index the finding anchors to, when applicable.
+    pub pc: Option<usize>,
+    /// Human-readable description with the evidence.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic; the severity is derived from the code.
+    #[must_use]
+    pub fn new(code: LintCode, pc: Option<usize>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { code, severity: code.severity(), pc, message: message.into() }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pc {
+            Some(pc) => write!(f, "{} [{}] pc {}: {}", self.severity, self.code, pc, self.message),
+            None => write!(f, "{} [{}]: {}", self.severity, self.code, self.message),
+        }
+    }
+}
+
+/// Aggregated report of every pass run against one kernel.
+#[derive(Debug, Clone, Default)]
+pub struct Diagnostics {
+    /// Name of the verified kernel.
+    pub kernel: String,
+    /// All findings, in pass order.
+    pub items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// Empty report for `kernel`.
+    #[must_use]
+    pub fn new(kernel: impl Into<String>) -> Diagnostics {
+        Diagnostics { kernel: kernel.into(), items: Vec::new() }
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Appends every finding of `other` (same kernel, later pass).
+    pub fn merge(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
+    /// Number of error-severity findings.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.items.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Number of warning-severity findings.
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.items.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    /// True when no error-severity finding exists.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Findings with the given code, in order.
+    #[must_use]
+    pub fn with_code(&self, code: LintCode) -> Vec<&Diagnostic> {
+        self.items.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// Renders the report, one finding per line, with a totals footer.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "verify {}:", self.kernel);
+        for d in &self.items {
+            let _ = writeln!(out, "  {d}");
+        }
+        let _ =
+            writeln!(out, "  {} error(s), {} warning(s)", self.error_count(), self.warning_count());
+        out
+    }
+}
+
+/// Runs the two static passes (dataflow + divergence lint) without launch
+/// information: promotion is not applied, so conditionally redundant
+/// guards count as potentially divergent.
+#[must_use]
+pub fn verify_static(ck: &CompiledKernel) -> Diagnostics {
+    let mut report = Diagnostics::new(ck.kernel.name.clone());
+    report.merge(dataflow::check(ck));
+    report.merge(divergence::check(ck, None));
+    report
+}
+
+/// Runs the two static passes with this launch's dimensionality promotion
+/// applied to the uniformity classes.
+#[must_use]
+pub fn verify_launch(ck: &CompiledKernel, launch: &LaunchConfig) -> Diagnostics {
+    let mut report = Diagnostics::new(ck.kernel.name.clone());
+    report.merge(dataflow::check(ck));
+    report.merge(divergence::check(ck, Some(launch)));
+    report
+}
+
+/// Runs all three passes: the static checks plus the differential marking
+/// oracle over `memory` (consumed; the oracle executes the kernel).
+#[must_use]
+pub fn verify_full(
+    ck: &CompiledKernel,
+    launch: &LaunchConfig,
+    memory: GlobalMemory,
+) -> Diagnostics {
+    let mut report = verify_launch(ck, launch);
+    report.merge(oracle::check(ck, launch, memory));
+    report
+}

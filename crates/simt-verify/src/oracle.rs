@@ -1,0 +1,356 @@
+//! Pass 3: the marking-soundness sanitizer — a differential oracle over
+//! the headless functional executor.
+//!
+//! DARSIE's hardware shares the leader warp's renamed result with every
+//! follower warp for instructions the compiler marked redundant. That is
+//! only sound if each such instruction really produces a bit-identical
+//! result vector in every warp of the threadblock. This pass replays the
+//! kernel per-warp with [`run_tb_functional`] and compares, for every
+//! *checked* instruction, the destination vectors of all warps at the same
+//! dynamic occurrence (the DARSIE instance number).
+//!
+//! An instruction is checked when it writes a general register, is not an
+//! atomic, and either its static marking or its (launch-finalized)
+//! abstract class claims TB-redundancy. Consulting the markings — not
+//! just the classes — matters: the markings are what the hardware decodes
+//! from the binary, so a tampered or stale `Marking::Redundant` must be
+//! caught even when the analysis classes disagree.
+//!
+//! Only *aligned occurrence groups* are compared: every warp of the TB
+//! executed the occurrence with its full lane mask. Divergent or partial
+//! executions never form a sharing group in the hardware either (the skip
+//! table requires full-warp execution), so skipping them is not a
+//! soundness hole.
+
+use crate::{Diagnostic, Diagnostics, LintCode};
+use gpu_sim::{ctaid_at, run_tb_functional, FunctionalObserver, GlobalMemory};
+use simt_compiler::{promotes_tid_y, CompiledKernel, Red};
+use simt_isa::{Instruction, LaunchConfig, Marking, Op};
+use std::collections::HashMap;
+
+/// Which lint a mismatch at this instruction raises, or `None` when the
+/// instruction is not subject to value sharing under this launch.
+fn checked_kind(ck: &CompiledKernel, pc: usize, px: bool, py: bool) -> Option<LintCode> {
+    let instr = &ck.kernel.instrs[pc];
+    if !instr.op.writes_dst() || instr.dst.is_none() || matches!(instr.op, Op::Atom(_)) {
+        return None;
+    }
+    let class = ck.classes[pc];
+    let marking = ck.markings[pc];
+    // What the decoded binary claims: DR shares unconditionally, CR shares
+    // when the launch-time dimensionality check passes.
+    let marking_claims = match marking {
+        Marking::Redundant => true,
+        Marking::ConditionallyRedundant => match class.red {
+            Red::CondRedundantXY => px && py,
+            _ => px,
+        },
+        Marking::Vector => false,
+    };
+    // What the analysis classes claim after launch finalization.
+    let class_claims = class.finalize(px, py).taxonomy().is_redundant();
+    if !marking_claims && !class_claims {
+        return None;
+    }
+    if marking == Marking::Redundant || class.red == Red::Redundant {
+        Some(LintCode::UnsoundMarking)
+    } else {
+        Some(LintCode::UnsoundPromotion)
+    }
+}
+
+/// One warp's execution of a checked `(pc, occurrence)`.
+struct Rec {
+    full: bool,
+    dst: Vec<u32>,
+}
+
+/// Records destination vectors of checked instructions for one TB.
+struct OracleObserver<'a> {
+    checked: &'a [Option<LintCode>],
+    ws: u32,
+    num_warps: usize,
+    records: HashMap<(usize, u32), Vec<Option<Rec>>>,
+}
+
+impl FunctionalObserver for OracleObserver<'_> {
+    fn after_instruction(
+        &mut self,
+        w: usize,
+        pc: usize,
+        occurrence: u32,
+        instr: &Instruction,
+        warp: &gpu_sim::Warp,
+    ) {
+        if self.checked[pc].is_none() {
+            return;
+        }
+        let Some(dst) = instr.dst else { return };
+        let full = warp.active_mask() == warp.full_mask && warp.full_mask.count_ones() == self.ws;
+        let slot = &mut self
+            .records
+            .entry((pc, occurrence))
+            .or_insert_with(|| (0..self.num_warps).map(|_| None).collect())[w];
+        *slot = Some(Rec { full, dst: warp.reg_vector(dst) });
+    }
+}
+
+/// Accumulated evidence against one static instruction.
+struct Mismatch {
+    code: LintCode,
+    count: u64,
+    example: String,
+}
+
+/// Runs the differential oracle over every threadblock of `launch`,
+/// evolving `memory` exactly as a real launch would.
+#[must_use]
+pub fn check(ck: &CompiledKernel, launch: &LaunchConfig, mut memory: GlobalMemory) -> Diagnostics {
+    let mut report = Diagnostics::new(ck.kernel.name.clone());
+    let px = launch.promotes_conditional_redundancy();
+    let py = promotes_tid_y(launch);
+    let checked: Vec<Option<LintCode>> =
+        (0..ck.kernel.instrs.len()).map(|pc| checked_kind(ck, pc, px, py)).collect();
+    if checked.iter().all(Option::is_none) {
+        return report;
+    }
+    let num_warps = launch.warps_per_block() as usize;
+    let mut mismatches: HashMap<usize, Mismatch> = HashMap::new();
+
+    for i in 0..launch.num_blocks() {
+        let ctaid = ctaid_at(launch.grid, i);
+        let mut obs = OracleObserver {
+            checked: &checked,
+            ws: launch.warp_size,
+            num_warps,
+            records: HashMap::new(),
+        };
+        run_tb_functional(ck, launch, ctaid, &mut memory, &mut obs);
+
+        for ((pc, occurrence), recs) in obs.records {
+            // Only aligned occurrence groups: every warp, full masks.
+            if !recs.iter().all(|r| r.as_ref().is_some_and(|r| r.full)) {
+                continue;
+            }
+            let leader = recs[0].as_ref().expect("aligned group has a leader warp");
+            for (w, rec) in recs.iter().enumerate().skip(1) {
+                let rec = rec.as_ref().expect("aligned group checked above");
+                if rec.dst == leader.dst {
+                    continue;
+                }
+                let lane = rec
+                    .dst
+                    .iter()
+                    .zip(&leader.dst)
+                    .position(|(a, b)| a != b)
+                    .expect("vectors differ");
+                let entry = mismatches.entry(pc).or_insert_with(|| Mismatch {
+                    code: checked[pc].expect("pc is checked"),
+                    count: 0,
+                    example: format!(
+                        "TB ({},{},{}) occurrence {}: warp {} lane {} produced {:#x}, \
+                         leader warp 0 produced {:#x}",
+                        ctaid.x,
+                        ctaid.y,
+                        ctaid.z,
+                        occurrence,
+                        w,
+                        lane,
+                        rec.dst[lane],
+                        leader.dst[lane],
+                    ),
+                });
+                entry.count += 1;
+            }
+        }
+    }
+
+    let mut pcs: Vec<usize> = mismatches.keys().copied().collect();
+    pcs.sort_unstable();
+    for pc in pcs {
+        let m = &mismatches[&pc];
+        let claim = match m.code {
+            LintCode::UnsoundMarking => "is marked definitely redundant",
+            _ => "was promoted by this launch's dimensionality check",
+        };
+        report.push(Diagnostic::new(
+            m.code,
+            Some(pc),
+            format!(
+                "`{}` {claim} but produced warp-divergent results ({} mismatching \
+                 warp-occurrence pair(s); first: {})",
+                ck.kernel.instrs[pc], m.count, m.example,
+            ),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_compiler::{AbsClass, Pat};
+    use simt_isa::{Dim3, KernelBuilder, MemSpace, SpecialReg, Value};
+
+    /// tid-indexed copy kernel: every marking the compiler emits is sound.
+    fn copy_kernel() -> CompiledKernel {
+        let mut b = KernelBuilder::new("copy");
+        let tx = b.special(SpecialReg::TidX);
+        let ty = b.special(SpecialReg::TidY);
+        let bx = b.param(2);
+        let row = b.imul(ty, bx);
+        let idx = b.iadd(row, tx);
+        let off = b.shl_imm(idx, 2);
+        let src = b.param(0);
+        let dst = b.param(1);
+        let a0 = b.iadd(src, off);
+        let a1 = b.iadd(dst, off);
+        let v = b.load(MemSpace::Global, a0, 0);
+        b.store(MemSpace::Global, a1, v, 0);
+        simt_compiler::compile(b.finish())
+    }
+
+    fn copy_launch(ck: &CompiledKernel) -> (LaunchConfig, GlobalMemory, u64, u64) {
+        let block = Dim3::two_d(16, 16);
+        let n: u32 = 16 * 16;
+        let mut mem = GlobalMemory::new();
+        let src = mem.alloc(u64::from(n) * 4);
+        let dst = mem.alloc(u64::from(n) * 4);
+        for i in 0..n {
+            mem.write_u32(src + u64::from(i) * 4, i.wrapping_mul(2654435761));
+        }
+        let launch = LaunchConfig::new(1u32, block).with_params(vec![
+            Value(src as u32),
+            Value(dst as u32),
+            Value(16),
+        ]);
+        assert!(launch.promotes_conditional_redundancy());
+        let _ = ck;
+        (launch, mem, src, dst)
+    }
+
+    #[test]
+    fn honest_markings_pass_the_oracle() {
+        let ck = copy_kernel();
+        let (launch, mem, _, _) = copy_launch(&ck);
+        // The tid chain is conditionally redundant and promoted here, so
+        // the oracle really exercises the comparison path.
+        assert!(ck.markings.contains(&Marking::ConditionallyRedundant), "{:?}", ck.markings);
+        let r = check(&ck, &launch, mem);
+        assert!(r.items.is_empty(), "{}", r.render());
+    }
+
+    #[test]
+    fn oracle_still_executes_the_kernel_faithfully() {
+        let ck = copy_kernel();
+        let (launch, mem, src, dst) = copy_launch(&ck);
+        // check() consumes the memory, so re-run and inspect via a fresh
+        // copy it returns nothing from; instead run the oracle on a clone
+        // and the plain executor on the original to compare one cell.
+        let r = check(&ck, &launch, mem.clone());
+        assert!(r.is_clean(), "{}", r.render());
+        let mut mem2 = mem;
+        gpu_sim::run_tb_functional(
+            &ck,
+            &launch,
+            Dim3::three_d(0, 0, 0),
+            &mut mem2,
+            &mut gpu_sim::NullObserver,
+        );
+        assert_eq!(mem2.read_u32(dst + 4 * 37), mem2.read_u32(src + 4 * 37));
+    }
+
+    /// The acceptance-criteria fixture: a genuinely warp-varying
+    /// instruction whose marking is flipped from `Vector` to `Redundant`.
+    #[test]
+    fn mis_marked_vector_instruction_is_caught() {
+        let mut b = KernelBuilder::new("mis-marked");
+        let ctr = b.param(0);
+        let out = b.param(1);
+        // Atomic old values differ per lane and per warp.
+        let old = b.atom(simt_isa::AtomOp::Add, ctr, 1u32);
+        let biased = b.iadd(old, 100u32); // honest marking: Vector
+        let tx = b.special(SpecialReg::TidX);
+        let off = b.shl_imm(tx, 2);
+        let addr = b.iadd(out, off);
+        b.store(MemSpace::Global, addr, biased, 0);
+        let mut ck = simt_compiler::compile(b.finish());
+
+        // pc 0/1 are the param loads, pc 2 the atomic, pc 3 the add.
+        let biased_pc = 3;
+        assert_eq!(
+            ck.markings[biased_pc],
+            Marking::Vector,
+            "fixture expects the atomic-derived add to be a vector marking\n{}",
+            ck.annotated_disassembly()
+        );
+
+        let mut mem = GlobalMemory::new();
+        let ctr_buf = mem.alloc(4);
+        let out_buf = mem.alloc(64 * 4);
+        let launch = LaunchConfig::new(1u32, Dim3::one_d(64))
+            .with_params(vec![Value(ctr_buf as u32), Value(out_buf as u32)]);
+
+        // Honest binary: clean.
+        let r = check(&ck, &launch, mem.clone());
+        assert!(r.items.is_empty(), "{}", r.render());
+
+        // Tampered binary: the sanitizer must fail it.
+        ck.markings[biased_pc] = Marking::Redundant;
+        let r = check(&ck, &launch, mem);
+        let hits = r.with_code(LintCode::UnsoundMarking);
+        assert_eq!(hits.len(), 1, "{}", r.render());
+        assert_eq!(hits[0].pc, Some(biased_pc));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn unsound_promotion_is_caught_as_v202() {
+        // tid.y varies across warps of a 16x16 block (each warp covers one
+        // row). Tamper its class and marking to conditionally redundant:
+        // the 2D launch check passes, the promotion is unsound.
+        let mut b = KernelBuilder::new("bad-promo");
+        let ty = b.special(SpecialReg::TidY);
+        let out = b.param(0);
+        let tx = b.special(SpecialReg::TidX);
+        let off = b.shl_imm(tx, 2);
+        let addr = b.iadd(out, off);
+        b.store(MemSpace::Global, addr, ty, 0);
+        let mut ck = simt_compiler::compile(b.finish());
+
+        let ty_pc = 0;
+        ck.classes[ty_pc] = AbsClass { red: Red::CondRedundant, pat: Pat::Uniform };
+        ck.markings[ty_pc] = Marking::ConditionallyRedundant;
+
+        let mut mem = GlobalMemory::new();
+        let out_buf = mem.alloc(16 * 4);
+        let launch =
+            LaunchConfig::new(1u32, Dim3::two_d(16, 16)).with_params(vec![Value(out_buf as u32)]);
+        assert!(launch.promotes_conditional_redundancy());
+        assert!(!promotes_tid_y(&launch));
+
+        let r = check(&ck, &launch, mem);
+        let hits = r.with_code(LintCode::UnsoundPromotion);
+        assert_eq!(hits.len(), 1, "{}", r.render());
+        assert_eq!(hits[0].pc, Some(ty_pc));
+    }
+
+    #[test]
+    fn unpromoted_conditional_marking_is_not_checked() {
+        // In a 1D 256-thread block the launch check fails: conditionally
+        // redundant instructions execute per-warp, so warp-varying results
+        // are expected and must not be reported.
+        let ck = copy_kernel();
+        let mut mem = GlobalMemory::new();
+        let src = mem.alloc(256 * 4);
+        let dst = mem.alloc(256 * 4);
+        let launch = LaunchConfig::new(1u32, Dim3::one_d(256)).with_params(vec![
+            Value(src as u32),
+            Value(dst as u32),
+            Value(256),
+        ]);
+        assert!(!launch.promotes_conditional_redundancy());
+        let r = check(&ck, &launch, mem);
+        assert!(r.items.is_empty(), "{}", r.render());
+    }
+}

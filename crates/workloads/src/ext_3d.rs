@@ -156,16 +156,9 @@ mod tests {
             rename_regs_per_tb: 64,
             ..darsie::DarsieConfig::default()
         });
-        let off = volume_blend(Scale::Test, false)
-            .run(&cfg, tech.clone())
-            .stats
-            .instrs_skipped
-            .total();
-        let on = volume_blend(Scale::Test, true)
-            .run(&cfg, tech)
-            .stats
-            .instrs_skipped
-            .total();
+        let off =
+            volume_blend(Scale::Test, false).run(&cfg, tech.clone()).stats.instrs_skipped.total();
+        let on = volume_blend(Scale::Test, true).run(&cfg, tech).stats.instrs_skipped.total();
         assert!(on > off, "tid.y extension skipped {on} vs {off}");
     }
 

@@ -69,8 +69,10 @@ mod tests {
         let abbrs: Vec<&str> = c.iter().map(|w| w.abbr).collect();
         assert_eq!(
             abbrs,
-            ["BIN", "PT", "FW", "SR1", "LIB", "IMNLM", "BP", "DCT8x8", "FWS", "HS", "CP",
-                "CONVTEX", "MM"]
+            [
+                "BIN", "PT", "FW", "SR1", "LIB", "IMNLM", "BP", "DCT8x8", "FWS", "HS", "CP",
+                "CONVTEX", "MM"
+            ]
         );
         assert_eq!(c.iter().filter(|w| !w.is_2d).count(), 5);
         assert_eq!(c.iter().filter(|w| w.is_2d).count(), 8);
@@ -78,8 +80,21 @@ mod tests {
         let dims: Vec<(u32, u32)> = c.iter().map(|w| (w.block.x, w.block.y)).collect();
         assert_eq!(
             dims,
-            [(256, 1), (1024, 1), (256, 1), (512, 1), (256, 1), (16, 16), (16, 16), (8, 8),
-                (16, 16), (16, 16), (16, 8), (16, 16), (32, 32)]
+            [
+                (256, 1),
+                (1024, 1),
+                (256, 1),
+                (512, 1),
+                (256, 1),
+                (16, 16),
+                (16, 16),
+                (8, 8),
+                (16, 16),
+                (16, 16),
+                (16, 8),
+                (16, 16),
+                (32, 32)
+            ]
         );
     }
 

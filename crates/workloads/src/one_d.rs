@@ -369,8 +369,8 @@ pub fn fast_walsh(scale: Scale) -> Workload {
 #[must_use]
 pub fn srad_v1(scale: Scale) -> Workload {
     let (w_log2, h) = match scale {
-        Scale::Test => (6u32, 8u32),     // 64 x 8
-        Scale::Eval => (7u32, 96u32),    // 128 x 96
+        Scale::Test => (6u32, 8u32),  // 64 x 8
+        Scale::Eval => (7u32, 96u32), // 128 x 96
     };
     let w = 1u32 << w_log2;
     let n = w * h;

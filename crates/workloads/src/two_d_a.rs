@@ -10,8 +10,8 @@ use simt_isa::{CmpOp, Dim3, Guard, KernelBuilder, LaunchConfig, MemSpace, Specia
 #[must_use]
 pub fn image_denoising_nlm(scale: Scale) -> Workload {
     let (log_w, h) = match scale {
-        Scale::Test => (5u32, 16u32),  // 32 x 16
-        Scale::Eval => (6u32, 64u32),  // 64 x 64
+        Scale::Test => (5u32, 16u32), // 32 x 16
+        Scale::Eval => (6u32, 64u32), // 64 x 64
     };
     let w = 1u32 << log_w;
 
@@ -130,7 +130,7 @@ pub fn backprop(scale: Scale) -> Workload {
     let smem_mat = b.alloc_shared(16 * 16 * 4);
     let i_idx = b.imad(cx, 16u32, tx); // input node
     let j_idx = b.imad(cy, 16u32, ty); // hidden node
-    // Row ty == 0 loads the input slice into shared memory.
+                                       // Row ty == 0 loads the input slice into shared memory.
     let q0 = b.setp(CmpOp::Eq, ty, 0u32);
     let ioff = b.shl_imm(i_idx, 2);
     let iaddr = b.iadd(input_p, ioff);
@@ -212,8 +212,8 @@ pub fn backprop(scale: Scale) -> Workload {
     let p_addr = mem.alloc(u64::from(xblocks * hid_nodes) * 4);
     mem.write_slice_f32(in_addr, &input);
     mem.write_slice_f32(w_addr, &weights);
-    let launch = LaunchConfig::new(Dim3::two_d(xblocks, yblocks), Dim3::two_d(16, 16))
-        .with_params(vec![
+    let launch =
+        LaunchConfig::new(Dim3::two_d(xblocks, yblocks), Dim3::two_d(16, 16)).with_params(vec![
             Value(in_addr as u32),
             Value(w_addr as u32),
             Value(p_addr as u32),

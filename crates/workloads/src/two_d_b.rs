@@ -85,8 +85,8 @@ pub fn hotspot(scale: Scale) -> Workload {
     let o_addr = mem.alloc(n as u64 * 4);
     mem.write_slice_f32(t_addr, &temp);
     mem.write_slice_f32(p_addr, &power);
-    let launch = LaunchConfig::new(Dim3::two_d(w / 16, h / 16), Dim3::two_d(16, 16))
-        .with_params(vec![
+    let launch =
+        LaunchConfig::new(Dim3::two_d(w / 16, h / 16), Dim3::two_d(16, 16)).with_params(vec![
             Value(t_addr as u32),
             Value(p_addr as u32),
             Value(o_addr as u32),
@@ -196,11 +196,7 @@ pub fn coulombic_potential(scale: Scale) -> Workload {
     let o_addr = mem.alloc(n as u64 * 4);
     mem.write_slice_f32(a_addr, &atom_tbl);
     let launch = LaunchConfig::new(Dim3::two_d(gw / 16, gh / 8), Dim3::two_d(16, 8))
-        .with_params(vec![
-            Value(a_addr as u32),
-            Value(o_addr as u32),
-            Value::from_f32(spacing_v),
-        ]);
+        .with_params(vec![Value(a_addr as u32), Value(o_addr as u32), Value::from_f32(spacing_v)]);
 
     let mut expected = vec![0f32; n];
     for y in 0..gh as usize {
@@ -288,19 +284,15 @@ pub fn convolution_texture(scale: Scale) -> Workload {
     mem.write_slice_f32(s_addr, &img);
     mem.write_slice_f32(k_addr, &taps);
     let launch = LaunchConfig::new(Dim3::two_d(w / 16, h / 16), Dim3::two_d(16, 16))
-        .with_params(vec![
-            Value(s_addr as u32),
-            Value(d_addr as u32),
-            Value(k_addr as u32),
-        ]);
+        .with_params(vec![Value(s_addr as u32), Value(d_addr as u32), Value(k_addr as u32)]);
 
     let mut expected = vec![0f32; n];
     for y in 0..h as usize {
         for x in 0..w as usize {
             let mut acc = 0f32;
             for (k, tap) in taps.iter().enumerate() {
-                let col = (x as i64 + k as i64 - i64::from(RADIUS))
-                    .clamp(0, i64::from(w) - 1) as usize;
+                let col =
+                    (x as i64 + k as i64 - i64::from(RADIUS)).clamp(0, i64::from(w) - 1) as usize;
                 acc = img[y * w as usize + col].mul_add(*tap, acc);
             }
             expected[y * w as usize + x] = acc;
@@ -407,11 +399,7 @@ pub fn matrix_mul(scale: Scale) -> Workload {
     mem.write_slice_f32(a_addr, &a_m);
     mem.write_slice_f32(b_addr, &b_m);
     let launch = LaunchConfig::new(Dim3::two_d(n / TILE, n / TILE), Dim3::two_d(TILE, TILE))
-        .with_params(vec![
-            Value(a_addr as u32),
-            Value(b_addr as u32),
-            Value(c_addr as u32),
-        ]);
+        .with_params(vec![Value(a_addr as u32), Value(b_addr as u32), Value(c_addr as u32)]);
 
     // CPU reference with the same accumulation order (k within tile, tiles
     // in order).

@@ -42,7 +42,6 @@ fn main() {
     println!(
         "\nenergy reduction: {:.1}% (overhead of the added structures: {:.2}% of dynamic)",
         model.reduction_percent(&base.stats, &dars.stats),
-        model.evaluate(&dars.stats).darsie_overhead / model.evaluate(&dars.stats).dynamic()
-            * 100.0
+        model.evaluate(&dars.stats).darsie_overhead / model.evaluate(&dars.stats).dynamic() * 100.0
     );
 }

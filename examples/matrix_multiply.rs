@@ -26,12 +26,7 @@ fn main() {
         "{:12} {:>9} {:>12} {:>10} {:>8}",
         "technique", "cycles", "executed", "eliminated", "speedup"
     );
-    for tech in [
-        Technique::Base,
-        Technique::Uv,
-        Technique::DacIdeal,
-        Technique::darsie(),
-    ] {
+    for tech in [Technique::Base, Technique::Uv, Technique::DacIdeal, Technique::darsie()] {
         // run() validates the result matrix against a CPU reference.
         let r = w.run(&cfg, tech.clone());
         println!(

@@ -71,9 +71,14 @@ fn main() {
     let done = table.record_pass(PC2, 1, 2, majority.mask(), now);
     assert!(done);
     assert_eq!(rename.live_versions(), 1, "only v2 remains");
-    println!("     live versions = {}, free physical registers = {}",
-        rename.live_versions(), rename.free_regs());
+    println!(
+        "     live versions = {}, free physical registers = {}",
+        rename.live_versions(),
+        rename.free_regs()
+    );
 
-    println!("\nFigure 5 protocol replay complete: {} probes, {} leader elections",
-        stats.skip_table_probes, stats.leaders_elected);
+    println!(
+        "\nFigure 5 protocol replay complete: {} probes, {} leader elections",
+        stats.skip_table_probes, stats.leaders_elected
+    );
 }

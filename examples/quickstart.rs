@@ -63,7 +63,10 @@ fn main() {
         dars.memory.read_vec_f32(dst_addr, 16 * 256),
         "DARSIE must preserve architected state"
     );
-    println!("BASE:   {} cycles, {} warp instructions executed", base.cycles, base.stats.instrs_executed);
+    println!(
+        "BASE:   {} cycles, {} warp instructions executed",
+        base.cycles, base.stats.instrs_executed
+    );
     println!(
         "DARSIE: {} cycles, {} executed, {} skipped before fetch",
         dars.cycles,

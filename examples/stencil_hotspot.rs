@@ -43,8 +43,5 @@ fn main() {
         plan_2d.num_skippable(),
         plan_1d.num_skippable()
     );
-    println!(
-        "launch-time promotion: 2D = {}, 1D = {}",
-        plan_2d.promoted_x, plan_1d.promoted_x
-    );
+    println!("launch-time promotion: 2D = {}, 1D = {}", plan_2d.promoted_x, plan_1d.promoted_x);
 }

@@ -19,10 +19,7 @@ fn main() {
         multi.len(),
         multi.len() as f64 / apps.len() as f64 * 100.0
     );
-    let pass = multi
-        .iter()
-        .filter(|w| w.launch.promotes_conditional_redundancy())
-        .count();
+    let pass = multi.iter().filter(|w| w.launch.promotes_conditional_redundancy()).count();
     println!(
         "...that pass the launch check: {pass}/{} ({:.0}%)   [paper: 127 of 128 2D kernels]",
         multi.len(),

@@ -46,8 +46,8 @@ fn workload_kernels_roundtrip_through_the_64bit_encoding() {
 fn workload_kernels_roundtrip_through_the_assembler() {
     for w in catalog(Scale::Test) {
         let text = w.ck.kernel.disassemble();
-        let (parsed, _) = parse_kernel(&w.ck.kernel.name, &text)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.abbr));
+        let (parsed, _) =
+            parse_kernel(&w.ck.kernel.name, &text).unwrap_or_else(|e| panic!("{}: {e}", w.abbr));
         assert_eq!(parsed.instrs, w.ck.kernel.instrs, "{}", w.abbr);
     }
 }
@@ -56,8 +56,8 @@ fn workload_kernels_roundtrip_through_the_assembler() {
 fn annotated_disassembly_preserves_markings() {
     for w in catalog(Scale::Test) {
         let text = w.ck.annotated_disassembly();
-        let (parsed, markings) = parse_kernel(&w.ck.kernel.name, &text)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.abbr));
+        let (parsed, markings) =
+            parse_kernel(&w.ck.kernel.name, &text).unwrap_or_else(|e| panic!("{}: {e}", w.abbr));
         assert_eq!(parsed.instrs, w.ck.kernel.instrs, "{}", w.abbr);
         assert_eq!(markings, w.ck.markings, "{}: markings corrupted in text", w.abbr);
     }

@@ -47,8 +47,7 @@ fn instruction_count_is_conserved() {
         let base = w.run(&cfg(), Technique::Base).stats.instrs_executed;
         for tech in [Technique::Uv, Technique::DacIdeal, Technique::darsie()] {
             let s = w.run(&cfg(), tech.clone()).stats;
-            let total =
-                s.instrs_executed + s.instrs_skipped.total() + s.instrs_reused.total();
+            let total = s.instrs_executed + s.instrs_skipped.total() + s.instrs_reused.total();
             assert_eq!(
                 total,
                 base,
@@ -68,11 +67,7 @@ fn darsie_skips_on_promoted_2d_blocks_only() {
     for w in catalog(Scale::Test) {
         let s = w.run(&cfg(), Technique::darsie()).stats;
         if w.launch.promotes_conditional_redundancy() {
-            assert!(
-                s.instrs_skipped.total() > 0,
-                "{} promotes but skipped nothing",
-                w.abbr
-            );
+            assert!(s.instrs_skipped.total() > 0, "{} promotes but skipped nothing", w.abbr);
         }
         if !w.is_2d {
             // 1D blocks can still skip *definitely* redundant (uniform)

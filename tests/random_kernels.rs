@@ -37,24 +37,13 @@ fn arb_step(depth: u32) -> impl Strategy<Value = Step> {
         prop_oneof![
             (any::<u8>(), prop::collection::vec(inner.clone(), 1..5))
                 .prop_map(|(s, body)| Step::IfThen(s, body)),
-            (1u8..=3, prop::collection::vec(inner, 1..4))
-                .prop_map(|(n, body)| Step::Loop(n, body)),
+            (1u8..=3, prop::collection::vec(inner, 1..4)).prop_map(|(n, body)| Step::Loop(n, body)),
         ]
     })
 }
 
-const ALU_OPS: [Op; 10] = [
-    Op::IAdd,
-    Op::ISub,
-    Op::IMul,
-    Op::IMin,
-    Op::IMax,
-    Op::And,
-    Op::Or,
-    Op::Xor,
-    Op::Shl,
-    Op::IMad,
-];
+const ALU_OPS: [Op; 10] =
+    [Op::IAdd, Op::ISub, Op::IMul, Op::IMin, Op::IMax, Op::And, Op::Or, Op::Xor, Op::Shl, Op::IMad];
 
 struct Gen {
     pool: Vec<Reg>,
@@ -95,12 +84,8 @@ impl Gen {
                         let amt = b.and(rc, 7u32);
                         b.shl(ra, amt)
                     } else {
-                        let mut i = simt_isa::Instruction::new(
-                            op,
-                            None,
-                            None,
-                            vec![ra.into(), rc.into()],
-                        );
+                        let mut i =
+                            simt_isa::Instruction::new(op, None, None, vec![ra.into(), rc.into()]);
                         let d = b.alloc();
                         i.dst = Some(d);
                         b.emit(i);
@@ -247,7 +232,10 @@ fn run(ck: &simt_compiler::CompiledKernel, tech: Technique) -> (u64, u64, u64) {
     let scratch = mem.alloc(1024);
     let out = mem.alloc(2 * 1024 * 4);
     let wr = mem.alloc(1024);
-    mem.write_slice_u32(scratch, &(0..256u32).map(|i| i.wrapping_mul(2654435761)).collect::<Vec<_>>());
+    mem.write_slice_u32(
+        scratch,
+        &(0..256u32).map(|i| i.wrapping_mul(2654435761)).collect::<Vec<_>>(),
+    );
     let launch = LaunchConfig::new(2u32, Dim3::two_d(16, 16)).with_params(vec![
         Value(12345),
         Value(scratch as u32),
@@ -305,6 +293,76 @@ proptest! {
                 "pc {} ({}) marked skippable but {} aligned occurrences disagreed",
                 pc, ck.kernel.instrs[pc], bad
             );
+        }
+    }
+
+    /// Marking monotonicity: launch-time finalization never *upgrades* an
+    /// instruction past what the differential oracle accepts. For every
+    /// launch shape — promoting or not — the `simt-verify` oracle replays
+    /// the kernel per-warp and must find no instruction whose finalized
+    /// marking claims TB-redundancy while its warps produced different
+    /// values.
+    #[test]
+    fn finalize_never_upgrades_past_the_oracle(
+        steps in prop::collection::vec(arb_step(2), 1..8)
+    ) {
+        let ck = build_kernel(&steps);
+        // 2D promoted, 1D unpromoted, and a 3D shape that also passes the
+        // tid.y check: promotion decisions differ across all three.
+        for block in [Dim3::two_d(16, 16), Dim3::one_d(256), Dim3::three_d(8, 4, 4)] {
+            let mut mem = GlobalMemory::new();
+            let scratch = mem.alloc(1024);
+            let out = mem.alloc(2 * 1024 * 4);
+            let wr = mem.alloc(1024);
+            mem.write_slice_u32(
+                scratch,
+                &(0..256u32).map(|i| i.wrapping_mul(2654435761)).collect::<Vec<_>>(),
+            );
+            let launch = LaunchConfig::new(2u32, block).with_params(vec![
+                Value(12345),
+                Value(scratch as u32),
+                Value(out as u32),
+                Value(wr as u32),
+            ]);
+            let report = simt_verify::oracle::check(&ck, &launch, mem);
+            prop_assert!(
+                report.is_clean(),
+                "oracle rejected a finalized marking at TB=({},{},{}):\n{}",
+                block.x, block.y, block.z, report.render()
+            );
+        }
+    }
+
+    /// When the launch-time dimensionality check fails, every
+    /// conditionally redundant marking must collapse to vector: nothing
+    /// CR-marked may stay skippable, and its finalized class must not
+    /// claim redundancy.
+    #[test]
+    fn conditional_markings_collapse_without_promotion(
+        steps in prop::collection::vec(arb_step(2), 1..8)
+    ) {
+        let ck = build_kernel(&steps);
+        // 1D 256 threads: x check fails. 2D 12x12: non-power-of-two x.
+        for block in [Dim3::one_d(256), Dim3::two_d(12, 12)] {
+            let launch = LaunchConfig::new(2u32, block).with_params(vec![Value(0); 4]);
+            prop_assert!(!launch.promotes_conditional_redundancy());
+            let plan = simt_compiler::LaunchPlan::new(&ck, &launch);
+            for (pc, &m) in ck.markings.iter().enumerate() {
+                if m != simt_isa::Marking::ConditionallyRedundant {
+                    continue;
+                }
+                prop_assert!(
+                    !plan.skippable[pc],
+                    "pc {} ({}) is CR-marked but stayed skippable under \
+                     TB=({},{},{})",
+                    pc, ck.kernel.instrs[pc], block.x, block.y, block.z
+                );
+                prop_assert!(
+                    !plan.final_class[pc].taxonomy().is_redundant(),
+                    "pc {} ({}) finalized to a redundant class without promotion",
+                    pc, ck.kernel.instrs[pc]
+                );
+            }
         }
     }
 
