@@ -5,13 +5,14 @@
 //! darsie-sim MM --technique darsie --sms 4 --scale eval
 //! darsie-sim LIB --technique base --scheduler lrr
 //! darsie-sim --list
-//! darsie-sim verify [ABBR ...] [--scale test|eval]
+//! darsie-sim verify [ABBR ...] [--scale test|eval] [--json]
 //! ```
 //!
-//! The `verify` subcommand runs the `simt-verify` static checks and the
-//! differential marking-soundness oracle over the selected workloads
-//! (all of them by default) and exits non-zero on any error-severity
-//! finding.
+//! The `verify` subcommand runs the `simt-verify` static checks (including
+//! the shared-memory race detector) and the differential marking-soundness
+//! oracle over the selected workloads (all of them by default) and exits
+//! non-zero on any error-severity finding. `--json` swaps the report for a
+//! machine-readable document for CI consumption.
 
 use darsie::DarsieConfig;
 use gpu_energy::EnergyModel;
@@ -21,7 +22,7 @@ use workloads::{by_abbr, catalog, Scale};
 fn usage() -> ! {
     eprintln!(
         "usage: darsie-sim <ABBR> [options]   |   darsie-sim --list   |   \
-         darsie-sim verify [ABBR ...] [--scale test|eval]\n\
+         darsie-sim verify [ABBR ...] [--scale test|eval] [--json]\n\
          options:\n\
            --technique base|uv|dac|darsie|darsie-ignore-store|darsie-no-cf-sync|silicon-sync\n\
            --scale test|eval        (default eval)\n\
@@ -36,11 +37,30 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-/// `darsie-sim verify`: run all three `simt-verify` passes over the
-/// selected workloads at their native launches and exit 1 on any
-/// error-severity finding.
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `darsie-sim verify`: run every `simt-verify` pass over the selected
+/// workloads at their native launches and exit 1 on any error-severity
+/// finding. With `--json`, print one machine-readable document instead of
+/// the human report.
 fn verify_command(args: &[String]) {
     let mut scale = Scale::Test;
+    let mut json = false;
     let mut abbrs: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -52,6 +72,7 @@ fn verify_command(args: &[String]) {
                     _ => usage(),
                 }
             }
+            "--json" => json = true,
             s if !s.starts_with("--") => abbrs.push(s.to_string()),
             _ => usage(),
         }
@@ -72,11 +93,38 @@ fn verify_command(args: &[String]) {
 
     let mut errors = 0usize;
     let mut warnings = 0usize;
+    let mut records: Vec<String> = Vec::new();
     for w in &selected {
         let report = simt_verify::verify_full(&w.ck, &w.launch, w.memory.clone());
         errors += report.error_count();
         warnings += report.warning_count();
-        if report.items.is_empty() {
+        if json {
+            let diags: Vec<String> = report
+                .items
+                .iter()
+                .map(|d| {
+                    format!(
+                        "{{\"code\":\"{}\",\"severity\":\"{}\",\"pc\":{},\"message\":\"{}\"}}",
+                        d.code,
+                        d.severity,
+                        d.pc.map_or_else(|| "null".to_string(), |pc| pc.to_string()),
+                        json_escape(&d.message)
+                    )
+                })
+                .collect();
+            records.push(format!(
+                "{{\"abbr\":\"{}\",\"kernel\":\"{}\",\"block\":[{},{},{}],\
+                 \"diagnostics\":[{}],\"errors\":{},\"warnings\":{}}}",
+                json_escape(w.abbr),
+                json_escape(&w.ck.kernel.name),
+                w.block.x,
+                w.block.y,
+                w.block.z,
+                diags.join(","),
+                report.error_count(),
+                report.warning_count()
+            ));
+        } else if report.items.is_empty() {
             println!(
                 "verify {:8} ({}, TB=({},{},{})): clean",
                 w.abbr, w.name, w.block.x, w.block.y, w.block.z
@@ -85,7 +133,17 @@ fn verify_command(args: &[String]) {
             print!("{}", report.render());
         }
     }
-    println!("verified {} workload(s): {errors} error(s), {warnings} warning(s)", selected.len());
+    if json {
+        println!(
+            "{{\"workloads\":[{}],\"total_errors\":{errors},\"total_warnings\":{warnings}}}",
+            records.join(",")
+        );
+    } else {
+        println!(
+            "verified {} workload(s): {errors} error(s), {warnings} warning(s)",
+            selected.len()
+        );
+    }
     if errors > 0 {
         std::process::exit(1);
     }

@@ -79,6 +79,23 @@ fn special_value(s: SpecialReg, ctx: &ExecContext<'_>, warp: &Warp, lane: u32) -
     }
 }
 
+/// Effective byte address of a memory operand: `base + offset`, checked so
+/// a negative effective address (an underflowed index computation) faults
+/// loudly instead of wrapping to a huge in-range `u64`.
+fn effective_address(base: u32, offset: i32) -> u64 {
+    u64::try_from(i64::from(base) + i64::from(offset))
+        .unwrap_or_else(|_| panic!("negative effective address: {base:#x} {offset:+}"))
+}
+
+/// Shared-memory word index of a byte address, checked against the TB's
+/// scratchpad size without any truncating cast.
+fn shared_word(addr: u64, shared_len: usize, what: &str) -> usize {
+    let w = usize::try_from(addr / 4)
+        .unwrap_or_else(|_| panic!("shared {what} address overflows usize: {addr:#x}"));
+    assert!(w < shared_len, "shared {what} out of bounds: {addr:#x} (size {})", shared_len * 4);
+    w
+}
+
 fn operand(warp: &Warp, o: simt_isa::Operand, lane: u32) -> u32 {
     match o {
         simt_isa::Operand::Reg(r) => warp.reg(r, lane),
@@ -205,22 +222,14 @@ pub fn execute(warp: &mut Warp, instr: &Instruction, ctx: &mut ExecContext<'_>) 
                     continue;
                 }
                 let base = operand(warp, instr.srcs[0], lane);
-                let addr = (i64::from(base) + i64::from(instr.offset)) as u64;
+                let addr = effective_address(base, instr.offset);
                 let v = match space {
                     MemSpace::Global => ctx.global.read_u32(addr),
-                    MemSpace::Shared => {
-                        let w = (addr / 4) as usize;
-                        assert!(
-                            w < ctx.shared.len(),
-                            "shared load out of bounds: {addr:#x} (size {})",
-                            ctx.shared.len() * 4
-                        );
-                        ctx.shared[w]
-                    }
-                    MemSpace::Param => {
-                        let i = (addr / 4) as usize;
-                        ctx.params.get(i).map_or(0, |v| v.as_u32())
-                    }
+                    MemSpace::Shared => ctx.shared[shared_word(addr, ctx.shared.len(), "load")],
+                    MemSpace::Param => usize::try_from(addr / 4)
+                        .ok()
+                        .and_then(|i| ctx.params.get(i))
+                        .map_or(0, |v| v.as_u32()),
                 };
                 warp.set_reg(d, lane, v);
                 addrs.push((lane, addr));
@@ -234,18 +243,12 @@ pub fn execute(warp: &mut Warp, instr: &Instruction, ctx: &mut ExecContext<'_>) 
                     continue;
                 }
                 let base = operand(warp, instr.srcs[0], lane);
-                let addr = (i64::from(base) + i64::from(instr.offset)) as u64;
+                let addr = effective_address(base, instr.offset);
                 let v = operand(warp, instr.srcs[1], lane);
                 match space {
                     MemSpace::Global => ctx.global.write_u32(addr, v),
                     MemSpace::Shared => {
-                        let w = (addr / 4) as usize;
-                        assert!(
-                            w < ctx.shared.len(),
-                            "shared store out of bounds: {addr:#x} (size {})",
-                            ctx.shared.len() * 4
-                        );
-                        ctx.shared[w] = v;
+                        ctx.shared[shared_word(addr, ctx.shared.len(), "store")] = v;
                     }
                     MemSpace::Param => panic!("stores to parameter space are not allowed"),
                 }
@@ -262,7 +265,7 @@ pub fn execute(warp: &mut Warp, instr: &Instruction, ctx: &mut ExecContext<'_>) 
                     continue;
                 }
                 let base = operand(warp, instr.srcs[0], lane);
-                let addr = (i64::from(base) + i64::from(instr.offset)) as u64;
+                let addr = effective_address(base, instr.offset);
                 let v = operand(warp, instr.srcs[1], lane);
                 let old = ctx.global.read_u32(addr);
                 ctx.global.write_u32(addr, AtomOp::apply(aop, old, v));

@@ -13,8 +13,8 @@ use crate::exec::{execute, ExecContext, ExecEffect};
 use crate::mem::GlobalMemory;
 use crate::warp::{Warp, WarpState};
 use simt_compiler::CompiledKernel;
-use simt_isa::{Dim3, Instruction, LaunchConfig};
-use std::collections::HashMap;
+use simt_isa::{Dim3, Instruction, LaunchConfig, MemSpace};
+use std::collections::{HashMap, HashSet};
 
 /// Hooks invoked around every dynamic warp instruction of a headless run.
 ///
@@ -47,6 +47,23 @@ pub trait FunctionalObserver {
         _warp: &Warp,
     ) {
     }
+
+    /// Called for every shared-memory access with the per-lane `(lane,
+    /// byte address)` pairs of the participating lanes. Fires between
+    /// `before_instruction` and `after_instruction`.
+    fn shared_access(
+        &mut self,
+        _warp_index: usize,
+        _pc: usize,
+        _occurrence: u32,
+        _addrs: &[(u32, u64)],
+        _is_store: bool,
+    ) {
+    }
+
+    /// Called when a TB-wide barrier releases: every live warp arrived
+    /// and is about to resume. Delimits the barrier epochs of the run.
+    fn barrier_release(&mut self) {}
 }
 
 /// Observer that records nothing (plain functional execution).
@@ -120,6 +137,10 @@ pub fn run_tb_functional<O: FunctionalObserver>(
             };
             progressed = true;
 
+            if let ExecEffect::Memory { space: MemSpace::Shared, addrs, is_store, .. } = &effect {
+                observer.shared_access(w, pc, occurrence, addrs, *is_store);
+            }
+
             observer.after_instruction(w, pc, occurrence, &instr, &warps[w]);
 
             match effect {
@@ -150,11 +171,181 @@ pub fn run_tb_functional<O: FunctionalObserver>(
             if warps.iter().all(|w| w.state == WarpState::Done) {
                 break;
             }
+            observer.barrier_release();
             at_barrier.fill(false);
         }
         if !progressed && !at_barrier.iter().any(|&b| b) {
             break;
         }
+    }
+}
+
+/// One shared-memory race observed during functional replay: two threads
+/// touched the same shared word in the same barrier epoch, at least one
+/// of them writing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedRace {
+    /// Static pc of the earlier access of the pair.
+    pub first_pc: usize,
+    /// Linear thread id of the earlier access.
+    pub first_thread: u32,
+    /// Static pc of the later (conflicting) access.
+    pub second_pc: usize,
+    /// Linear thread id of the later access.
+    pub second_thread: u32,
+    /// Shared word index (byte address / 4) the pair collided on.
+    pub word: u64,
+    /// True for write/write, false for read/write.
+    pub write_write: bool,
+}
+
+/// Per-word shadow cell: the epoch's last write plus a two-point summary
+/// of the epoch's readers. Tracking only the minimum and maximum reader
+/// thread is enough to answer "did any thread other than the writer read
+/// this word?" without storing every reader.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShadowCell {
+    /// `(epoch, thread, pc)` of the last write.
+    write: Option<(u32, u32, usize)>,
+    /// Epoch the reader summary belongs to.
+    read_epoch: u32,
+    /// `(thread, pc)` of the lowest-numbered reader this epoch.
+    min_reader: Option<(u32, usize)>,
+    /// `(thread, pc)` of the highest-numbered reader this epoch.
+    max_reader: Option<(u32, usize)>,
+}
+
+/// Shadow-memory race sanitizer for one threadblock's functional replay.
+///
+/// The dynamic half of the shared-memory race detector: where the static
+/// pass (`simt-verify`'s `races` module) cannot classify an address as
+/// thread-affine, this observer still reports precise races — offending
+/// pcs, thread ids and the shared word — for the interleaving the
+/// round-robin replay actually executes. Epochs advance on every TB-wide
+/// barrier release; within an epoch, warp scheduling order is not a
+/// happens-before order, so any cross-thread write/write or read/write
+/// pair on one word is a race. Raced-on words stay *tainted* for the rest
+/// of the run so redundancy claims depending on them can be downgraded.
+#[derive(Debug, Default)]
+pub struct RaceSanitizer {
+    warp_size: u32,
+    epoch: u32,
+    cells: HashMap<u64, ShadowCell>,
+    tainted: HashSet<u64>,
+    races: Vec<SharedRace>,
+    reported: HashSet<(usize, usize)>,
+}
+
+impl RaceSanitizer {
+    /// Sanitizer for a TB whose warps are `warp_size` lanes wide.
+    #[must_use]
+    pub fn new(warp_size: u32) -> RaceSanitizer {
+        RaceSanitizer { warp_size, ..RaceSanitizer::default() }
+    }
+
+    /// All races observed so far, in detection order (one per static
+    /// `(pc, pc)` pair).
+    #[must_use]
+    pub fn races(&self) -> &[SharedRace] {
+        &self.races
+    }
+
+    /// True when some race touched `word` at any point of the run.
+    #[must_use]
+    pub fn is_tainted(&self, word: u64) -> bool {
+        self.tainted.contains(&word)
+    }
+
+    /// Shared word indices touched by any observed race.
+    #[must_use]
+    pub fn tainted_words(&self) -> &HashSet<u64> {
+        &self.tainted
+    }
+
+    fn report(&mut self, race: SharedRace) {
+        self.tainted.insert(race.word);
+        let key = (race.first_pc.min(race.second_pc), race.first_pc.max(race.second_pc));
+        if self.reported.insert(key) {
+            self.races.push(race);
+        }
+    }
+
+    fn record_access(
+        &mut self,
+        warp_index: usize,
+        pc: usize,
+        addrs: &[(u32, u64)],
+        is_store: bool,
+    ) {
+        for &(lane, addr) in addrs {
+            let thread = warp_index as u32 * self.warp_size + lane;
+            let word = addr / 4;
+            let seen = self.cells.get(&word).copied().unwrap_or_default();
+            if let Some((we, wt, wpc)) = seen.write {
+                if we == self.epoch && wt != thread {
+                    self.report(SharedRace {
+                        first_pc: wpc,
+                        first_thread: wt,
+                        second_pc: pc,
+                        second_thread: thread,
+                        word,
+                        write_write: is_store,
+                    });
+                }
+            }
+            if is_store {
+                if seen.read_epoch == self.epoch {
+                    let other = [seen.min_reader, seen.max_reader]
+                        .into_iter()
+                        .flatten()
+                        .find(|&(t, _)| t != thread);
+                    if let Some((rt, rpc)) = other {
+                        self.report(SharedRace {
+                            first_pc: rpc,
+                            first_thread: rt,
+                            second_pc: pc,
+                            second_thread: thread,
+                            word,
+                            write_write: false,
+                        });
+                    }
+                }
+                let cell = self.cells.entry(word).or_default();
+                cell.write = Some((self.epoch, thread, pc));
+            } else {
+                let cell = self.cells.entry(word).or_default();
+                if cell.read_epoch != self.epoch {
+                    cell.read_epoch = self.epoch;
+                    cell.min_reader = None;
+                    cell.max_reader = None;
+                }
+                match cell.min_reader {
+                    Some((t, _)) if t <= thread => {}
+                    _ => cell.min_reader = Some((thread, pc)),
+                }
+                match cell.max_reader {
+                    Some((t, _)) if t >= thread => {}
+                    _ => cell.max_reader = Some((thread, pc)),
+                }
+            }
+        }
+    }
+}
+
+impl FunctionalObserver for RaceSanitizer {
+    fn shared_access(
+        &mut self,
+        warp_index: usize,
+        pc: usize,
+        _occurrence: u32,
+        addrs: &[(u32, u64)],
+        is_store: bool,
+    ) {
+        self.record_access(warp_index, pc, addrs, is_store);
+    }
+
+    fn barrier_release(&mut self) {
+        self.epoch += 1;
     }
 }
 

@@ -70,7 +70,9 @@ pub mod warp;
 
 pub use config::{GpuConfig, SchedulerPolicy, Technique};
 pub use events::{EventKind, EventLog, PipeEvent};
-pub use functional::{ctaid_at, run_tb_functional, FunctionalObserver, NullObserver};
+pub use functional::{
+    ctaid_at, run_tb_functional, FunctionalObserver, NullObserver, RaceSanitizer, SharedRace,
+};
 pub use gpu::{Gpu, SimResult};
 pub use mem::GlobalMemory;
 pub use occupancy::{occupancy, Limiter, Occupancy};

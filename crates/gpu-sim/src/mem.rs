@@ -40,7 +40,10 @@ impl GlobalMemory {
     #[must_use]
     pub fn read_u32(&self, addr: u64) -> u32 {
         assert_eq!(addr % 4, 0, "unaligned global read at {addr:#x}");
-        let (page, idx) = (addr / (PAGE_WORDS as u64 * 4), (addr / 4) as usize % PAGE_WORDS);
+        // Reduce modulo PAGE_WORDS in u64 before narrowing: a truncating
+        // cast first would alias distant addresses on 32-bit targets.
+        let (page, idx) =
+            (addr / (PAGE_WORDS as u64 * 4), ((addr / 4) % PAGE_WORDS as u64) as usize);
         self.pages.get(&page).map_or(0, |p| p[idx])
     }
 
@@ -51,7 +54,8 @@ impl GlobalMemory {
     /// Panics on unaligned access.
     pub fn write_u32(&mut self, addr: u64, value: u32) {
         assert_eq!(addr % 4, 0, "unaligned global write at {addr:#x}");
-        let (page, idx) = (addr / (PAGE_WORDS as u64 * 4), (addr / 4) as usize % PAGE_WORDS);
+        let (page, idx) =
+            (addr / (PAGE_WORDS as u64 * 4), ((addr / 4) % PAGE_WORDS as u64) as usize);
         self.pages.entry(page).or_insert_with(|| Box::new([0; PAGE_WORDS]))[idx] = value;
     }
 

@@ -1,0 +1,462 @@
+//! Thread-affine interval domain: `a*tid.x + b*tid.y + c`, `c ∈ [lo, hi]`.
+//!
+//! This extends the redundancy classes of [`crate::analysis`] — which only
+//! answer *whether* a value depends on the thread index — to *how* it
+//! depends on it. A value abstracted as [`Affine`] is, at one dynamic
+//! execution point, `a*tid.x + b*tid.y + c` for every thread of the
+//! block, where `c` is a **TB-uniform** constant known to lie in
+//! `[lo, hi]` (the same `c` for all threads; different dynamic instances
+//! may pick different `c` from the interval). The bounds use
+//! [`NEG_INF`] / [`POS_INF`] as infinities.
+//!
+//! The domain is the address language of the static shared-memory race
+//! pass in `simt-verify`: thread-affine addresses give closed-form
+//! footprints whose overlap across distinct threads is decidable, and the
+//! interval tracks barrier-free loop-carried constants (tile counters,
+//! strides) precisely enough to separate double-buffered regions.
+//!
+//! Arithmetic is over ideal integers (no 32-bit wraparound). Kernel
+//! address arithmetic never approaches `u32` range in this codebase — the
+//! functional executor separately asserts in-bounds shared accesses — and
+//! any value whose bounds leave the representable range collapses to
+//! [`AffineVal::Unknown`], which the race pass escalates conservatively.
+
+use simt_isa::SpecialReg;
+
+/// Lower-bound infinity for [`Affine`] intervals.
+pub const NEG_INF: i64 = i64::MIN;
+/// Upper-bound infinity for [`Affine`] intervals.
+pub const POS_INF: i64 = i64::MAX;
+
+/// `a*tid.x + b*tid.y + c` with TB-uniform `c ∈ [lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Affine {
+    /// Coefficient of `tid.x`.
+    pub a: i64,
+    /// Coefficient of `tid.y`.
+    pub b: i64,
+    /// Lower bound (inclusive) of the uniform constant.
+    pub lo: i64,
+    /// Upper bound (inclusive) of the uniform constant.
+    pub hi: i64,
+}
+
+/// Abstract value of one register in the affine-interval dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AffineVal {
+    /// Unreached / no value yet (lattice top; identity of [`meet`]).
+    ///
+    /// [`meet`]: AffineVal::meet
+    Top,
+    /// Thread-affine with a uniform interval constant.
+    Aff(Affine),
+    /// Anything, possibly thread-dependent in a non-affine way
+    /// (lattice bottom).
+    Unknown,
+}
+
+/// Saturating add where out-of-range lower bounds clamp to `NEG_INF`.
+fn add_lo(x: i64, y: i64) -> Option<i64> {
+    if x == NEG_INF || y == NEG_INF {
+        return Some(NEG_INF);
+    }
+    clamp_lo(i128::from(x) + i128::from(y))
+}
+
+/// Saturating add where out-of-range upper bounds clamp to `POS_INF`.
+fn add_hi(x: i64, y: i64) -> Option<i64> {
+    if x == POS_INF || y == POS_INF {
+        return Some(POS_INF);
+    }
+    clamp_hi(i128::from(x) + i128::from(y))
+}
+
+/// Maps an exact value to a lower bound: clamping *down* is sound, a value
+/// above the representable range is not (it would overstate the bound).
+fn clamp_lo(v: i128) -> Option<i64> {
+    if v <= i128::from(NEG_INF) {
+        Some(NEG_INF)
+    } else if v >= i128::from(POS_INF) {
+        None
+    } else {
+        Some(v as i64)
+    }
+}
+
+/// Maps an exact value to an upper bound (mirror of [`clamp_lo`]).
+fn clamp_hi(v: i128) -> Option<i64> {
+    if v >= i128::from(POS_INF) {
+        Some(POS_INF)
+    } else if v <= i128::from(NEG_INF) {
+        None
+    } else {
+        Some(v as i64)
+    }
+}
+
+/// `x * k` for an interval *bound* `x` and finite scale `k`, honoring
+/// infinities and the direction flip on negative `k`.
+fn mul_bound(x: i64, k: i64) -> i128 {
+    if x == NEG_INF {
+        if k >= 0 {
+            i128::from(NEG_INF) * 2
+        } else {
+            i128::from(POS_INF) * 2
+        }
+    } else if x == POS_INF {
+        if k >= 0 {
+            i128::from(POS_INF) * 2
+        } else {
+            i128::from(NEG_INF) * 2
+        }
+    } else {
+        i128::from(x) * i128::from(k)
+    }
+}
+
+impl Affine {
+    /// The exact constant `v`.
+    #[must_use]
+    pub fn constant(v: i64) -> Affine {
+        Affine { a: 0, b: 0, lo: v, hi: v }
+    }
+
+    /// True when the value is the same for every thread of the block.
+    #[must_use]
+    pub fn is_uniform(self) -> bool {
+        self.a == 0 && self.b == 0
+    }
+
+    /// True when the uniform constant is a single known value.
+    #[must_use]
+    pub fn is_exact(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Evaluates for thread `(tx, ty)` when the constant is exact.
+    #[must_use]
+    pub fn eval(self, tx: i64, ty: i64) -> Option<i64> {
+        if !self.is_exact() {
+            return None;
+        }
+        let v = i128::from(self.a) * i128::from(tx)
+            + i128::from(self.b) * i128::from(ty)
+            + i128::from(self.lo);
+        i64::try_from(v).ok()
+    }
+
+    /// Range of values over threads `tx ∈ [0, bx)`, `ty ∈ [0, by)` and
+    /// every constant in the interval: `(min, max)` with infinities.
+    #[must_use]
+    pub fn range(self, bx: i64, by: i64) -> (i64, i64) {
+        let ax = (self.a * (bx - 1)).min(0);
+        let axh = (self.a * (bx - 1)).max(0);
+        let by_ = (self.b * (by - 1)).min(0);
+        let byh = (self.b * (by - 1)).max(0);
+        let lo = add_lo(self.lo, ax + by_).unwrap_or(NEG_INF);
+        let hi = add_hi(self.hi, axh + byh).unwrap_or(POS_INF);
+        (lo, hi)
+    }
+}
+
+impl AffineVal {
+    /// The exact constant `v`.
+    #[must_use]
+    pub fn constant(v: i64) -> AffineVal {
+        AffineVal::Aff(Affine::constant(v))
+    }
+
+    /// A TB-uniform value about which nothing else is known.
+    #[must_use]
+    pub fn uniform_unknown() -> AffineVal {
+        AffineVal::Aff(Affine { a: 0, b: 0, lo: NEG_INF, hi: POS_INF })
+    }
+
+    /// Abstract value of a special register under `block` dimensions.
+    #[must_use]
+    pub fn of_special(s: SpecialReg, block_z: u32) -> AffineVal {
+        match s {
+            SpecialReg::TidX => AffineVal::Aff(Affine { a: 1, b: 0, lo: 0, hi: 0 }),
+            SpecialReg::TidY => AffineVal::Aff(Affine { a: 0, b: 1, lo: 0, hi: 0 }),
+            // The domain is 2D; a flat block pins tid.z to zero, anything
+            // else is outside the affine language.
+            SpecialReg::TidZ if block_z == 1 => AffineVal::constant(0),
+            SpecialReg::TidZ => AffineVal::Unknown,
+            // TB-uniform by construction.
+            SpecialReg::CtaidX
+            | SpecialReg::CtaidY
+            | SpecialReg::CtaidZ
+            | SpecialReg::NtidX
+            | SpecialReg::NtidY
+            | SpecialReg::NtidZ
+            | SpecialReg::NctaidX
+            | SpecialReg::NctaidY
+            | SpecialReg::NctaidZ => AffineVal::uniform_unknown(),
+            // Lane / warp ids relate to the *linear* thread id, not the
+            // (tid.x, tid.y) coordinates this domain speaks.
+            SpecialReg::LaneId | SpecialReg::WarpId => AffineVal::Unknown,
+        }
+    }
+
+    /// True when provably the same value for every thread.
+    #[must_use]
+    pub fn is_uniform(self) -> bool {
+        matches!(self, AffineVal::Aff(f) if f.is_uniform())
+    }
+
+    /// The affine form, if any.
+    #[must_use]
+    pub fn affine(self) -> Option<Affine> {
+        match self {
+            AffineVal::Aff(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Lattice meet (join of concretizations): identical coefficients hull
+    /// their intervals, anything else falls to [`AffineVal::Unknown`].
+    /// With `widen`, a growing bound jumps straight to infinity so
+    /// loop-carried constants converge.
+    #[must_use]
+    pub fn meet(self, other: AffineVal, widen: bool) -> AffineVal {
+        match (self, other) {
+            (AffineVal::Top, v) | (v, AffineVal::Top) => v,
+            (AffineVal::Unknown, _) | (_, AffineVal::Unknown) => AffineVal::Unknown,
+            (AffineVal::Aff(x), AffineVal::Aff(y)) => {
+                if x.a != y.a || x.b != y.b {
+                    return AffineVal::Unknown;
+                }
+                let lo = if y.lo < x.lo {
+                    if widen {
+                        NEG_INF
+                    } else {
+                        y.lo
+                    }
+                } else {
+                    x.lo
+                };
+                let hi = if y.hi > x.hi {
+                    if widen {
+                        POS_INF
+                    } else {
+                        y.hi
+                    }
+                } else {
+                    x.hi
+                };
+                AffineVal::Aff(Affine { lo, hi, ..x })
+            }
+        }
+    }
+
+    /// `self * k` for an exact uniform scale `k`.
+    #[must_use]
+    fn scale(self, k: i64) -> AffineVal {
+        let Some(x) = self.affine() else { return AffineVal::Unknown };
+        let (Some(a), Some(b)) = (x.a.checked_mul(k), x.b.checked_mul(k)) else {
+            return AffineVal::Unknown;
+        };
+        let (p, q) = (mul_bound(x.lo, k), mul_bound(x.hi, k));
+        let (Some(lo), Some(hi)) = (clamp_lo(p.min(q)), clamp_hi(p.max(q))) else {
+            return AffineVal::Unknown;
+        };
+        AffineVal::Aff(Affine { a, b, lo, hi })
+    }
+
+    /// Componentwise min (only for uniform operands).
+    #[must_use]
+    pub fn min_(self, other: AffineVal) -> AffineVal {
+        match (self.affine(), other.affine()) {
+            (Some(x), Some(y)) if x.is_uniform() && y.is_uniform() => {
+                AffineVal::Aff(Affine { a: 0, b: 0, lo: x.lo.min(y.lo), hi: x.hi.min(y.hi) })
+            }
+            _ => AffineVal::Unknown,
+        }
+    }
+
+    /// Componentwise max (only for uniform operands).
+    #[must_use]
+    pub fn max_(self, other: AffineVal) -> AffineVal {
+        match (self.affine(), other.affine()) {
+            (Some(x), Some(y)) if x.is_uniform() && y.is_uniform() => {
+                AffineVal::Aff(Affine { a: 0, b: 0, lo: x.lo.max(y.lo), hi: x.hi.max(y.hi) })
+            }
+            _ => AffineVal::Unknown,
+        }
+    }
+
+    /// Fallback transfer for ops the domain has no precise rule for:
+    /// uniform inputs give a uniform (but otherwise unknown) result, any
+    /// thread-dependent input poisons it.
+    #[must_use]
+    pub fn opaque(operands: &[AffineVal]) -> AffineVal {
+        if operands.iter().all(|v| v.is_uniform()) {
+            AffineVal::uniform_unknown()
+        } else {
+            AffineVal::Unknown
+        }
+    }
+}
+
+impl std::ops::Add for AffineVal {
+    type Output = AffineVal;
+
+    fn add(self, other: AffineVal) -> AffineVal {
+        let (Some(x), Some(y)) = (self.affine(), other.affine()) else {
+            return AffineVal::Unknown;
+        };
+        let (Some(a), Some(b)) = (x.a.checked_add(y.a), x.b.checked_add(y.b)) else {
+            return AffineVal::Unknown;
+        };
+        let (Some(lo), Some(hi)) = (add_lo(x.lo, y.lo), add_hi(x.hi, y.hi)) else {
+            return AffineVal::Unknown;
+        };
+        AffineVal::Aff(Affine { a, b, lo, hi })
+    }
+}
+
+impl std::ops::Neg for AffineVal {
+    type Output = AffineVal;
+
+    fn neg(self) -> AffineVal {
+        let Some(x) = self.affine() else { return AffineVal::Unknown };
+        let (Some(a), Some(b)) = (x.a.checked_neg(), x.b.checked_neg()) else {
+            return AffineVal::Unknown;
+        };
+        let lo = if x.hi == POS_INF { NEG_INF } else { -x.hi };
+        let hi = if x.lo == NEG_INF { POS_INF } else { -x.lo };
+        AffineVal::Aff(Affine { a, b, lo, hi })
+    }
+}
+
+impl std::ops::Sub for AffineVal {
+    type Output = AffineVal;
+
+    fn sub(self, other: AffineVal) -> AffineVal {
+        self + -other
+    }
+}
+
+/// `self * other`. Exact when one side is an exact uniform constant;
+/// interval-valued for uniform × uniform; otherwise unknown (the
+/// product of two thread-dependent values is not affine).
+impl std::ops::Mul for AffineVal {
+    type Output = AffineVal;
+
+    fn mul(self, other: AffineVal) -> AffineVal {
+        match (self.affine(), other.affine()) {
+            (Some(x), _) if x.is_uniform() && x.is_exact() => other.scale(x.lo),
+            (_, Some(y)) if y.is_uniform() && y.is_exact() => self.scale(y.lo),
+            (Some(x), Some(y)) if x.is_uniform() && y.is_uniform() => {
+                let corners = [
+                    mul_bound(x.lo, 1).checked_mul(i128::from(y.lo)),
+                    mul_bound(x.lo, 1).checked_mul(i128::from(y.hi)),
+                    mul_bound(x.hi, 1).checked_mul(i128::from(y.lo)),
+                    mul_bound(x.hi, 1).checked_mul(i128::from(y.hi)),
+                ];
+                // Infinite inputs or overflow: stay uniform, lose bounds.
+                if x.lo == NEG_INF
+                    || x.hi == POS_INF
+                    || y.lo == NEG_INF
+                    || y.hi == POS_INF
+                    || corners.iter().any(Option::is_none)
+                {
+                    return AffineVal::uniform_unknown();
+                }
+                let vals: Vec<i128> = corners.iter().map(|c| c.unwrap()).collect();
+                let (Some(lo), Some(hi)) =
+                    (clamp_lo(*vals.iter().min().unwrap()), clamp_hi(*vals.iter().max().unwrap()))
+                else {
+                    return AffineVal::uniform_unknown();
+                };
+                AffineVal::Aff(Affine { a: 0, b: 0, lo, hi })
+            }
+            _ => AffineVal::Unknown,
+        }
+    }
+}
+
+/// `self << k` for an exact uniform shift `k` (multiplication by
+/// `2^k`); anything else is unknown.
+impl std::ops::Shl for AffineVal {
+    type Output = AffineVal;
+
+    fn shl(self, other: AffineVal) -> AffineVal {
+        match other.affine() {
+            Some(k) if k.is_uniform() && k.is_exact() && (0..=31).contains(&k.lo) => {
+                self.scale(1i64 << k.lo)
+            }
+            _ => AffineVal::Unknown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aff(a: i64, b: i64, lo: i64, hi: i64) -> AffineVal {
+        AffineVal::Aff(Affine { a, b, lo, hi })
+    }
+
+    #[test]
+    fn specials_map_to_affine_axes() {
+        assert_eq!(AffineVal::of_special(SpecialReg::TidX, 1), aff(1, 0, 0, 0));
+        assert_eq!(AffineVal::of_special(SpecialReg::TidY, 1), aff(0, 1, 0, 0));
+        assert_eq!(AffineVal::of_special(SpecialReg::TidZ, 1), AffineVal::constant(0));
+        assert_eq!(AffineVal::of_special(SpecialReg::TidZ, 4), AffineVal::Unknown);
+        assert!(AffineVal::of_special(SpecialReg::CtaidX, 1).is_uniform());
+        assert_eq!(AffineVal::of_special(SpecialReg::LaneId, 1), AffineVal::Unknown);
+    }
+
+    #[test]
+    fn affine_arithmetic_tracks_coefficients() {
+        let tx = aff(1, 0, 0, 0);
+        let four_tx = tx << AffineVal::constant(2);
+        assert_eq!(four_tx, aff(4, 0, 0, 0));
+        let addr = four_tx + AffineVal::constant(128);
+        assert_eq!(addr, aff(4, 0, 128, 128));
+        let scaled = tx * AffineVal::constant(12) + aff(0, 1, 0, 0) * AffineVal::constant(3);
+        assert_eq!(scaled, aff(12, 3, 0, 0));
+        assert_eq!(tx * tx, AffineVal::Unknown, "tx*tx is not affine");
+        assert_eq!(tx - AffineVal::constant(4), aff(1, 0, -4, -4));
+    }
+
+    #[test]
+    fn meet_hulls_matching_coefficients() {
+        let x = aff(4, 0, 0, 0);
+        let y = aff(4, 0, 32, 96);
+        assert_eq!(x.meet(y, false), aff(4, 0, 0, 96));
+        assert_eq!(x.meet(y, true), aff(4, 0, 0, POS_INF), "widening jumps to infinity");
+        assert_eq!(x.meet(aff(8, 0, 0, 0), false), AffineVal::Unknown);
+        assert_eq!(AffineVal::Top.meet(x, false), x);
+        assert_eq!(x.meet(AffineVal::Unknown, false), AffineVal::Unknown);
+    }
+
+    #[test]
+    fn range_spans_threads_and_interval() {
+        let f = Affine { a: 4, b: 64, lo: 8, hi: 12 };
+        // tx in [0,16), ty in [0,4): 4*15 + 64*3 + 12 = 264.
+        assert_eq!(f.range(16, 4), (8, 264));
+        let g = Affine { a: -4, b: 0, lo: 0, hi: 0 };
+        assert_eq!(g.range(8, 1), (-28, 0));
+    }
+
+    #[test]
+    fn opaque_preserves_uniformity_only() {
+        assert!(
+            AffineVal::opaque(&[AffineVal::constant(3), AffineVal::uniform_unknown()]).is_uniform()
+        );
+        assert_eq!(
+            AffineVal::opaque(&[AffineVal::constant(3), aff(1, 0, 0, 0)]),
+            AffineVal::Unknown
+        );
+    }
+
+    #[test]
+    fn eval_requires_exact_constant() {
+        let f = Affine { a: 4, b: 32, lo: 8, hi: 8 };
+        assert_eq!(f.eval(3, 2), Some(4 * 3 + 32 * 2 + 8));
+        assert_eq!(Affine { a: 1, b: 0, lo: 0, hi: 4 }.eval(1, 0), None);
+    }
+}

@@ -33,12 +33,14 @@
 //!
 //! [`Marking`]: simt_isa::Marking
 
+pub mod affine;
 pub mod analysis;
 pub mod cfg;
 pub mod class;
 pub mod dom;
 pub mod pass;
 
+pub use affine::{Affine, AffineVal};
 pub use analysis::{analyze, Analysis, AnalysisOptions};
 pub use cfg::{BasicBlock, BlockId, Cfg};
 pub use class::{AbsClass, Pat, Red, Taxonomy};

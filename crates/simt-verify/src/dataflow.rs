@@ -484,6 +484,70 @@ mod tests {
     }
 
     #[test]
+    fn def_reaching_only_via_back_edge_is_maybe_uninit() {
+        // R2 is read at the loop top but defined only later in the body:
+        // the definition reaches the read around the back edge, yet the
+        // first iteration sees it uninitialized.
+        let ck = compile(vec![
+            Instruction::new(Op::Mov, Some(Reg(1)), None, vec![Operand::Imm(0)]),
+            // loop top: read R2 (defined below, reaches only via back edge)
+            Instruction::new(Op::IAdd, Some(Reg(3)), None, vec![Reg(2).into(), Operand::Imm(1)]),
+            Instruction::new(Op::Mov, Some(Reg(2)), None, vec![Reg(1).into()]),
+            Instruction::new(Op::IAdd, Some(Reg(1)), None, vec![Reg(1).into(), Operand::Imm(1)]),
+            Instruction::new(
+                Op::Setp(CmpOp::Lt),
+                None,
+                Some(Pred(0)),
+                vec![Reg(1).into(), Operand::Imm(8)],
+            ),
+            Instruction::new(Op::Bra { target: 1 }, None, None, vec![])
+                .with_guard(Guard::if_true(Pred(0))),
+            Instruction::new(
+                Op::St(simt_isa::MemSpace::Global),
+                None,
+                None,
+                vec![Reg(1).into(), Reg(3).into()],
+            ),
+            exit(),
+        ]);
+        let r = check(&ck);
+        let maybe = r.with_code(LintCode::MaybeUninitRead);
+        assert_eq!(maybe.len(), 1, "{}", r.render());
+        assert_eq!(maybe[0].pc, Some(1));
+        assert!(r.with_code(LintCode::UninitRead).is_empty(), "{}", r.render());
+    }
+
+    #[test]
+    fn barrier_inside_loop_body_keeps_loop_carried_defs_clean() {
+        // Same loop-carried accumulator shape, but with a `bar.sync`
+        // splitting the body: the barrier must not perturb reaching
+        // definitions or observability around the back edge.
+        let ck = compile(vec![
+            Instruction::new(Op::Mov, Some(Reg(1)), None, vec![Operand::Imm(0)]),
+            Instruction::new(Op::IAdd, Some(Reg(1)), None, vec![Reg(1).into(), Operand::Imm(1)]),
+            Instruction::new(Op::Bar, None, None, vec![]),
+            Instruction::new(Op::IAdd, Some(Reg(2)), None, vec![Reg(1).into(), Operand::Imm(4)]),
+            Instruction::new(
+                Op::Setp(CmpOp::Lt),
+                None,
+                Some(Pred(0)),
+                vec![Reg(1).into(), Operand::Imm(8)],
+            ),
+            Instruction::new(Op::Bra { target: 1 }, None, None, vec![])
+                .with_guard(Guard::if_true(Pred(0))),
+            Instruction::new(
+                Op::St(simt_isa::MemSpace::Global),
+                None,
+                None,
+                vec![Reg(2).into(), Reg(1).into()],
+            ),
+            exit(),
+        ]);
+        let r = check(&ck);
+        assert!(r.items.is_empty(), "{}", r.render());
+    }
+
+    #[test]
     fn atomic_result_may_be_ignored() {
         let ck = compile(vec![
             Instruction::new(Op::Mov, Some(Reg(0)), None, vec![Operand::Imm(64)]),

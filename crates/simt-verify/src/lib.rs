@@ -24,15 +24,23 @@
 //!    produced bit-identical result vectors in all warps of every
 //!    threadblock — the analog of a race detector for DARSIE's
 //!    value sharing.
+//! 4. **Shared-memory race detection** ([`races`] + the dynamic sanitizer
+//!    wired into [`oracle`]) — a static affine-interval pass proving
+//!    barrier-epoch race freedom of shared accesses, backed by a
+//!    shadow-memory sanitizer during the oracle's functional replay.
+//!    Races make TB-redundancy interleaving-dependent, so the oracle also
+//!    downgrades redundancy claims that read race-tainted words.
 //!
 //! Every finding is a [`Diagnostic`] with a stable lint code (`V0xx`
-//! dataflow, `V1xx` divergence, `V2xx` marking soundness) and a severity;
+//! dataflow, `V1xx` divergence, `V2xx` marking soundness, `V3xx` shared
+//! memory races) and a severity;
 //! [`Diagnostics`] aggregates them into a report. The `darsie-sim verify`
 //! subcommand runs all three passes over the shipped workloads.
 
 pub mod dataflow;
 pub mod divergence;
 pub mod oracle;
+pub mod races;
 
 use gpu_sim::GlobalMemory;
 use simt_compiler::CompiledKernel;
@@ -89,6 +97,16 @@ pub enum LintCode {
     /// launch's dimensionality check, produced different result vectors
     /// across warps of one TB.
     UnsoundPromotion,
+    /// `V301` — two shared-memory accesses (at least one store) provably
+    /// overlap across distinct threads within one barrier interval.
+    SharedRaceStatic,
+    /// `V302` — a shared-memory access's address is not thread-affine (or
+    /// an overlap is undecidable), so race freedom cannot be established
+    /// statically.
+    SharedAddrUnknown,
+    /// `V303` — the dynamic sanitizer observed two threads touching one
+    /// shared word in the same barrier epoch, at least one a write.
+    SharedRaceDynamic,
 }
 
 impl LintCode {
@@ -104,6 +122,9 @@ impl LintCode {
             LintCode::PredicatedBarrier => "V102",
             LintCode::UnsoundMarking => "V201",
             LintCode::UnsoundPromotion => "V202",
+            LintCode::SharedRaceStatic => "V301",
+            LintCode::SharedAddrUnknown => "V302",
+            LintCode::SharedRaceDynamic => "V303",
         }
     }
 
@@ -115,9 +136,11 @@ impl LintCode {
             | LintCode::BarrierUnderDivergence
             | LintCode::PredicatedBarrier
             | LintCode::UnsoundMarking
-            | LintCode::UnsoundPromotion => Severity::Error,
+            | LintCode::UnsoundPromotion
+            | LintCode::SharedRaceStatic
+            | LintCode::SharedRaceDynamic => Severity::Error,
             LintCode::MaybeUninitRead | LintCode::UnreachableBlock => Severity::Warning,
-            LintCode::DeadWrite => Severity::Warning,
+            LintCode::DeadWrite | LintCode::SharedAddrUnknown => Severity::Warning,
         }
     }
 }
@@ -244,8 +267,10 @@ pub fn verify_launch(ck: &CompiledKernel, launch: &LaunchConfig) -> Diagnostics 
     report
 }
 
-/// Runs all three passes: the static checks plus the differential marking
-/// oracle over `memory` (consumed; the oracle executes the kernel).
+/// Runs every pass: the static checks, the static shared-memory race
+/// detector for this launch's block shape, and the differential marking
+/// oracle (with its dynamic race sanitizer) over `memory` (consumed; the
+/// oracle executes the kernel).
 #[must_use]
 pub fn verify_full(
     ck: &CompiledKernel,
@@ -253,6 +278,7 @@ pub fn verify_full(
     memory: GlobalMemory,
 ) -> Diagnostics {
     let mut report = verify_launch(ck, launch);
+    report.merge(races::check(ck, launch));
     report.merge(oracle::check(ck, launch, memory));
     report
 }

@@ -21,12 +21,19 @@
 //! executions never form a sharing group in the hardware either (the skip
 //! table requires full-warp execution), so skipping them is not a
 //! soundness hole.
+//!
+//! The replay additionally carries the dynamic shared-memory race
+//! sanitizer ([`gpu_sim::RaceSanitizer`]): every observed race is a
+//! `V303` error, and a checked redundancy claim that *read* a race-tainted
+//! shared word is downgraded (reported as `V201`/`V202`) even when its
+//! result vectors matched — the oracle only ever sees one interleaving, so
+//! value agreement under a race proves nothing.
 
 use crate::{Diagnostic, Diagnostics, LintCode};
-use gpu_sim::{ctaid_at, run_tb_functional, FunctionalObserver, GlobalMemory};
+use gpu_sim::{ctaid_at, run_tb_functional, FunctionalObserver, GlobalMemory, RaceSanitizer};
 use simt_compiler::{promotes_tid_y, CompiledKernel, Red};
-use simt_isa::{Instruction, LaunchConfig, Marking, Op};
-use std::collections::HashMap;
+use simt_isa::{Dim3, Instruction, LaunchConfig, Marking, MemSpace, Op};
+use std::collections::{HashMap, HashSet};
 
 /// Which lint a mismatch at this instruction raises, or `None` when the
 /// instruction is not subject to value sharing under this launch.
@@ -65,12 +72,16 @@ struct Rec {
     dst: Vec<u32>,
 }
 
-/// Records destination vectors of checked instructions for one TB.
+/// Records destination vectors of checked instructions for one TB, and
+/// runs the dynamic race sanitizer alongside.
 struct OracleObserver<'a> {
     checked: &'a [Option<LintCode>],
     ws: u32,
     num_warps: usize,
     records: HashMap<(usize, u32), Vec<Option<Rec>>>,
+    sanitizer: RaceSanitizer,
+    /// Shared words each *checked* load pc read during this TB.
+    shared_reads: HashMap<usize, HashSet<u64>>,
 }
 
 impl FunctionalObserver for OracleObserver<'_> {
@@ -93,6 +104,24 @@ impl FunctionalObserver for OracleObserver<'_> {
             .or_insert_with(|| (0..self.num_warps).map(|_| None).collect())[w];
         *slot = Some(Rec { full, dst: warp.reg_vector(dst) });
     }
+
+    fn shared_access(
+        &mut self,
+        w: usize,
+        pc: usize,
+        occurrence: u32,
+        addrs: &[(u32, u64)],
+        is_store: bool,
+    ) {
+        self.sanitizer.shared_access(w, pc, occurrence, addrs, is_store);
+        if !is_store && self.checked[pc].is_some() {
+            self.shared_reads.entry(pc).or_default().extend(addrs.iter().map(|&(_, a)| a / 4));
+        }
+    }
+
+    fn barrier_release(&mut self) {
+        self.sanitizer.barrier_release();
+    }
 }
 
 /// Accumulated evidence against one static instruction.
@@ -111,11 +140,22 @@ pub fn check(ck: &CompiledKernel, launch: &LaunchConfig, mut memory: GlobalMemor
     let py = promotes_tid_y(launch);
     let checked: Vec<Option<LintCode>> =
         (0..ck.kernel.instrs.len()).map(|pc| checked_kind(ck, pc, px, py)).collect();
-    if checked.iter().all(Option::is_none) {
+    let has_shared = ck
+        .kernel
+        .instrs
+        .iter()
+        .any(|i| matches!(i.op, Op::Ld(MemSpace::Shared) | Op::St(MemSpace::Shared)));
+    if checked.iter().all(Option::is_none) && !has_shared {
         return report;
     }
     let num_warps = launch.warps_per_block() as usize;
     let mut mismatches: HashMap<usize, Mismatch> = HashMap::new();
+    // Dynamic races deduplicated by static pc pair across all TBs, with
+    // the first observing TB kept for the message.
+    let mut races: Vec<(Dim3, gpu_sim::SharedRace)> = Vec::new();
+    let mut race_pairs: HashSet<(usize, usize)> = HashSet::new();
+    // Checked pcs whose loads read a race-tainted shared word.
+    let mut tainted_claims: HashMap<usize, (LintCode, u64)> = HashMap::new();
 
     for i in 0..launch.num_blocks() {
         let ctaid = ctaid_at(launch.grid, i);
@@ -124,8 +164,21 @@ pub fn check(ck: &CompiledKernel, launch: &LaunchConfig, mut memory: GlobalMemor
             ws: launch.warp_size,
             num_warps,
             records: HashMap::new(),
+            sanitizer: RaceSanitizer::new(launch.warp_size),
+            shared_reads: HashMap::new(),
         };
         run_tb_functional(ck, launch, ctaid, &mut memory, &mut obs);
+
+        for race in obs.sanitizer.races() {
+            if race_pairs.insert((race.first_pc, race.second_pc)) {
+                races.push((ctaid, *race));
+            }
+        }
+        for (&pc, words) in &obs.shared_reads {
+            if let Some(&w) = words.iter().find(|&&w| obs.sanitizer.is_tainted(w)) {
+                tainted_claims.entry(pc).or_insert((checked[pc].expect("pc is checked"), w));
+            }
+        }
 
         for ((pc, occurrence), recs) in obs.records {
             // Only aligned occurrence groups: every warp, full masks.
@@ -180,6 +233,52 @@ pub fn check(ck: &CompiledKernel, launch: &LaunchConfig, mut memory: GlobalMemor
                 "`{}` {claim} but produced warp-divergent results ({} mismatching \
                  warp-occurrence pair(s); first: {})",
                 ck.kernel.instrs[pc], m.count, m.example,
+            ),
+        ));
+    }
+
+    // Downgrade redundancy claims that read race-tainted words: matching
+    // result vectors under a race only describe this replay's
+    // interleaving, so the claim is unsound even without a mismatch.
+    let mut pcs: Vec<usize> = tainted_claims.keys().copied().collect();
+    pcs.sort_unstable();
+    for pc in pcs {
+        if mismatches.contains_key(&pc) {
+            continue;
+        }
+        let (code, word) = tainted_claims[&pc];
+        let claim = match code {
+            LintCode::UnsoundMarking => "is marked definitely redundant",
+            _ => "was promoted by this launch's dimensionality check",
+        };
+        report.push(Diagnostic::new(
+            code,
+            Some(pc),
+            format!(
+                "`{}` {claim} but reads shared word {word}, which a data race tainted; \
+                 its value is interleaving-dependent and must not be shared across warps",
+                ck.kernel.instrs[pc],
+            ),
+        ));
+    }
+
+    races.sort_by_key(|(_, r)| (r.first_pc, r.second_pc));
+    for (ctaid, r) in races {
+        let kinds = if r.write_write { "both storing" } else { "store racing a load" };
+        report.push(Diagnostic::new(
+            LintCode::SharedRaceDynamic,
+            Some(r.second_pc),
+            format!(
+                "dynamic shared-memory race in TB ({},{},{}): thread {} at pc {} and \
+                 thread {} at pc {} touched shared word {} in the same barrier epoch ({kinds})",
+                ctaid.x,
+                ctaid.y,
+                ctaid.z,
+                r.first_thread,
+                r.first_pc,
+                r.second_thread,
+                r.second_pc,
+                r.word,
             ),
         ));
     }
@@ -333,6 +432,83 @@ mod tests {
         let hits = r.with_code(LintCode::UnsoundPromotion);
         assert_eq!(hits.len(), 1, "{}", r.render());
         assert_eq!(hits[0].pc, Some(ty_pc));
+    }
+
+    #[test]
+    fn dynamic_race_fires_v303_and_downgrades_the_tainted_redundant_load() {
+        // Every thread stores tid.x to shared word 0 (a write/write race),
+        // then after a barrier every thread loads word 0. The load has a
+        // uniform address, so the compiler honestly marks it definitely
+        // redundant — and indeed every warp reads the same value in this
+        // replay. The sanitizer must still fail it: the value depends on
+        // which thread's store won.
+        let mut b = KernelBuilder::new("racy_reduce");
+        let t = b.special(SpecialReg::TidX);
+        let smem = b.alloc_shared(16);
+        b.store(MemSpace::Shared, smem, t, 0);
+        b.barrier();
+        let v = b.load(MemSpace::Shared, smem, 0);
+        let out = b.param(0);
+        let off = b.shl_imm(t, 2);
+        let addr = b.iadd(out, off);
+        b.store(MemSpace::Global, addr, v, 0);
+        let ck = simt_compiler::compile(b.finish());
+
+        let load_pc = ck
+            .kernel
+            .instrs
+            .iter()
+            .position(|i| matches!(i.op, Op::Ld(MemSpace::Shared)))
+            .expect("kernel has a shared load");
+        assert_eq!(
+            ck.markings[load_pc],
+            Marking::Redundant,
+            "fixture expects the uniform shared load to be marked redundant\n{}",
+            ck.annotated_disassembly()
+        );
+
+        let mut mem = GlobalMemory::new();
+        let out_buf = mem.alloc(64 * 4);
+        let launch =
+            LaunchConfig::new(1u32, Dim3::one_d(64)).with_params(vec![Value(out_buf as u32)]);
+        let r = check(&ck, &launch, mem);
+
+        let v303 = r.with_code(LintCode::SharedRaceDynamic);
+        assert_eq!(v303.len(), 1, "{}", r.render());
+        let downgrades = r.with_code(LintCode::UnsoundMarking);
+        assert!(
+            downgrades.iter().any(|d| d.pc == Some(load_pc)),
+            "tainted redundant load was not downgraded:\n{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn race_free_shared_exchange_reports_no_v30x() {
+        // Thread t writes word t, barrier, reads word 63-t: disjoint
+        // footprints per epoch, so the sanitizer must stay silent.
+        let mut b = KernelBuilder::new("clean_exchange");
+        let t = b.special(SpecialReg::TidX);
+        let smem = b.alloc_shared(64 * 4);
+        let off = b.shl_imm(t, 2);
+        let waddr = b.iadd(off, smem);
+        b.store(MemSpace::Shared, waddr, t, 0);
+        b.barrier();
+        let neg = b.isub(252u32, off);
+        let raddr = b.iadd(neg, smem);
+        let v = b.load(MemSpace::Shared, raddr, 0);
+        let out = b.param(0);
+        let gaddr = b.iadd(out, off);
+        b.store(MemSpace::Global, gaddr, v, 0);
+        let ck = simt_compiler::compile(b.finish());
+
+        let mut mem = GlobalMemory::new();
+        let out_buf = mem.alloc(64 * 4);
+        let launch =
+            LaunchConfig::new(1u32, Dim3::one_d(64)).with_params(vec![Value(out_buf as u32)]);
+        let r = check(&ck, &launch, mem);
+        assert!(r.with_code(LintCode::SharedRaceDynamic).is_empty(), "{}", r.render());
+        assert!(r.items.is_empty(), "{}", r.render());
     }
 
     #[test]

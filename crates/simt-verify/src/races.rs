@@ -1,0 +1,978 @@
+//! Pass 4: static shared-memory race detection (`V301` / `V302`).
+//!
+//! DARSIE's value sharing assumes every TB-redundant instruction computes
+//! the same result no matter how the warps of a threadblock interleave. A
+//! shared-memory race breaks that assumption silently: the differential
+//! oracle only ever observes one interleaving. This pass proves race
+//! freedom — or reports a race — *statically*, in three steps:
+//!
+//! 1. **Affine-interval dataflow.** Every register is abstracted as
+//!    [`AffineVal`]: `a*tid.x + b*tid.y + c` with a TB-uniform constant
+//!    `c ∈ [lo, hi]` (see [`simt_compiler::affine`]). Predicates carry the
+//!    comparison that defined them, so guards stay symbolically
+//!    evaluable. Branch edges refine uniform loop counters against their
+//!    exact bounds (`i < 8` caps `i`'s interval on the taken edge), which
+//!    keeps barrier-free tap loops like DCT's row pass precise; bounds
+//!    that keep growing are widened to infinity after a few sweeps.
+//! 2. **Barrier-epoch segmentation.** Basic blocks are split at
+//!    `bar.sync` into *segments*; segment edges follow CFG edges but
+//!    never cross a barrier. Two accesses can execute in the same epoch
+//!    (same barrier interval, hence unordered across warps) iff one's
+//!    segment reaches the other's — including around back edges, so a
+//!    loop whose body lacks a barrier pairs an iteration's accesses with
+//!    the next iteration's.
+//! 3. **Footprint overlap.** For every same-epoch pair with at least one
+//!    store, the pass intersects thread footprints. Exact affine
+//!    addresses are evaluated concretely over the launch's block,
+//!    restricted to the threads that provably execute the access (its
+//!    guard plus the conditions of every dominating divergent branch);
+//!    a provable overlap across two distinct threads is a `V301` error.
+//!    Interval-valued footprints fall back to byte-range disjointness;
+//!    non-affine addresses escalate conservatively to a `V302` warning,
+//!    as do overlaps the pass cannot decide either way.
+//!
+//! The pass needs the launch's block shape (footprints and guard
+//! evaluation are per-thread), so it runs from `verify_full` — the race
+//! verdict for one shape says nothing about another.
+
+use crate::{Diagnostic, Diagnostics, LintCode};
+use simt_compiler::affine::{Affine, AffineVal};
+use simt_compiler::{BlockId, CompiledKernel};
+use simt_isa::{CmpOp, Instruction, LaunchConfig, MemSpace, Op, Operand, Reg};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Sweeps with precise interval hulls before widening kicks in: loop
+/// counters with small exact bounds converge precisely, unbounded
+/// loop-carried values jump to infinity instead of iterating forever.
+const MAX_PRECISE_SWEEPS: usize = 40;
+
+/// Abstract predicate: the comparison that defined it, kept symbolic so
+/// guards can be evaluated per-thread and branch edges can refine the
+/// compared register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PredVal {
+    /// Never defined on any path seen so far.
+    Top,
+    /// `cmp(lhs, rhs)` over the operand snapshots at the defining `setp`.
+    /// `lhs_reg` names the compared register while it is still live
+    /// unredefined (for edge refinement); cleared on redefinition.
+    Cmp { cmp: CmpOp, lhs: AffineVal, rhs: AffineVal, lhs_reg: Option<Reg> },
+    /// Unknown truth value.
+    Unknown,
+}
+
+impl PredVal {
+    fn meet(self, other: PredVal) -> PredVal {
+        match (self, other) {
+            (PredVal::Top, v) | (v, PredVal::Top) => v,
+            (a, b) if a == b => a,
+            _ => PredVal::Unknown,
+        }
+    }
+
+    /// True when the predicate provably holds the same value in every
+    /// thread of the block.
+    fn is_uniform(self) -> bool {
+        match self {
+            PredVal::Cmp { lhs, rhs, .. } => lhs.is_uniform() && rhs.is_uniform(),
+            _ => false,
+        }
+    }
+
+    /// Per-thread truth value, when both operands are exact affine.
+    fn eval(self, tx: i64, ty: i64) -> Option<bool> {
+        let PredVal::Cmp { cmp, lhs, rhs, .. } = self else { return None };
+        let l = lhs.affine()?.eval(tx, ty)?;
+        let r = rhs.affine()?.eval(tx, ty)?;
+        Some(match cmp {
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+        })
+    }
+}
+
+/// Dataflow state at one program point.
+#[derive(Debug, Clone, PartialEq)]
+struct State {
+    reachable: bool,
+    regs: Vec<AffineVal>,
+    preds: Vec<PredVal>,
+}
+
+impl State {
+    fn unreachable(nregs: usize, npreds: usize) -> State {
+        State {
+            reachable: false,
+            regs: vec![AffineVal::Top; nregs],
+            preds: vec![PredVal::Top; npreds],
+        }
+    }
+
+    fn entry(nregs: usize, npreds: usize) -> State {
+        State { reachable: true, ..State::unreachable(nregs, npreds) }
+    }
+
+    /// Meet with a predecessor's out-state; returns true on change.
+    fn meet_with(&mut self, other: &State, widen: bool) -> bool {
+        if !other.reachable {
+            return false;
+        }
+        if !self.reachable {
+            *self = other.clone();
+            return true;
+        }
+        let mut changed = false;
+        for (a, b) in self.regs.iter_mut().zip(&other.regs) {
+            let m = a.meet(*b, widen);
+            if m != *a {
+                *a = m;
+                changed = true;
+            }
+        }
+        for (a, b) in self.preds.iter_mut().zip(&other.preds) {
+            let m = a.meet(*b);
+            if m != *a {
+                *a = m;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+fn resolve(st: &State, op: Operand) -> AffineVal {
+    match op {
+        // Reads of never-defined registers are V001/V002 territory; here
+        // they are simply unknown.
+        Operand::Reg(r) => match st.regs[usize::from(r.0)] {
+            AffineVal::Top => AffineVal::Unknown,
+            v => v,
+        },
+        // Immediates are u32 bit patterns used with wrapping adds;
+        // sign-extending matches how negative deltas are encoded.
+        Operand::Imm(v) => AffineVal::constant(i64::from(v as i32)),
+    }
+}
+
+/// Abstract value an instruction writes to its general destination.
+fn value_of(st: &State, instr: &Instruction, block_z: u32) -> AffineVal {
+    let s = |i: usize| resolve(st, instr.srcs[i]);
+    match instr.op {
+        Op::Mov => s(0),
+        Op::IAdd => s(0) + s(1),
+        Op::ISub => s(0) - s(1),
+        Op::IMul => s(0) * s(1),
+        Op::IMad => s(0) * s(1) + s(2),
+        Op::Shl => s(0) << s(1),
+        Op::IMin => s(0).min_(s(1)),
+        Op::IMax => s(0).max_(s(1)),
+        Op::S2R(sp) => AffineVal::of_special(sp, block_z),
+        Op::Ld(MemSpace::Param) => AffineVal::uniform_unknown(),
+        // A uniform address loads one word into every lane; the value is
+        // unknown but TB-uniform within this dynamic instance.
+        Op::Ld(_) => {
+            if s(0).is_uniform() {
+                AffineVal::uniform_unknown()
+            } else {
+                AffineVal::Unknown
+            }
+        }
+        Op::Atom(_) => AffineVal::Unknown,
+        Op::Sel(p) => {
+            let (a, b) = (s(0), s(1));
+            if a == b {
+                a
+            } else if st.preds[usize::from(p.0)].is_uniform() {
+                a.meet(b, false)
+            } else {
+                // Per-thread mixture of two different affine forms.
+                AffineVal::Unknown
+            }
+        }
+        // Bitwise, shifts-by-register, float and conversion ops: uniform
+        // in, uniform out; thread-dependent in, unknown out.
+        _ => {
+            let ops: Vec<AffineVal> = (0..instr.srcs.len()).map(s).collect();
+            AffineVal::opaque(&ops)
+        }
+    }
+}
+
+/// Applies one instruction to the state.
+fn transfer(st: &mut State, instr: &Instruction, block_z: u32) {
+    let guard_pred = instr.guard.map(|g| st.preds[usize::from(g.pred.0)]);
+    let guard_uniform = guard_pred.is_some_and(PredVal::is_uniform);
+    if let Some(p) = instr.pdst {
+        let new = match instr.op {
+            Op::Setp(cmp) => {
+                let lhs_reg = match instr.srcs[0] {
+                    Operand::Reg(r) => Some(r),
+                    Operand::Imm(_) => None,
+                };
+                PredVal::Cmp {
+                    cmp,
+                    lhs: resolve(st, instr.srcs[0]),
+                    rhs: resolve(st, instr.srcs[1]),
+                    lhs_reg,
+                }
+            }
+            _ => PredVal::Unknown,
+        };
+        let slot = &mut st.preds[usize::from(p.0)];
+        // A guarded setp mixes old and new bits; predicates have no hull,
+        // so anything but an identical redefinition degrades.
+        *slot = if instr.guard.is_none() || *slot == new { new } else { PredVal::Unknown };
+    }
+    if let Some(d) = instr.dst {
+        let v = value_of(st, instr, block_z);
+        let slot = usize::from(d.0);
+        let old = match st.regs[slot] {
+            AffineVal::Top => AffineVal::Unknown,
+            o => o,
+        };
+        st.regs[slot] = if instr.guard.is_none() {
+            v
+        } else if guard_uniform {
+            // All threads together keep old or take new: hull is sound.
+            old.meet(v, false)
+        } else if old == v {
+            v
+        } else {
+            // Thread-dependent mixture of old and new values.
+            AffineVal::Unknown
+        };
+        // The compared register changed: branch edges can no longer
+        // refine it through predicates captured before this write.
+        for p in &mut st.preds {
+            if let PredVal::Cmp { lhs_reg, .. } = p {
+                if *lhs_reg == Some(d) {
+                    *lhs_reg = None;
+                }
+            }
+        }
+    }
+}
+
+/// Narrows `lhs_reg`'s interval on a branch edge where the predicate is
+/// known to be `polarity`. Only sound for TB-uniform comparisons against
+/// exact constants (all threads agree on the edge taken).
+fn refine(st: &mut State, pv: PredVal, polarity: bool) {
+    let PredVal::Cmp { cmp, lhs, rhs, lhs_reg: Some(r) } = pv else { return };
+    let Some(bound) = rhs.affine() else { return };
+    if !(bound.is_uniform() && bound.is_exact() && lhs.is_uniform()) {
+        return;
+    }
+    let slot = usize::from(r.0);
+    // Belt and braces: the predicate describes the register only while
+    // the register still holds the compared value.
+    if st.regs[slot] != lhs {
+        return;
+    }
+    let AffineVal::Aff(f) = st.regs[slot] else { return };
+    let c = bound.lo;
+    let (mut lo, mut hi) = (f.lo, f.hi);
+    match (cmp, polarity) {
+        (CmpOp::Lt, true) | (CmpOp::Ge, false) => hi = hi.min(c.saturating_sub(1)),
+        (CmpOp::Lt, false) | (CmpOp::Ge, true) => lo = lo.max(c),
+        (CmpOp::Le, true) | (CmpOp::Gt, false) => hi = hi.min(c),
+        (CmpOp::Le, false) | (CmpOp::Gt, true) => lo = lo.max(c.saturating_add(1)),
+        (CmpOp::Eq, true) | (CmpOp::Ne, false) => {
+            lo = lo.max(c);
+            hi = hi.min(c);
+        }
+        (CmpOp::Eq, false) | (CmpOp::Ne, true) => {}
+    }
+    if lo <= hi {
+        st.regs[slot] = AffineVal::Aff(Affine { lo, hi, ..f });
+    }
+}
+
+/// One shared-memory access with its converged abstract address.
+struct SharedAccess {
+    pc: usize,
+    block: BlockId,
+    is_store: bool,
+    /// Byte address including the instruction offset.
+    addr: AffineVal,
+    /// The instruction's own guard: predicate snapshot and required truth.
+    guard: Option<(PredVal, bool)>,
+}
+
+/// Barrier-delimited segments: CFG granularity below basic blocks whose
+/// edges never cross a `bar.sync`.
+struct Epochs {
+    seg_of_pc: Vec<usize>,
+    seg_succs: Vec<Vec<usize>>,
+    count: usize,
+}
+
+impl Epochs {
+    fn build(ck: &CompiledKernel) -> Epochs {
+        let cfg = &ck.cfg;
+        let n = ck.kernel.instrs.len();
+        let mut seg_of_pc = vec![usize::MAX; n];
+        let nb = cfg.blocks.len();
+        let (mut first_seg, mut last_seg) = (vec![0usize; nb], vec![0usize; nb]);
+        let mut count = 0usize;
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            first_seg[b] = count;
+            let mut cur = count;
+            count += 1;
+            for pc in block.range() {
+                seg_of_pc[pc] = cur;
+                if matches!(ck.kernel.instrs[pc].op, Op::Bar) && pc + 1 < block.end {
+                    cur = count;
+                    count += 1;
+                }
+            }
+            // A block ending in a barrier still needs a post-barrier
+            // segment to carry its successor edges.
+            if block.range().last().is_some_and(|pc| matches!(ck.kernel.instrs[pc].op, Op::Bar)) {
+                cur = count;
+                count += 1;
+            }
+            last_seg[b] = cur;
+        }
+        let mut seg_succs = vec![Vec::new(); count];
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            for &s in &block.succs {
+                seg_succs[last_seg[b]].push(first_seg[s]);
+            }
+        }
+        Epochs { seg_of_pc, seg_succs, count }
+    }
+
+    /// Segments reachable from `seed` via one or more edges.
+    fn reach_after(&self, seed: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.count];
+        let mut work: Vec<usize> = self.seg_succs[seed].clone();
+        while let Some(s) = work.pop() {
+            if !seen[s] {
+                seen[s] = true;
+                work.extend(self.seg_succs[s].iter().copied());
+            }
+        }
+        seen
+    }
+}
+
+/// Blocks reachable from `seed`, inclusive.
+fn reachable_blocks(ck: &CompiledKernel, seed: BlockId) -> Vec<bool> {
+    let mut seen = vec![false; ck.cfg.blocks.len()];
+    let mut work = vec![seed];
+    while let Some(b) = work.pop() {
+        if !seen[b] {
+            seen[b] = true;
+            work.extend(ck.cfg.blocks[b].succs.iter().copied());
+        }
+    }
+    seen
+}
+
+/// Iterative dominator sets over the CFG (entry is block 0).
+fn dominators(ck: &CompiledKernel) -> Vec<Vec<bool>> {
+    let nb = ck.cfg.blocks.len();
+    let mut dom: Vec<Vec<bool>> = vec![vec![true; nb]; nb];
+    dom[0] = vec![false; nb];
+    dom[0][0] = true;
+    let rpo = ck.cfg.reverse_post_order();
+    loop {
+        let mut changed = false;
+        for &b in &rpo {
+            if b == 0 {
+                continue;
+            }
+            let mut new = vec![true; nb];
+            let mut any_pred = false;
+            for &p in &ck.cfg.blocks[b].preds {
+                if !rpo.contains(&p) {
+                    continue; // unreachable predecessor
+                }
+                any_pred = true;
+                for (n, d) in new.iter_mut().zip(&dom[p]) {
+                    *n = *n && *d;
+                }
+            }
+            if !any_pred {
+                new = vec![false; nb];
+            }
+            new[b] = true;
+            if new != dom[b] {
+                dom[b] = new;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dom
+}
+
+/// Per-thread execution evidence for one access.
+struct ThreadSets {
+    /// Linear thread ids that provably execute the access.
+    definite: Vec<u32>,
+    /// Linear thread ids that may execute it.
+    may: Vec<u32>,
+    /// True when every guard/branch condition was exactly evaluable, so
+    /// `definite == may` and "no overlap" is a proof.
+    conclusive: bool,
+}
+
+fn cmp_polarity_holds(pv: PredVal, polarity: bool, tx: i64, ty: i64) -> Option<bool> {
+    pv.eval(tx, ty).map(|v| v == polarity)
+}
+
+fn thread_sets(constraints: &[(PredVal, bool)], bx: u32, by: u32, threads: u32) -> ThreadSets {
+    let evaluable: Vec<bool> = constraints
+        .iter()
+        .map(|&(pv, _)| {
+            matches!(pv, PredVal::Cmp { lhs, rhs, .. }
+            if lhs.affine().is_some_and(Affine::is_exact)
+            && rhs.affine().is_some_and(Affine::is_exact))
+        })
+        .collect();
+    let conclusive = evaluable.iter().all(|&e| e);
+    let mut definite = Vec::new();
+    let mut may = Vec::new();
+    for t in 0..threads {
+        let tx = i64::from(t % bx);
+        let ty = i64::from((t / bx) % by);
+        let mut inc_def = true;
+        let mut inc_may = true;
+        for ((pv, pol), &ev) in constraints.iter().zip(&evaluable) {
+            if ev {
+                if cmp_polarity_holds(*pv, *pol, tx, ty) != Some(true) {
+                    inc_def = false;
+                    inc_may = false;
+                    break;
+                }
+            } else {
+                inc_def = false;
+            }
+        }
+        if inc_def {
+            definite.push(t);
+        }
+        if inc_may {
+            may.push(t);
+        }
+    }
+    ThreadSets { definite, may, conclusive }
+}
+
+/// Word-granularity footprint: shared word index → accessing threads.
+fn footprint(f: Affine, threads: &[u32], bx: u32, by: u32) -> BTreeMap<i64, Vec<u32>> {
+    let mut words: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
+    for &t in threads {
+        let tx = i64::from(t % bx);
+        let ty = i64::from((t / bx) % by);
+        if let Some(byte) = f.eval(tx, ty) {
+            words.entry(byte.div_euclid(4)).or_default().push(t);
+        }
+    }
+    words
+}
+
+/// A pair of distinct threads touching one common word, if any.
+fn cross_collision(
+    a: &BTreeMap<i64, Vec<u32>>,
+    b: &BTreeMap<i64, Vec<u32>>,
+) -> Option<(i64, u32, u32)> {
+    for (w, ta) in a {
+        let Some(tb) = b.get(w) else { continue };
+        if ta.is_empty() || tb.is_empty() {
+            continue;
+        }
+        if ta[0] != tb[0] {
+            return Some((*w, ta[0], tb[0]));
+        }
+        if ta.len() > 1 {
+            return Some((*w, ta[1], tb[0]));
+        }
+        if tb.len() > 1 {
+            return Some((*w, ta[0], tb[1]));
+        }
+    }
+    None
+}
+
+/// Two distinct threads of one access colliding on one word (write-write
+/// within a single dynamic instance), if any.
+fn self_collision(a: &BTreeMap<i64, Vec<u32>>) -> Option<(i64, u32, u32)> {
+    a.iter().find(|(_, t)| t.len() >= 2).map(|(w, t)| (*w, t[0], t[1]))
+}
+
+/// Static shared-memory race check for one kernel under one launch's
+/// block shape. Reports `V301` for provable races and `V302` where race
+/// freedom cannot be established.
+#[must_use]
+pub fn check(ck: &CompiledKernel, launch: &LaunchConfig) -> Diagnostics {
+    let mut report = Diagnostics::new(ck.kernel.name.clone());
+    let instrs = &ck.kernel.instrs;
+    let has_shared =
+        instrs.iter().any(|i| matches!(i.op, Op::Ld(MemSpace::Shared) | Op::St(MemSpace::Shared)));
+    if !has_shared {
+        return report;
+    }
+
+    let nregs = usize::from(ck.kernel.num_regs);
+    let npreds = instrs
+        .iter()
+        .flat_map(|i| {
+            i.pdst.into_iter().chain(i.guard.map(|g| g.pred)).chain(match i.op {
+                Op::Sel(p) => Some(p),
+                _ => None,
+            })
+        })
+        .map(|p| usize::from(p.0) + 1)
+        .max()
+        .unwrap_or(0);
+    let (bx, by, bz) = (launch.block.x.max(1), launch.block.y.max(1), launch.block.z.max(1));
+    let threads = launch.threads_per_block();
+
+    // ---- 1. affine-interval fixed point over the CFG -------------------
+    let nb = ck.cfg.blocks.len();
+    let mut in_states: Vec<State> = (0..nb).map(|_| State::unreachable(nregs, npreds)).collect();
+    in_states[0] = State::entry(nregs, npreds);
+    let rpo = ck.cfg.reverse_post_order();
+    for sweep in 0.. {
+        let widen = sweep >= MAX_PRECISE_SWEEPS;
+        let mut changed = false;
+        for &b in &rpo {
+            if !in_states[b].reachable {
+                continue;
+            }
+            let mut st = in_states[b].clone();
+            for pc in ck.cfg.blocks[b].range() {
+                transfer(&mut st, &instrs[pc], bz);
+            }
+            let block = &ck.cfg.blocks[b];
+            let term = block.range().last();
+            let branch_guard = term.and_then(|pc| match instrs[pc].op {
+                Op::Bra { .. } => instrs[pc].guard,
+                _ => None,
+            });
+            for (i, &succ) in block.succs.iter().enumerate() {
+                let mut out = st.clone();
+                if let Some(g) = branch_guard {
+                    if block.succs.len() == 2 && block.succs[0] != block.succs[1] {
+                        // succs[0] is the taken edge: the guard accepted.
+                        let polarity = if i == 0 { !g.negate } else { g.negate };
+                        let pv = out.preds[usize::from(g.pred.0)];
+                        refine(&mut out, pv, polarity);
+                    }
+                }
+                changed |= in_states[succ].meet_with(&out, widen);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // ---- 2. collect accesses and branch conditions ---------------------
+    let mut accesses: Vec<SharedAccess> = Vec::new();
+    let mut branch_info: HashMap<BlockId, (PredVal, bool)> = HashMap::new();
+    for &b in &rpo {
+        if !in_states[b].reachable {
+            continue;
+        }
+        let mut st = in_states[b].clone();
+        for pc in ck.cfg.blocks[b].range() {
+            let instr = &instrs[pc];
+            let is_shared_ld = matches!(instr.op, Op::Ld(MemSpace::Shared));
+            let is_shared_st = matches!(instr.op, Op::St(MemSpace::Shared));
+            if is_shared_ld || is_shared_st {
+                let addr =
+                    resolve(&st, instr.srcs[0]) + AffineVal::constant(i64::from(instr.offset));
+                let guard = instr.guard.map(|g| (st.preds[usize::from(g.pred.0)], !g.negate));
+                accesses.push(SharedAccess { pc, block: b, is_store: is_shared_st, addr, guard });
+            }
+            if let (Op::Bra { .. }, Some(g)) = (instr.op, instr.guard) {
+                branch_info.insert(b, (st.preds[usize::from(g.pred.0)], !g.negate));
+            }
+            transfer(&mut st, instr, bz);
+        }
+    }
+
+    // ---- 3. per-block execution conditions from dominating branches ----
+    let dom = dominators(ck);
+    let mut block_conds: Vec<Vec<(PredVal, bool)>> = vec![Vec::new(); nb];
+    for (&b, &(pv, taken_polarity)) in &branch_info {
+        let succs = &ck.cfg.blocks[b].succs;
+        if succs.len() != 2 || succs[0] == succs[1] {
+            continue;
+        }
+        let rt = reachable_blocks(ck, succs[0]);
+        let rf = reachable_blocks(ck, succs[1]);
+        for x in 0..nb {
+            if x == b || !dom[x][b] {
+                continue;
+            }
+            if rt[x] && !rf[x] {
+                block_conds[x].push((pv, taken_polarity));
+            } else if rf[x] && !rt[x] {
+                block_conds[x].push((pv, !taken_polarity));
+            }
+        }
+    }
+
+    // ---- 4. same-epoch overlap checking --------------------------------
+    let epochs = Epochs::build(ck);
+    let reach: HashMap<usize, Vec<bool>> = accesses
+        .iter()
+        .map(|a| epochs.seg_of_pc[a.pc])
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .map(|s| (s, epochs.reach_after(s)))
+        .collect();
+
+    let sets: Vec<ThreadSets> = accesses
+        .iter()
+        .map(|a| {
+            let mut cs = block_conds[a.block].clone();
+            if let Some(g) = a.guard {
+                cs.push(g);
+            }
+            thread_sets(&cs, bx, by, threads)
+        })
+        .collect();
+
+    let mut v301: BTreeMap<(usize, usize), String> = BTreeMap::new();
+    let mut v302: BTreeMap<usize, String> = BTreeMap::new();
+    let kind = |s: &SharedAccess| if s.is_store { "store" } else { "load" };
+
+    for i in 0..accesses.len() {
+        for j in i..accesses.len() {
+            let (a, b) = (&accesses[i], &accesses[j]);
+            if !a.is_store && !b.is_store {
+                continue;
+            }
+            let (sa, sb) = (epochs.seg_of_pc[a.pc], epochs.seg_of_pc[b.pc]);
+            let cycle = reach[&sa][sa];
+            let same_epoch = if i == j {
+                true // one dynamic instance always races with itself
+            } else {
+                sa == sb || reach[&sa][sb] || reach[&sb][sa]
+            };
+            if !same_epoch {
+                continue;
+            }
+            // Non-affine address: conservatively escalate.
+            let (fa, fb) = (a.addr.affine(), b.addr.affine());
+            if fa.is_none() || fb.is_none() {
+                for acc in [a, b] {
+                    if acc.addr.affine().is_none() {
+                        v302.entry(acc.pc).or_insert_with(|| {
+                            format!(
+                                "shared {} `{}` has a non-affine address; cannot prove it \
+                                 race-free against the same-epoch {} at pc {}",
+                                kind(acc),
+                                instrs[acc.pc],
+                                kind(if acc.pc == a.pc { b } else { a }),
+                                if acc.pc == a.pc { b.pc } else { a.pc },
+                            )
+                        });
+                    }
+                }
+                continue;
+            }
+            let (fa, fb) = (fa.unwrap(), fb.unwrap());
+
+            if i == j {
+                // Self pair: within one dynamic instance the uniform
+                // constant cancels, so collisions depend only on (a, b)
+                // coefficients — evaluable even for interval constants.
+                let phase = Affine { lo: 0, hi: 0, ..fa };
+                let def = footprint(phase, &sets[i].definite, bx, by);
+                if let Some((_, t1, t2)) = self_collision(&def) {
+                    v301.entry((a.pc, b.pc)).or_insert_with(|| {
+                        format!(
+                            "shared {} `{}` collides with itself across threads: threads {t1} \
+                             and {t2} address the same word within one barrier interval",
+                            kind(a),
+                            instrs[a.pc],
+                        )
+                    });
+                    continue;
+                }
+                let may = footprint(phase, &sets[i].may, bx, by);
+                let unproven_self = !sets[i].conclusive && self_collision(&may).is_some();
+                // A barrier-free cycle lets different instances (with
+                // different constants) of this access share an epoch.
+                let unproven_cycle = cycle && !fa.is_exact();
+                if unproven_self || unproven_cycle {
+                    v302.entry(a.pc).or_insert_with(|| {
+                        format!(
+                            "shared {} `{}` may collide across threads within one barrier \
+                             interval; race freedom is not provable",
+                            kind(a),
+                            instrs[a.pc],
+                        )
+                    });
+                }
+                continue;
+            }
+
+            if fa.is_exact() && fb.is_exact() {
+                let (fpa, fpb) = (
+                    footprint(fa, &sets[i].definite, bx, by),
+                    footprint(fb, &sets[j].definite, bx, by),
+                );
+                if let Some((w, t1, t2)) = cross_collision(&fpa, &fpb) {
+                    v301.entry((a.pc, b.pc)).or_insert_with(|| {
+                        format!(
+                            "shared-memory race within one barrier interval: {} `{}` at pc {} \
+                             (thread {t1}) and {} `{}` at pc {} (thread {t2}) overlap on \
+                             shared word {w}",
+                            kind(a),
+                            instrs[a.pc],
+                            a.pc,
+                            kind(b),
+                            instrs[b.pc],
+                            b.pc,
+                        )
+                    });
+                    continue;
+                }
+                if sets[i].conclusive && sets[j].conclusive {
+                    continue; // proven disjoint across distinct threads
+                }
+                let (ma, mb) =
+                    (footprint(fa, &sets[i].may, bx, by), footprint(fb, &sets[j].may, bx, by));
+                if cross_collision(&ma, &mb).is_some() {
+                    v302.entry(a.pc.max(b.pc)).or_insert_with(|| {
+                        format!(
+                            "shared {} at pc {} and {} at pc {} may overlap in one barrier \
+                             interval under conditions the analysis cannot evaluate",
+                            kind(a),
+                            a.pc,
+                            kind(b),
+                            b.pc,
+                        )
+                    });
+                }
+                continue;
+            }
+
+            // Interval-valued footprints: byte-range disjointness.
+            let (ra, rb) =
+                (fa.range(i64::from(bx), i64::from(by)), fb.range(i64::from(bx), i64::from(by)));
+            let disjoint = ra.1.saturating_add(3) < rb.0 || rb.1.saturating_add(3) < ra.0;
+            if !disjoint {
+                v302.entry(a.pc.max(b.pc)).or_insert_with(|| {
+                    format!(
+                        "shared {} at pc {} and {} at pc {} have interval-valued affine \
+                         footprints that may overlap in one barrier interval",
+                        kind(a),
+                        a.pc,
+                        kind(b),
+                        b.pc,
+                    )
+                });
+            }
+        }
+    }
+
+    let mut items: Vec<(usize, Diagnostic)> = Vec::new();
+    for ((pa, _), msg) in v301 {
+        items.push((pa, Diagnostic::new(LintCode::SharedRaceStatic, Some(pa), msg)));
+    }
+    for (pc, msg) in v302 {
+        items.push((pc, Diagnostic::new(LintCode::SharedAddrUnknown, Some(pc), msg)));
+    }
+    items.sort_by_key(|(pc, d)| (*pc, d.code.code()));
+    for (_, d) in items {
+        report.push(d);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_compiler::compile;
+    use simt_isa::{Dim3, Guard, KernelBuilder, SpecialReg};
+
+    fn launch_1d(n: u32) -> LaunchConfig {
+        LaunchConfig::new(1u32, Dim3::one_d(n))
+    }
+
+    #[test]
+    fn missing_barrier_write_read_overlap_is_v301() {
+        let mut b = KernelBuilder::new("racy_rw");
+        let t = b.special(SpecialReg::TidX);
+        let smem = b.alloc_shared(64 * 4);
+        let off = b.shl_imm(t, 2);
+        let addr = b.iadd(off, smem);
+        b.store(MemSpace::Shared, addr, t, 0);
+        // Every thread reads word 0 with no barrier after the write.
+        let _v = b.load(MemSpace::Shared, smem, 0);
+        let ck = compile(b.finish());
+        let d = check(&ck, &launch_1d(64));
+        assert_eq!(d.with_code(LintCode::SharedRaceStatic).len(), 1, "{}", d.render());
+        assert!(d.with_code(LintCode::SharedAddrUnknown).is_empty(), "{}", d.render());
+    }
+
+    #[test]
+    fn barrier_between_phases_is_clean() {
+        let mut b = KernelBuilder::new("clean_rw");
+        let t = b.special(SpecialReg::TidX);
+        let smem = b.alloc_shared(64 * 4);
+        let off = b.shl_imm(t, 2);
+        let addr = b.iadd(off, smem);
+        b.store(MemSpace::Shared, addr, t, 0);
+        b.barrier();
+        let _v = b.load(MemSpace::Shared, smem, 0);
+        let ck = compile(b.finish());
+        let d = check(&ck, &launch_1d(64));
+        assert!(d.items.is_empty(), "{}", d.render());
+    }
+
+    #[test]
+    fn same_word_store_by_all_threads_is_v301() {
+        let mut b = KernelBuilder::new("racy_ww");
+        let t = b.special(SpecialReg::TidX);
+        let smem = b.alloc_shared(16);
+        b.store(MemSpace::Shared, smem, t, 0);
+        let ck = compile(b.finish());
+        let d = check(&ck, &launch_1d(32));
+        assert_eq!(d.with_code(LintCode::SharedRaceStatic).len(), 1, "{}", d.render());
+    }
+
+    #[test]
+    fn non_affine_address_escalates_to_v302() {
+        let mut b = KernelBuilder::new("nonaffine");
+        let t = b.special(SpecialReg::TidX);
+        let smem = b.alloc_shared(16);
+        let bit = b.and(t, 1u32);
+        let off = b.shl_imm(bit, 2);
+        let addr = b.iadd(off, smem);
+        b.store(MemSpace::Shared, addr, t, 0);
+        let ck = compile(b.finish());
+        let d = check(&ck, &launch_1d(32));
+        assert!(d.with_code(LintCode::SharedRaceStatic).is_empty(), "{}", d.render());
+        assert_eq!(d.with_code(LintCode::SharedAddrUnknown).len(), 1, "{}", d.render());
+    }
+
+    #[test]
+    fn loop_counter_refinement_proves_disjoint_regions() {
+        // Threads write bytes [32, 287]; a uniform tap loop reads bytes
+        // [0, 31]. Only the branch-edge refinement of `k < 8` bounds the
+        // read region away from the written one.
+        let mut b = KernelBuilder::new("refine");
+        let t = b.special(SpecialReg::TidX);
+        let sm_taps = b.alloc_shared(32);
+        let sm_data = b.alloc_shared(256);
+        let off = b.shl_imm(t, 2);
+        let waddr = b.iadd(off, sm_data);
+        b.store(MemSpace::Shared, waddr, t, 0);
+        b.for_count(8u32, |b, k| {
+            let ko = b.shl_imm(k, 2);
+            let raddr = b.iadd(ko, sm_taps);
+            let _tap = b.load(MemSpace::Shared, raddr, 0);
+        });
+        let ck = compile(b.finish());
+        let d = check(&ck, &launch_1d(64));
+        assert!(d.items.is_empty(), "{}", d.render());
+    }
+
+    #[test]
+    fn barrier_on_both_sides_inside_loop_is_clean() {
+        // Mirrored exchange: thread t writes word t, reads word 63-t.
+        // Barriers before AND after the read separate it from the writes
+        // of both the same and the next iteration.
+        let mut b = KernelBuilder::new("loop_bar");
+        let t = b.special(SpecialReg::TidX);
+        let smem = b.alloc_shared(64 * 4);
+        let off = b.shl_imm(t, 2);
+        let waddr = b.iadd(off, smem);
+        let neg = b.isub(252u32, off);
+        let raddr = b.iadd(neg, smem);
+        b.for_count(4u32, |b, _k| {
+            b.store(MemSpace::Shared, waddr, t, 0);
+            b.barrier();
+            let _v = b.load(MemSpace::Shared, raddr, 0);
+            b.barrier();
+        });
+        let ck = compile(b.finish());
+        let d = check(&ck, &launch_1d(64));
+        assert!(d.items.is_empty(), "{}", d.render());
+    }
+
+    #[test]
+    fn loop_carried_race_around_back_edge_is_v301() {
+        // Same exchange but without the trailing barrier: the read of
+        // iteration k races with the write of iteration k+1 via the back
+        // edge.
+        let mut b = KernelBuilder::new("loop_race");
+        let t = b.special(SpecialReg::TidX);
+        let smem = b.alloc_shared(64 * 4);
+        let off = b.shl_imm(t, 2);
+        let waddr = b.iadd(off, smem);
+        let neg = b.isub(252u32, off);
+        let raddr = b.iadd(neg, smem);
+        b.for_count(4u32, |b, _k| {
+            b.store(MemSpace::Shared, waddr, t, 0);
+            b.barrier();
+            let _v = b.load(MemSpace::Shared, raddr, 0);
+        });
+        let ck = compile(b.finish());
+        let d = check(&ck, &launch_1d(64));
+        assert_eq!(d.with_code(LintCode::SharedRaceStatic).len(), 1, "{}", d.render());
+    }
+
+    #[test]
+    fn conditional_blocks_limit_executing_threads() {
+        // Only thread 0 writes and only thread 0 reads word 0 — both
+        // accesses are unguarded instructions inside `if (tid.x == 0)`
+        // bodies, so the proof needs the dominating branch condition.
+        let mut b = KernelBuilder::new("cond_single");
+        let t = b.special(SpecialReg::TidX);
+        let smem = b.alloc_shared(16);
+        let q = b.setp(CmpOp::Eq, t, 0u32);
+        b.if_then(Guard { pred: q, negate: false }, |b| {
+            b.store(MemSpace::Shared, smem, 7u32, 0);
+        });
+        b.if_then(Guard { pred: q, negate: false }, |b| {
+            let _v = b.load(MemSpace::Shared, smem, 0);
+        });
+        let ck = compile(b.finish());
+        let d = check(&ck, &launch_1d(64));
+        assert!(d.items.is_empty(), "{}", d.render());
+    }
+
+    #[test]
+    fn third_dimension_threads_collide_on_tidx_addresses() {
+        // Block (4, 1, 4): threads differing only in tid.z share every
+        // tid.x-derived address.
+        let mut b = KernelBuilder::new("z_collide");
+        let t = b.special(SpecialReg::TidX);
+        let smem = b.alloc_shared(16);
+        let off = b.shl_imm(t, 2);
+        let addr = b.iadd(off, smem);
+        b.store(MemSpace::Shared, addr, t, 0);
+        let ck = compile(b.finish());
+        let d = check(&ck, &LaunchConfig::new(1u32, Dim3::three_d(4, 1, 4)));
+        assert_eq!(d.with_code(LintCode::SharedRaceStatic).len(), 1, "{}", d.render());
+    }
+
+    #[test]
+    fn tidz_derived_address_is_conservatively_v302() {
+        let mut b = KernelBuilder::new("z_addr");
+        let z = b.special(SpecialReg::TidZ);
+        let smem = b.alloc_shared(16);
+        let off = b.shl_imm(z, 2);
+        let addr = b.iadd(off, smem);
+        b.store(MemSpace::Shared, addr, z, 0);
+        let ck = compile(b.finish());
+        let d = check(&ck, &LaunchConfig::new(1u32, Dim3::three_d(1, 1, 4)));
+        assert_eq!(d.with_code(LintCode::SharedAddrUnknown).len(), 1, "{}", d.render());
+    }
+}

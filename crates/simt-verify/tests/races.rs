@@ -1,0 +1,85 @@
+//! Integration tests for the shared-memory race detector: the racy
+//! fixture kernels must be caught (statically where provable, dynamically
+//! always), the clean control and the whole Table 1 catalog must not.
+
+use simt_verify::{verify_full, LintCode};
+use workloads::{catalog, fixtures, Scale};
+
+#[test]
+fn every_racy_fixture_is_caught_dynamically() {
+    for f in fixtures::racy() {
+        let r = verify_full(&f.ck, &f.launch, f.memory.clone());
+        assert!(
+            !r.with_code(LintCode::SharedRaceDynamic).is_empty(),
+            "{}: no V303 fired:\n{}",
+            f.name,
+            r.render()
+        );
+        assert!(!r.is_clean(), "{}: report is clean:\n{}", f.name, r.render());
+    }
+}
+
+#[test]
+fn provably_racy_fixtures_are_caught_statically() {
+    for f in [fixtures::racy_missing_barrier(), fixtures::racy_same_word()] {
+        let r = verify_full(&f.ck, &f.launch, f.memory.clone());
+        assert!(
+            !r.with_code(LintCode::SharedRaceStatic).is_empty(),
+            "{}: no V301 fired:\n{}",
+            f.name,
+            r.render()
+        );
+    }
+}
+
+#[test]
+fn nonaffine_fixture_escalates_statically_but_is_not_a_static_false_claim() {
+    let f = fixtures::racy_nonaffine();
+    let r = verify_full(&f.ck, &f.launch, f.memory.clone());
+    // The static pass cannot prove this one either way: warning, no V301.
+    assert!(r.with_code(LintCode::SharedRaceStatic).is_empty(), "{}", r.render());
+    assert!(!r.with_code(LintCode::SharedAddrUnknown).is_empty(), "{}", r.render());
+    // The dynamic sanitizer still catches it.
+    assert!(!r.with_code(LintCode::SharedRaceDynamic).is_empty(), "{}", r.render());
+}
+
+#[test]
+fn racy_fixture_downgrades_the_tainted_redundant_load() {
+    // The uniform load of shared word 0 is honestly marked redundant and
+    // every warp observes the same value in the replay — but the word is
+    // race-tainted, so the claim must be rejected anyway.
+    let f = fixtures::racy_same_word();
+    let load_pc =
+        f.ck.kernel
+            .instrs
+            .iter()
+            .position(|i| matches!(i.op, simt_isa::Op::Ld(simt_isa::MemSpace::Shared)))
+            .expect("fixture has a shared load");
+    let r = verify_full(&f.ck, &f.launch, f.memory.clone());
+    assert!(
+        r.with_code(LintCode::UnsoundMarking).iter().any(|d| d.pc == Some(load_pc)),
+        "no downgrade for the tainted load:\n{}",
+        r.render()
+    );
+}
+
+#[test]
+fn clean_control_fixture_reports_no_race_findings() {
+    let f = fixtures::clean_two_phase();
+    let r = verify_full(&f.ck, &f.launch, f.memory.clone());
+    assert!(r.items.is_empty(), "{}: {}", f.name, r.render());
+}
+
+#[test]
+fn catalog_has_zero_v30x_errors() {
+    for w in catalog(Scale::Test) {
+        let r = verify_full(&w.ck, &w.launch, w.memory.clone());
+        assert!(
+            r.with_code(LintCode::SharedRaceStatic).is_empty()
+                && r.with_code(LintCode::SharedRaceDynamic).is_empty(),
+            "{}: shared-memory race reported on a catalog workload:\n{}",
+            w.abbr,
+            r.render()
+        );
+    }
+}

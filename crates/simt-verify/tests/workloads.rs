@@ -8,7 +8,7 @@
 //!   passes never execute the kernel, so foreign shapes are safe to probe.
 
 use simt_isa::{Dim3, LaunchConfig};
-use simt_verify::{verify_full, verify_launch, verify_static};
+use simt_verify::{verify_full, verify_launch, verify_static, LintCode};
 use workloads::{catalog, ext_3d, Scale};
 
 fn static_shapes() -> Vec<Dim3> {
@@ -33,10 +33,23 @@ fn every_catalog_workload_verifies_clean_at_its_native_launch() {
             w.name,
             report.render()
         );
-        assert_eq!(
-            report.warning_count(),
-            0,
-            "{} ({}) has warnings:\n{}",
+        // The race pass may be honestly inconclusive (V302) on kernels
+        // with non-affine shared addressing (FW's butterfly indices);
+        // every other warning class must stay at zero.
+        let non_v302 = report
+            .items
+            .iter()
+            .filter(|d| {
+                d.severity == simt_verify::Severity::Warning
+                    && d.code != LintCode::SharedAddrUnknown
+            })
+            .count();
+        assert_eq!(non_v302, 0, "{} ({}) has warnings:\n{}", w.abbr, w.name, report.render());
+        // And inconclusive must never mean provably racy: no V301/V303.
+        assert!(
+            report.with_code(LintCode::SharedRaceStatic).is_empty()
+                && report.with_code(LintCode::SharedRaceDynamic).is_empty(),
+            "{} ({}) has shared-memory races:\n{}",
             w.abbr,
             w.name,
             report.render()

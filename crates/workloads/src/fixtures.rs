@@ -1,0 +1,125 @@
+//! Deliberately racy fixture kernels for the shared-memory race
+//! detector, plus a clean control.
+//!
+//! These are *not* part of the paper's Table 1 catalog: each one models a
+//! bug class the verifier must catch (or, for the control, must not flag).
+//!
+//! | Fixture | Static verdict | Dynamic verdict |
+//! |---|---|---|
+//! | [`racy_missing_barrier`] | `V301` | `V303` |
+//! | [`racy_same_word`] | `V301` | `V303` |
+//! | [`racy_nonaffine`] | `V302` only | `V303` |
+//! | [`clean_two_phase`] | clean | clean |
+
+use gpu_sim::GlobalMemory;
+use simt_compiler::{compile, CompiledKernel};
+use simt_isa::{Dim3, KernelBuilder, LaunchConfig, MemSpace, SpecialReg, Value};
+
+/// One race-detector fixture: a compiled kernel with its launch and
+/// initial memory, ready for `simt_verify::verify_full`.
+#[derive(Debug, Clone)]
+pub struct Fixture {
+    /// Stable fixture name (also the kernel name).
+    pub name: &'static str,
+    /// The compiled kernel.
+    pub ck: CompiledKernel,
+    /// Single-TB launch with an output buffer as parameter 0.
+    pub launch: LaunchConfig,
+    /// Memory holding the output buffer.
+    pub memory: GlobalMemory,
+}
+
+const THREADS: u32 = 64;
+
+fn finish(name: &'static str, b: KernelBuilder) -> Fixture {
+    let ck = compile(b.finish());
+    let mut memory = GlobalMemory::new();
+    let out = memory.alloc(u64::from(THREADS) * 4);
+    let launch = LaunchConfig::new(1u32, Dim3::one_d(THREADS)).with_params(vec![Value(out as u32)]);
+    Fixture { name, ck, launch, memory }
+}
+
+/// Stores the result of loading shared word 0 out to global memory;
+/// keeps every fixture's loaded value live.
+fn writeback(b: &mut KernelBuilder, value: simt_isa::Reg) {
+    let t = b.special(SpecialReg::TidX);
+    let out = b.param(0);
+    let off = b.shl_imm(t, 2);
+    let addr = b.iadd(out, off);
+    b.store(MemSpace::Global, addr, value, 0);
+}
+
+/// Classic missing `__syncthreads()`: thread `t` writes shared word `t`,
+/// then every thread reads word 0 with no barrier in between. Thread 0's
+/// write races every other thread's read.
+#[must_use]
+pub fn racy_missing_barrier() -> Fixture {
+    let mut b = KernelBuilder::new("racy_missing_barrier");
+    let t = b.special(SpecialReg::TidX);
+    let smem = b.alloc_shared(THREADS * 4);
+    let off = b.shl_imm(t, 2);
+    let waddr = b.iadd(off, smem);
+    b.store(MemSpace::Shared, waddr, t, 0);
+    let v = b.load(MemSpace::Shared, smem, 0);
+    writeback(&mut b, v);
+    finish("racy_missing_barrier", b)
+}
+
+/// Unsynchronized reduction bug: every thread stores its tid to shared
+/// word 0 in the same epoch — a write/write race whose surviving value is
+/// interleaving-dependent.
+#[must_use]
+pub fn racy_same_word() -> Fixture {
+    let mut b = KernelBuilder::new("racy_same_word");
+    let t = b.special(SpecialReg::TidX);
+    let smem = b.alloc_shared(16);
+    b.store(MemSpace::Shared, smem, t, 0);
+    b.barrier();
+    let v = b.load(MemSpace::Shared, smem, 0);
+    writeback(&mut b, v);
+    finish("racy_same_word", b)
+}
+
+/// Racy histogram with a non-affine bucket index: the address `tid.x & 1`
+/// defeats the static affine classifier (a `V302` escalation, not a
+/// proof), while the dynamic sanitizer pinpoints the collision between
+/// threads that share a bucket.
+#[must_use]
+pub fn racy_nonaffine() -> Fixture {
+    let mut b = KernelBuilder::new("racy_nonaffine");
+    let t = b.special(SpecialReg::TidX);
+    let smem = b.alloc_shared(16);
+    let bucket = b.and(t, 1u32);
+    let off = b.shl_imm(bucket, 2);
+    let waddr = b.iadd(off, smem);
+    b.store(MemSpace::Shared, waddr, t, 0);
+    b.barrier();
+    let v = b.load(MemSpace::Shared, smem, 0);
+    writeback(&mut b, v);
+    finish("racy_nonaffine", b)
+}
+
+/// Correct two-phase exchange (the control): thread `t` writes word `t`,
+/// a barrier closes the epoch, then thread `t` reads the mirrored word
+/// `63-t`. Both detectors must stay silent.
+#[must_use]
+pub fn clean_two_phase() -> Fixture {
+    let mut b = KernelBuilder::new("clean_two_phase");
+    let t = b.special(SpecialReg::TidX);
+    let smem = b.alloc_shared(THREADS * 4);
+    let off = b.shl_imm(t, 2);
+    let waddr = b.iadd(off, smem);
+    b.store(MemSpace::Shared, waddr, t, 0);
+    b.barrier();
+    let mirror = b.isub(4 * (THREADS - 1), off);
+    let raddr = b.iadd(mirror, smem);
+    let v = b.load(MemSpace::Shared, raddr, 0);
+    writeback(&mut b, v);
+    finish("clean_two_phase", b)
+}
+
+/// The three racy fixtures, in documentation order.
+#[must_use]
+pub fn racy() -> Vec<Fixture> {
+    vec![racy_missing_barrier(), racy_same_word(), racy_nonaffine()]
+}
