@@ -5,24 +5,40 @@
 //! darsie-sim MM --technique darsie --sms 4 --scale eval
 //! darsie-sim LIB --technique base --scheduler lrr
 //! darsie-sim --list
-//! darsie-sim verify [ABBR ...] [--scale test|eval] [--json]
+//! darsie-sim verify [ABBR ...] [--workload NAME] [--scale test|eval] [--json]
+//! darsie-sim analyze [ABBR ...] [--workload NAME] [--scale test|eval] [--json]
 //! ```
 //!
 //! The `verify` subcommand runs the `simt-verify` static checks (including
 //! the shared-memory race detector) and the differential marking-soundness
 //! oracle over the selected workloads (all of them by default) and exits
 //! non-zero on any error-severity finding. `--json` swaps the report for a
-//! machine-readable document for CI consumption.
+//! machine-readable document for CI consumption, including per-lint-code
+//! totals.
+//!
+//! The `analyze` subcommand is the static performance analyzer: for each
+//! workload it reports baseline vs refined marking counts and skip
+//! coverage, the refinement upgrades by pass, blame-seed histograms for
+//! the remaining vector markings, the measured dynamic-redundancy headroom
+//! of the refined plan, and predicted-vs-measured shared-memory
+//! bank-conflict and global-coalescing statistics (cross-validated against
+//! a cycle-simulator run of the baseline technique). It exits non-zero if
+//! the refined markings fail the soundness oracle or any memory prediction
+//! bound excludes the measured counters.
 
 use darsie::DarsieConfig;
 use gpu_energy::EnergyModel;
 use gpu_sim::{GpuConfig, SchedulerPolicy, Technique};
-use workloads::{by_abbr, catalog, Scale};
+use simt_compiler::LaunchPlan;
+use simt_verify::perf::{MemPredKind, MemPrediction};
+use std::collections::BTreeMap;
+use workloads::{by_abbr, catalog, Scale, Workload};
 
 fn usage() -> ! {
     eprintln!(
         "usage: darsie-sim <ABBR> [options]   |   darsie-sim --list   |   \
-         darsie-sim verify [ABBR ...] [--scale test|eval] [--json]\n\
+         darsie-sim verify [ABBR ...] [--workload NAME] [--scale test|eval] [--json]   |   \
+         darsie-sim analyze [ABBR ...] [--workload NAME] [--scale test|eval] [--json]\n\
          options:\n\
            --technique base|uv|dac|darsie|darsie-ignore-store|darsie-no-cf-sync|silicon-sync\n\
            --scale test|eval        (default eval)\n\
@@ -54,14 +70,19 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// `darsie-sim verify`: run every `simt-verify` pass over the selected
-/// workloads at their native launches and exit 1 on any error-severity
-/// finding. With `--json`, print one machine-readable document instead of
-/// the human report.
-fn verify_command(args: &[String]) {
+/// Shared `verify`/`analyze` options: scale, output mode and workload
+/// selection (positional abbreviations and/or `--workload NAME` filters
+/// matching the abbreviation or full name, case-insensitively).
+struct SubcommandArgs {
+    json: bool,
+    selected: Vec<Workload>,
+}
+
+fn parse_subcommand_args(args: &[String]) -> SubcommandArgs {
     let mut scale = Scale::Test;
     let mut json = false;
     let mut abbrs: Vec<String> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -73,31 +94,56 @@ fn verify_command(args: &[String]) {
                 }
             }
             "--json" => json = true,
+            "--workload" => names.push(it.next().cloned().unwrap_or_else(|| usage())),
             s if !s.starts_with("--") => abbrs.push(s.to_string()),
             _ => usage(),
         }
     }
-    let selected: Vec<workloads::Workload> = if abbrs.is_empty() {
-        catalog(scale)
-    } else {
-        abbrs
-            .iter()
-            .map(|a| {
-                by_abbr(a, scale).unwrap_or_else(|| {
-                    eprintln!("unknown benchmark `{a}` (try --list)");
-                    std::process::exit(2);
-                })
+    let mut selected: Vec<Workload> = abbrs
+        .iter()
+        .map(|a| {
+            by_abbr(a, scale).unwrap_or_else(|| {
+                eprintln!("unknown benchmark `{a}` (try --list)");
+                std::process::exit(2);
             })
-            .collect()
-    };
+        })
+        .collect();
+    for n in &names {
+        let nl = n.to_lowercase();
+        let matched: Vec<Workload> = catalog(scale)
+            .into_iter()
+            .filter(|w| w.abbr.to_lowercase() == nl || w.name.to_lowercase() == nl)
+            .collect();
+        if matched.is_empty() {
+            eprintln!("unknown workload `{n}` (try --list)");
+            std::process::exit(2);
+        }
+        selected.extend(matched);
+    }
+    if selected.is_empty() {
+        selected = catalog(scale);
+    }
+    SubcommandArgs { json, selected }
+}
+
+/// `darsie-sim verify`: run every `simt-verify` pass over the selected
+/// workloads at their native launches and exit 1 on any error-severity
+/// finding. With `--json`, print one machine-readable document instead of
+/// the human report.
+fn verify_command(args: &[String]) {
+    let SubcommandArgs { json, selected } = parse_subcommand_args(args);
 
     let mut errors = 0usize;
     let mut warnings = 0usize;
+    let mut by_code: BTreeMap<&'static str, usize> = BTreeMap::new();
     let mut records: Vec<String> = Vec::new();
     for w in &selected {
         let report = simt_verify::verify_full(&w.ck, &w.launch, w.memory.clone());
         errors += report.error_count();
         warnings += report.warning_count();
+        for d in &report.items {
+            *by_code.entry(d.code.code()).or_insert(0) += 1;
+        }
         if json {
             let diags: Vec<String> = report
                 .items
@@ -133,18 +179,209 @@ fn verify_command(args: &[String]) {
             print!("{}", report.render());
         }
     }
+    let code_totals: Vec<String> = by_code.iter().map(|(c, n)| format!("\"{c}\":{n}")).collect();
     if json {
         println!(
-            "{{\"workloads\":[{}],\"total_errors\":{errors},\"total_warnings\":{warnings}}}",
-            records.join(",")
+            "{{\"workloads\":[{}],\"by_code\":{{{}}},\"total_errors\":{errors},\
+             \"total_warnings\":{warnings}}}",
+            records.join(","),
+            code_totals.join(",")
         );
     } else {
         println!(
             "verified {} workload(s): {errors} error(s), {warnings} warning(s)",
             selected.len()
         );
+        if !by_code.is_empty() {
+            let human: Vec<String> = by_code.iter().map(|(c, n)| format!("{c}\u{d7}{n}")).collect();
+            println!("by code: {}", human.join(", "));
+        }
     }
     if errors > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Serializes one memory prediction plus its validation outcome.
+fn mem_check_json(p: &MemPrediction, v: Option<&simt_verify::perf::Validation>) -> String {
+    let kind = match &p.kind {
+        MemPredKind::SharedConflict { min_degree, max_degree } => format!(
+            "\"kind\":\"shared-conflict\",\"min_degree\":{min_degree},\"max_degree\":{max_degree}"
+        ),
+        MemPredKind::GlobalCoalesce { min_lines, max_lines, ideal_lines } => format!(
+            "\"kind\":\"global-coalesce\",\"min_lines\":{min_lines},\"max_lines\":{max_lines},\
+             \"ideal_lines\":{ideal_lines}"
+        ),
+        MemPredKind::Unpredictable { reason } => {
+            format!("\"kind\":\"unpredictable\",\"reason\":\"{}\"", json_escape(reason))
+        }
+    };
+    let check = v.map_or_else(String::new, |v| {
+        format!(",\"ok\":{},\"measured\":\"{}\"", v.ok, json_escape(&v.detail))
+    });
+    format!("{{\"pc\":{},\"store\":{},{kind}{check}}}", p.pc, p.is_store)
+}
+
+/// `darsie-sim analyze`: the static skip-coverage and memory-performance
+/// report. Exits 1 when refined markings fail the soundness oracle or a
+/// measured memory counter falls outside its predicted bounds.
+fn analyze_command(args: &[String]) {
+    let SubcommandArgs { json, selected } = parse_subcommand_args(args);
+    let cfg = GpuConfig::test_small();
+
+    let mut total_oracle_errors = 0usize;
+    let mut total_mem_violations = 0usize;
+    let mut coverage_wins = 0usize;
+    let mut marking_wins = 0usize;
+    let mut records: Vec<String> = Vec::new();
+
+    for w in &selected {
+        let bz = w.launch.block.z.max(1);
+        let refined = simt_compiler::refine(&w.ck, bz);
+        let base_plan = LaunchPlan::new(&w.ck, &w.launch);
+        let ref_plan = LaunchPlan::new(&refined.ck, &w.launch);
+        let [bv, bc, bd] = w.ck.marking_counts();
+        let [rv, rc, rd] = refined.ck.marking_counts();
+        let (base_skip, ref_skip) = (base_plan.num_skippable(), ref_plan.num_skippable());
+        if ref_skip > base_skip {
+            coverage_wins += 1;
+        }
+        if rv < bv {
+            marking_wins += 1;
+        }
+
+        let mut upgrades: BTreeMap<String, usize> = BTreeMap::new();
+        for u in &refined.upgrades {
+            *upgrades.entry(u.reason.to_string()).or_insert(0) += 1;
+        }
+
+        // Soundness gate: the refined markings must survive the
+        // differential oracle on a real execution.
+        let oracle = simt_verify::oracle::check(&refined.ck, &w.launch, w.memory.clone());
+        let oracle_errors = oracle.error_count();
+        total_oracle_errors += oracle_errors;
+
+        // Blame the vector markings refinement could not recover.
+        let blame = simt_compiler::blame(&refined.ck, &refined.ck.classes);
+        let seeds = blame.seed_histogram();
+
+        // Dynamic headroom left by the refined plan.
+        let headroom = simt_verify::oracle::dynamic_headroom(
+            &refined.ck,
+            &w.launch,
+            &ref_plan.skippable,
+            w.memory.clone(),
+        );
+
+        // Memory performance: predict statically, measure on the cycle
+        // simulator under the baseline technique, check the bounds.
+        let predictions = simt_verify::perf::predict(&w.ck, &w.launch, cfg.warp_size);
+        let result = w.run_unchecked(&cfg, Technique::Base);
+        let checks = simt_verify::perf::validate(&predictions, &result.stats);
+        let violations = checks.iter().filter(|c| !c.ok).count();
+        total_mem_violations += violations;
+        let unpredictable = predictions
+            .iter()
+            .filter(|p| matches!(p.kind, MemPredKind::Unpredictable { .. }))
+            .count();
+        let lints = simt_verify::perf::lint(&w.ck, &predictions);
+
+        if json {
+            let upgrade_fields: Vec<String> =
+                upgrades.iter().map(|(r, n)| format!("\"{r}\":{n}")).collect();
+            let seed_fields: Vec<String> =
+                seeds.iter().map(|(s, n)| format!("\"{s}\":{n}")).collect();
+            let mem_fields: Vec<String> = predictions
+                .iter()
+                .map(|p| mem_check_json(p, checks.iter().find(|c| c.pc == p.pc)))
+                .collect();
+            let lint_fields: Vec<String> = lints
+                .items
+                .iter()
+                .map(|d| {
+                    format!(
+                        "{{\"code\":\"{}\",\"pc\":{},\"message\":\"{}\"}}",
+                        d.code,
+                        d.pc.map_or_else(|| "null".to_string(), |pc| pc.to_string()),
+                        json_escape(&d.message)
+                    )
+                })
+                .collect();
+            records.push(format!(
+                "{{\"abbr\":\"{}\",\"kernel\":\"{}\",\
+                 \"baseline\":{{\"vector\":{bv},\"cond\":{bc},\"def\":{bd},\
+                 \"skippable\":{base_skip}}},\
+                 \"refined\":{{\"vector\":{rv},\"cond\":{rc},\"def\":{rd},\
+                 \"skippable\":{ref_skip},\"upgrades\":{{{}}}}},\
+                 \"oracle_errors\":{oracle_errors},\
+                 \"headroom\":{{\"dynamically_redundant\":{},\"never_aligned\":{}}},\
+                 \"blame\":{{{}}},\
+                 \"mem\":{{\"accesses\":{},\"unpredictable\":{unpredictable},\
+                 \"violations\":{violations},\"checks\":[{}],\"lints\":[{}]}}}}",
+                json_escape(w.abbr),
+                json_escape(&w.ck.kernel.name),
+                upgrade_fields.join(","),
+                headroom.dynamically_redundant.len(),
+                headroom.never_aligned.len(),
+                seed_fields.join(","),
+                predictions.len(),
+                mem_fields.join(","),
+                lint_fields.join(",")
+            ));
+        } else {
+            println!(
+                "analyze {:8} ({}, TB=({},{},{}))",
+                w.abbr, w.name, w.block.x, w.block.y, w.block.z
+            );
+            println!(
+                "  markings V/CR/DR     {bv}/{bc}/{bd} -> {rv}/{rc}/{rd}   \
+                 skippable {base_skip} -> {ref_skip}"
+            );
+            if !upgrades.is_empty() {
+                let ups: Vec<String> =
+                    upgrades.iter().map(|(r, n)| format!("{r}\u{d7}{n}")).collect();
+                println!("  upgrades             {}", ups.join(", "));
+            }
+            println!("  oracle               {} error(s) on refined markings", oracle_errors);
+            println!(
+                "  dynamic headroom     {} redundant-unskipped, {} never-aligned",
+                headroom.dynamically_redundant.len(),
+                headroom.never_aligned.len()
+            );
+            if !seeds.is_empty() {
+                let bl: Vec<String> = seeds.iter().map(|(s, n)| format!("{s}\u{d7}{n}")).collect();
+                println!("  vector blame         {}", bl.join(", "));
+            }
+            println!(
+                "  memory               {} access(es), {unpredictable} unpredictable, \
+                 {violations} bound violation(s)",
+                predictions.len()
+            );
+            for c in checks.iter().filter(|c| !c.ok) {
+                println!("    VIOLATION {}", c.detail);
+            }
+            for d in &lints.items {
+                println!("    {d}");
+            }
+        }
+    }
+
+    if json {
+        println!(
+            "{{\"workloads\":[{}],\"totals\":{{\"oracle_errors\":{total_oracle_errors},\
+             \"mem_violations\":{total_mem_violations},\"coverage_wins\":{coverage_wins},\
+             \"marking_wins\":{marking_wins}}}}}",
+            records.join(",")
+        );
+    } else {
+        println!(
+            "analyzed {} workload(s): {total_oracle_errors} oracle error(s), \
+             {total_mem_violations} memory-bound violation(s), {coverage_wins} skip-coverage \
+             win(s), {marking_wins} marking-precision win(s)",
+            selected.len()
+        );
+    }
+    if total_oracle_errors > 0 || total_mem_violations > 0 {
         std::process::exit(1);
     }
 }
@@ -166,6 +403,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("verify") {
         verify_command(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("analyze") {
+        analyze_command(&args[1..]);
         return;
     }
     let Some(abbr) = args.first().filter(|a| !a.starts_with("--")) else { usage() };

@@ -76,6 +76,6 @@ pub use functional::{
 pub use gpu::{Gpu, SimResult};
 pub use mem::GlobalMemory;
 pub use occupancy::{occupancy, Limiter, Occupancy};
-pub use stats::{SimStats, TaxonomyCounts};
+pub use stats::{PcMemStat, SimStats, TaxonomyCounts};
 pub use tracer::{trace_redundancy, RedundancyTrace};
 pub use warp::Warp;

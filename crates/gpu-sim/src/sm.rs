@@ -982,6 +982,9 @@ impl Sm {
                 self.stats.smem_ops += 1;
                 let degree = smem_conflict_degree(addrs.iter().map(|&(_, a)| a));
                 self.stats.smem_bank_conflicts += u64::from(degree - 1);
+                let by_pc = self.stats.mem_by_pc.entry(pc).or_default();
+                by_pc.smem_accesses += 1;
+                by_pc.smem_conflict_extra += u64::from(degree - 1);
                 self.lsu_busy = now + u64::from(degree);
                 now + self.cfg.smem_latency + u64::from(degree - 1)
             }
@@ -994,6 +997,9 @@ impl Sm {
                 self.stats.mem_ops += 1;
                 let lines = coalesce_lines(addrs.iter().map(|&(_, a)| a));
                 self.stats.global_transactions += lines.len() as u64;
+                let by_pc = self.stats.mem_by_pc.entry(pc).or_default();
+                by_pc.global_accesses += 1;
+                by_pc.global_transactions += lines.len() as u64;
                 self.lsu_busy = now + lines.len() as u64;
                 let mut worst = now + self.cfg.l1_latency;
                 for &line in &lines {

@@ -21,7 +21,8 @@
 //! any value whose bounds leave the representable range collapses to
 //! [`AffineVal::Unknown`], which the race pass escalates conservatively.
 
-use simt_isa::SpecialReg;
+use crate::cfg::Cfg;
+use simt_isa::{CmpOp, Instruction, Kernel, MemSpace, Op, Operand, Reg, SpecialReg};
 
 /// Lower-bound infinity for [`Affine`] intervals.
 pub const NEG_INF: i64 = i64::MIN;
@@ -263,23 +264,26 @@ impl AffineVal {
         AffineVal::Aff(Affine { a, b, lo, hi })
     }
 
-    /// Componentwise min (only for uniform operands).
+    /// Per-thread min. Decidable when both operands share the same thread
+    /// coefficients: the thread terms cancel, so the min acts on the
+    /// uniform constants alone (uniform operands are the `a = b = 0`
+    /// special case).
     #[must_use]
     pub fn min_(self, other: AffineVal) -> AffineVal {
         match (self.affine(), other.affine()) {
-            (Some(x), Some(y)) if x.is_uniform() && y.is_uniform() => {
-                AffineVal::Aff(Affine { a: 0, b: 0, lo: x.lo.min(y.lo), hi: x.hi.min(y.hi) })
+            (Some(x), Some(y)) if x.a == y.a && x.b == y.b => {
+                AffineVal::Aff(Affine { lo: x.lo.min(y.lo), hi: x.hi.min(y.hi), ..x })
             }
             _ => AffineVal::Unknown,
         }
     }
 
-    /// Componentwise max (only for uniform operands).
+    /// Per-thread max (mirror of [`min_`](AffineVal::min_)).
     #[must_use]
     pub fn max_(self, other: AffineVal) -> AffineVal {
         match (self.affine(), other.affine()) {
-            (Some(x), Some(y)) if x.is_uniform() && y.is_uniform() => {
-                AffineVal::Aff(Affine { a: 0, b: 0, lo: x.lo.max(y.lo), hi: x.hi.max(y.hi) })
+            (Some(x), Some(y)) if x.a == y.a && x.b == y.b => {
+                AffineVal::Aff(Affine { lo: x.lo.max(y.lo), hi: x.hi.max(y.hi), ..x })
             }
             _ => AffineVal::Unknown,
         }
@@ -389,6 +393,363 @@ impl std::ops::Shl for AffineVal {
             _ => AffineVal::Unknown,
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Affine-interval dataflow over a kernel CFG.
+//
+// This is the shared analysis engine behind the race pass in `simt-verify`
+// and the memory-performance predictions / marking refinement of PR 3. One
+// sweep abstracts every register as an [`AffineVal`] and every predicate as
+// the comparison that defined it, with branch-edge interval refinement for
+// uniform loop counters and widening after [`MAX_PRECISE_SWEEPS`].
+// ---------------------------------------------------------------------------
+
+/// Sweeps with precise interval hulls before widening kicks in: loop
+/// counters with small exact bounds converge precisely, unbounded
+/// loop-carried values jump to infinity instead of iterating forever.
+pub const MAX_PRECISE_SWEEPS: usize = 40;
+
+/// Abstract predicate: the comparison that defined it, kept symbolic so
+/// guards can be evaluated per-thread and branch edges can refine the
+/// compared register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredVal {
+    /// Never defined on any path seen so far.
+    Top,
+    /// `cmp(lhs, rhs)` over the operand snapshots at the defining `setp`.
+    Cmp {
+        /// The comparison operator.
+        cmp: CmpOp,
+        /// Left operand snapshot at the defining `setp`.
+        lhs: AffineVal,
+        /// Right operand snapshot at the defining `setp`.
+        rhs: AffineVal,
+        /// Names the compared register while it is still live unredefined
+        /// (for edge refinement); cleared on redefinition.
+        lhs_reg: Option<Reg>,
+    },
+    /// Unknown truth value.
+    Unknown,
+}
+
+impl PredVal {
+    /// Lattice meet: agreeing snapshots survive, anything else degrades.
+    #[must_use]
+    pub fn meet(self, other: PredVal) -> PredVal {
+        match (self, other) {
+            (PredVal::Top, v) | (v, PredVal::Top) => v,
+            (a, b) if a == b => a,
+            _ => PredVal::Unknown,
+        }
+    }
+
+    /// True when the predicate provably holds the same value in every
+    /// thread of the block.
+    #[must_use]
+    pub fn is_uniform(self) -> bool {
+        match self {
+            PredVal::Cmp { lhs, rhs, .. } => lhs.is_uniform() && rhs.is_uniform(),
+            _ => false,
+        }
+    }
+
+    /// Per-thread truth value, when both operands are exact affine.
+    #[must_use]
+    pub fn eval(self, tx: i64, ty: i64) -> Option<bool> {
+        let PredVal::Cmp { cmp, lhs, rhs, .. } = self else { return None };
+        let l = lhs.affine()?.eval(tx, ty)?;
+        let r = rhs.affine()?.eval(tx, ty)?;
+        Some(match cmp {
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+        })
+    }
+}
+
+/// Dataflow state at one program point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowState {
+    /// False while no path from entry has reached this point.
+    pub reachable: bool,
+    /// Abstract value per general register.
+    pub regs: Vec<AffineVal>,
+    /// Abstract value per predicate register.
+    pub preds: Vec<PredVal>,
+}
+
+impl FlowState {
+    /// The not-yet-reached state (everything [`AffineVal::Top`]).
+    #[must_use]
+    pub fn unreachable(nregs: usize, npreds: usize) -> FlowState {
+        FlowState {
+            reachable: false,
+            regs: vec![AffineVal::Top; nregs],
+            preds: vec![PredVal::Top; npreds],
+        }
+    }
+
+    /// The kernel-entry state. With `zeroed`, registers start as the exact
+    /// constant 0 — sound for the functional executor, whose warps
+    /// zero-initialize the register file, and TB-uniform by construction.
+    /// Without it, entry values are unconstrained.
+    #[must_use]
+    pub fn entry(nregs: usize, npreds: usize, zeroed: bool) -> FlowState {
+        let mut st = FlowState { reachable: true, ..FlowState::unreachable(nregs, npreds) };
+        if zeroed {
+            st.regs = vec![AffineVal::constant(0); nregs];
+        }
+        st
+    }
+
+    /// Meet with a predecessor's out-state; returns true on change.
+    pub fn meet_with(&mut self, other: &FlowState, widen: bool) -> bool {
+        if !other.reachable {
+            return false;
+        }
+        if !self.reachable {
+            *self = other.clone();
+            return true;
+        }
+        let mut changed = false;
+        for (a, b) in self.regs.iter_mut().zip(&other.regs) {
+            let m = a.meet(*b, widen);
+            if m != *a {
+                *a = m;
+                changed = true;
+            }
+        }
+        for (a, b) in self.preds.iter_mut().zip(&other.preds) {
+            let m = a.meet(*b);
+            if m != *a {
+                *a = m;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// Abstract value of one operand under `st`.
+#[must_use]
+pub fn resolve(st: &FlowState, op: Operand) -> AffineVal {
+    match op {
+        // Reads of never-defined registers are V001/V002 territory; here
+        // they are simply unknown.
+        Operand::Reg(r) => match st.regs[usize::from(r.0)] {
+            AffineVal::Top => AffineVal::Unknown,
+            v => v,
+        },
+        // Immediates are u32 bit patterns used with wrapping adds;
+        // sign-extending matches how negative deltas are encoded.
+        Operand::Imm(v) => AffineVal::constant(i64::from(v as i32)),
+    }
+}
+
+/// Abstract value an instruction writes to its general destination.
+#[must_use]
+pub fn value_of(st: &FlowState, instr: &Instruction, block_z: u32) -> AffineVal {
+    let s = |i: usize| resolve(st, instr.srcs[i]);
+    match instr.op {
+        Op::Mov => s(0),
+        Op::IAdd => s(0) + s(1),
+        Op::ISub => s(0) - s(1),
+        Op::IMul => s(0) * s(1),
+        Op::IMad => s(0) * s(1) + s(2),
+        Op::Shl => s(0) << s(1),
+        Op::IMin => s(0).min_(s(1)),
+        Op::IMax => s(0).max_(s(1)),
+        Op::S2R(sp) => AffineVal::of_special(sp, block_z),
+        Op::Ld(MemSpace::Param) => AffineVal::uniform_unknown(),
+        // A uniform address loads one word into every lane; the value is
+        // unknown but TB-uniform within this dynamic instance.
+        Op::Ld(_) => {
+            if s(0).is_uniform() {
+                AffineVal::uniform_unknown()
+            } else {
+                AffineVal::Unknown
+            }
+        }
+        Op::Atom(_) => AffineVal::Unknown,
+        Op::Sel(p) => {
+            let (a, b) = (s(0), s(1));
+            if a == b {
+                a
+            } else if st.preds[usize::from(p.0)].is_uniform() {
+                a.meet(b, false)
+            } else {
+                // Per-thread mixture of two different affine forms.
+                AffineVal::Unknown
+            }
+        }
+        // Bitwise, shifts-by-register, float and conversion ops: uniform
+        // in, uniform out; thread-dependent in, unknown out.
+        _ => {
+            let ops: Vec<AffineVal> = (0..instr.srcs.len()).map(s).collect();
+            AffineVal::opaque(&ops)
+        }
+    }
+}
+
+/// Applies one instruction to the state.
+pub fn transfer(st: &mut FlowState, instr: &Instruction, block_z: u32) {
+    let guard_pred = instr.guard.map(|g| st.preds[usize::from(g.pred.0)]);
+    let guard_uniform = guard_pred.is_some_and(PredVal::is_uniform);
+    if let Some(p) = instr.pdst {
+        let new = match instr.op {
+            Op::Setp(cmp) => {
+                let lhs_reg = match instr.srcs[0] {
+                    Operand::Reg(r) => Some(r),
+                    Operand::Imm(_) => None,
+                };
+                PredVal::Cmp {
+                    cmp,
+                    lhs: resolve(st, instr.srcs[0]),
+                    rhs: resolve(st, instr.srcs[1]),
+                    lhs_reg,
+                }
+            }
+            _ => PredVal::Unknown,
+        };
+        let slot = &mut st.preds[usize::from(p.0)];
+        // A guarded setp mixes old and new bits; predicates have no hull,
+        // so anything but an identical redefinition degrades.
+        *slot = if instr.guard.is_none() || *slot == new { new } else { PredVal::Unknown };
+    }
+    if let Some(d) = instr.dst {
+        let v = value_of(st, instr, block_z);
+        let slot = usize::from(d.0);
+        let old = match st.regs[slot] {
+            AffineVal::Top => AffineVal::Unknown,
+            o => o,
+        };
+        st.regs[slot] = if instr.guard.is_none() {
+            v
+        } else if guard_uniform {
+            // All threads together keep old or take new: hull is sound.
+            old.meet(v, false)
+        } else if old == v {
+            v
+        } else {
+            // Thread-dependent mixture of old and new values.
+            AffineVal::Unknown
+        };
+        // The compared register changed: branch edges can no longer
+        // refine it through predicates captured before this write.
+        for p in &mut st.preds {
+            if let PredVal::Cmp { lhs_reg, .. } = p {
+                if *lhs_reg == Some(d) {
+                    *lhs_reg = None;
+                }
+            }
+        }
+    }
+}
+
+/// Narrows `lhs_reg`'s interval on a branch edge where the predicate is
+/// known to be `polarity`. Only sound for TB-uniform comparisons against
+/// exact constants (all threads agree on the edge taken).
+pub fn refine_edge(st: &mut FlowState, pv: PredVal, polarity: bool) {
+    let PredVal::Cmp { cmp, lhs, rhs, lhs_reg: Some(r) } = pv else { return };
+    let Some(bound) = rhs.affine() else { return };
+    if !(bound.is_uniform() && bound.is_exact() && lhs.is_uniform()) {
+        return;
+    }
+    let slot = usize::from(r.0);
+    // Belt and braces: the predicate describes the register only while
+    // the register still holds the compared value.
+    if st.regs[slot] != lhs {
+        return;
+    }
+    let AffineVal::Aff(f) = st.regs[slot] else { return };
+    let c = bound.lo;
+    let (mut lo, mut hi) = (f.lo, f.hi);
+    match (cmp, polarity) {
+        (CmpOp::Lt, true) | (CmpOp::Ge, false) => hi = hi.min(c.saturating_sub(1)),
+        (CmpOp::Lt, false) | (CmpOp::Ge, true) => lo = lo.max(c),
+        (CmpOp::Le, true) | (CmpOp::Gt, false) => hi = hi.min(c),
+        (CmpOp::Le, false) | (CmpOp::Gt, true) => lo = lo.max(c.saturating_add(1)),
+        (CmpOp::Eq, true) | (CmpOp::Ne, false) => {
+            lo = lo.max(c);
+            hi = hi.min(c);
+        }
+        (CmpOp::Eq, false) | (CmpOp::Ne, true) => {}
+    }
+    if lo <= hi {
+        st.regs[slot] = AffineVal::Aff(Affine { lo, hi, ..f });
+    }
+}
+
+/// Number of predicate slots touched by `instrs` (destinations, guards and
+/// `sel` conditions).
+#[must_use]
+pub fn num_preds(instrs: &[Instruction]) -> usize {
+    instrs
+        .iter()
+        .flat_map(|i| {
+            i.pdst.into_iter().chain(i.guard.map(|g| g.pred)).chain(match i.op {
+                Op::Sel(p) => Some(p),
+                _ => None,
+            })
+        })
+        .map(|p| usize::from(p.0) + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Runs the affine-interval dataflow to a fixed point and returns the
+/// per-block **in**-states. `entry_zeroed` selects [`FlowState::entry`]'s
+/// register initialization. Branch edges of two-way guarded branches are
+/// refined per [`refine_edge`]; widening starts after
+/// [`MAX_PRECISE_SWEEPS`].
+#[must_use]
+pub fn fixpoint(kernel: &Kernel, cfg: &Cfg, block_z: u32, entry_zeroed: bool) -> Vec<FlowState> {
+    let nregs = usize::from(kernel.num_regs);
+    let npreds = num_preds(&kernel.instrs);
+    let nb = cfg.blocks.len();
+    let mut in_states: Vec<FlowState> =
+        (0..nb).map(|_| FlowState::unreachable(nregs, npreds)).collect();
+    in_states[0] = FlowState::entry(nregs, npreds, entry_zeroed);
+    let rpo = cfg.reverse_post_order();
+    for sweep in 0.. {
+        let widen = sweep >= MAX_PRECISE_SWEEPS;
+        let mut changed = false;
+        for &b in &rpo {
+            if !in_states[b].reachable {
+                continue;
+            }
+            let mut st = in_states[b].clone();
+            for pc in cfg.blocks[b].range() {
+                transfer(&mut st, &kernel.instrs[pc], block_z);
+            }
+            let block = &cfg.blocks[b];
+            let term = block.range().last();
+            let branch_guard = term.and_then(|pc| match kernel.instrs[pc].op {
+                Op::Bra { .. } => kernel.instrs[pc].guard,
+                _ => None,
+            });
+            for (i, &succ) in block.succs.iter().enumerate() {
+                let mut out = st.clone();
+                if let Some(g) = branch_guard {
+                    if block.succs.len() == 2 && block.succs[0] != block.succs[1] {
+                        // succs[0] is the taken edge: the guard accepted.
+                        let polarity = if i == 0 { !g.negate } else { g.negate };
+                        let pv = out.preds[usize::from(g.pred.0)];
+                        refine_edge(&mut out, pv, polarity);
+                    }
+                }
+                changed |= in_states[succ].meet_with(&out, widen);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    in_states
 }
 
 #[cfg(test)]

@@ -26,22 +26,54 @@ pub struct AnalysisOptions {
     /// extension, Section 2). Such values need *both* launch-time checks to
     /// pass before promotion.
     pub analyze_tid_y: bool,
+    /// Seed entry registers and predicates as uniform instead of vector.
+    /// Sound for this machine: warps zero-initialize both files, so a
+    /// read-before-write observes the same value in every lane of every
+    /// warp of the TB.
+    pub entry_uniform: bool,
+    /// Refine register classes on branch edges: on the edge where
+    /// `setp.eq r, <uniform>` is known to hold, `r` equals a TB-uniform
+    /// value in every lane that took the edge. The marking this justifies
+    /// is checked by the oracle only at warp-aligned occurrences — exactly
+    /// the states where the whole TB took that edge — so the upgrade to
+    /// uniform is sound for the skip semantics.
+    pub branch_edge_refine: bool,
 }
 
-/// Dataflow state: one class per general register and per predicate.
+/// Dataflow state: one class per general register and per predicate, plus
+/// (for branch-edge refinement) the comparison that defined each predicate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct State {
     regs: Vec<AbsClass>,
     preds: Vec<AbsClass>,
+    /// For each predicate still holding the result of an unguarded
+    /// `setp cmp r, <uniform>` with `r` unredefined since: `(cmp, r)`.
+    pred_src: Vec<Option<(simt_isa::CmpOp, simt_isa::Reg)>>,
 }
 
 impl State {
     fn bottom(num_regs: usize, num_preds: usize) -> State {
-        State { regs: vec![AbsClass::VECTOR; num_regs], preds: vec![AbsClass::VECTOR; num_preds] }
+        State {
+            regs: vec![AbsClass::VECTOR; num_regs],
+            preds: vec![AbsClass::VECTOR; num_preds],
+            pred_src: vec![None; num_preds],
+        }
     }
 
     fn top(num_regs: usize, num_preds: usize) -> State {
-        State { regs: vec![AbsClass::TOP; num_regs], preds: vec![AbsClass::TOP; num_preds] }
+        State {
+            regs: vec![AbsClass::TOP; num_regs],
+            preds: vec![AbsClass::TOP; num_preds],
+            pred_src: vec![None; num_preds],
+        }
+    }
+
+    fn uniform_entry(num_regs: usize, num_preds: usize) -> State {
+        State {
+            regs: vec![AbsClass::UNIFORM; num_regs],
+            preds: vec![AbsClass::UNIFORM; num_preds],
+            pred_src: vec![None; num_preds],
+        }
     }
 
     fn meet_with(&mut self, other: &State) -> bool {
@@ -57,6 +89,12 @@ impl State {
             let m = a.meet(*b);
             if m != *a {
                 *a = m;
+                changed = true;
+            }
+        }
+        for (a, b) in self.pred_src.iter_mut().zip(&other.pred_src) {
+            if *a != *b && a.is_some() {
+                *a = None;
                 changed = true;
             }
         }
@@ -207,12 +245,39 @@ fn transfer(instr: &Instruction, st: &mut State, opts: AnalysisOptions) -> AbsCl
         // the guard is false.
         let newc = if guard_class.is_some() { vclass.meet(st.reg(d)) } else { vclass };
         st.regs[d.index()] = newc;
+        // The compared register changed: its predicates no longer
+        // describe it.
+        for ps in &mut st.pred_src {
+            if ps.is_some_and(|(_, r)| r == d) {
+                *ps = None;
+            }
+        }
     }
     if let Some(p) = instr.pdst {
         let newc = if guard_class.is_some() { vclass.meet(st.pred(p)) } else { vclass };
         st.preds[p.index()] = newc;
+        st.pred_src[p.index()] = match (instr.op, instr.srcs[0], instr.guard) {
+            (Op::Setp(cmp), Operand::Reg(r), None)
+                if st.operand(instr.srcs[1]) == AbsClass::UNIFORM =>
+            {
+                Some((cmp, r))
+            }
+            _ => None,
+        };
     }
     iclass
+}
+
+/// On a branch edge where predicate `p` is known to be `polarity`, an
+/// equality comparison against a uniform value pins the compared register
+/// to that uniform value for every lane taking the edge.
+fn refine_edge(st: &mut State, p: simt_isa::Pred, polarity: bool) {
+    let Some((cmp, r)) = st.pred_src[p.index()] else { return };
+    let equality_holds =
+        matches!((cmp, polarity), (simt_isa::CmpOp::Eq, true) | (simt_isa::CmpOp::Ne, false));
+    if equality_holds {
+        st.regs[r.index()] = AbsClass::UNIFORM;
+    }
 }
 
 /// Runs the analysis to a fixed point and returns per-instruction classes.
@@ -223,7 +288,7 @@ pub fn analyze(kernel: &Kernel, cfg: &Cfg, opts: AnalysisOptions) -> Analysis {
     let nb = cfg.len();
 
     let mut ins: Vec<State> = vec![State::top(nr, np); nb];
-    ins[0] = State::bottom(nr, np);
+    ins[0] = if opts.entry_uniform { State::uniform_entry(nr, np) } else { State::bottom(nr, np) };
 
     let rpo = cfg.reverse_post_order();
     let mut changed = true;
@@ -234,8 +299,20 @@ pub fn analyze(kernel: &Kernel, cfg: &Cfg, opts: AnalysisOptions) -> Analysis {
             for pc in cfg.blocks[b].range() {
                 let _ = transfer(&kernel.instrs[pc], &mut st, opts);
             }
-            for &s in &cfg.blocks[b].succs {
-                if ins[s].meet_with(&st) {
+            let block = &cfg.blocks[b];
+            let branch_guard = block.range().last().and_then(|pc| match kernel.instrs[pc].op {
+                Op::Bra { .. } => kernel.instrs[pc].guard,
+                _ => None,
+            });
+            let two_way = block.succs.len() == 2 && block.succs[0] != block.succs[1];
+            for (i, &s) in block.succs.iter().enumerate() {
+                let mut out = st.clone();
+                if let (true, Some(g)) = (opts.branch_edge_refine && two_way, branch_guard) {
+                    // succs[0] is the taken edge: the guard accepted.
+                    let polarity = if i == 0 { !g.negate } else { g.negate };
+                    refine_edge(&mut out, g.pred, polarity);
+                }
+                if ins[s].meet_with(&out) {
                     changed = true;
                 }
             }
@@ -341,7 +418,12 @@ mod tests {
         let cfg = Cfg::build(&k);
         let off = analyze(&k, &cfg, AnalysisOptions::default()).instr_class;
         assert_eq!(off[0].red, Red::NotRedundant);
-        let on = analyze(&k, &cfg, AnalysisOptions { analyze_tid_y: true }).instr_class;
+        let on = analyze(
+            &k,
+            &cfg,
+            AnalysisOptions { analyze_tid_y: true, ..AnalysisOptions::default() },
+        )
+        .instr_class;
         assert_eq!(on[0].red, Red::CondRedundantXY);
         // XY-conditional values need both checks.
         assert_eq!(on[0].finalize(true, false).red, Red::NotRedundant);

@@ -35,14 +35,18 @@
 
 pub mod affine;
 pub mod analysis;
+pub mod blame;
 pub mod cfg;
 pub mod class;
 pub mod dom;
 pub mod pass;
+pub mod refine;
 
 pub use affine::{Affine, AffineVal};
 pub use analysis::{analyze, Analysis, AnalysisOptions};
+pub use blame::{blame, Blame, BlameChain, BlameSeed};
 pub use cfg::{BasicBlock, BlockId, Cfg};
 pub use class::{AbsClass, Pat, Red, Taxonomy};
 pub use dom::{PostDoms, ReconvergenceTable, RECONVERGE_AT_EXIT};
 pub use pass::{compile, compile_with_options, promotes_tid_y, CompiledKernel, LaunchPlan};
+pub use refine::{refine, RefineReason, Refined, Upgrade};

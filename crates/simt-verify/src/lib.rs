@@ -33,13 +33,14 @@
 //!
 //! Every finding is a [`Diagnostic`] with a stable lint code (`V0xx`
 //! dataflow, `V1xx` divergence, `V2xx` marking soundness, `V3xx` shared
-//! memory races) and a severity;
+//! memory races, `P1xx` memory performance — see [`perf`]) and a severity;
 //! [`Diagnostics`] aggregates them into a report. The `darsie-sim verify`
 //! subcommand runs all three passes over the shipped workloads.
 
 pub mod dataflow;
 pub mod divergence;
 pub mod oracle;
+pub mod perf;
 pub mod races;
 
 use gpu_sim::GlobalMemory;
@@ -107,6 +108,15 @@ pub enum LintCode {
     /// `V303` — the dynamic sanitizer observed two threads touching one
     /// shared word in the same barrier epoch, at least one a write.
     SharedRaceDynamic,
+    /// `P101` — a shared-memory access provably serializes over more than
+    /// one bank pass in every execution.
+    SharedBankConflict,
+    /// `P102` — a global access provably touches more 128-byte lines per
+    /// execution than a perfectly coalesced access of the same width.
+    GlobalUncoalesced,
+    /// `P103` — a memory access has no static performance bound (address
+    /// or execution mask is not exactly thread-affine).
+    MemUnpredictable,
 }
 
 impl LintCode {
@@ -125,6 +135,9 @@ impl LintCode {
             LintCode::SharedRaceStatic => "V301",
             LintCode::SharedAddrUnknown => "V302",
             LintCode::SharedRaceDynamic => "V303",
+            LintCode::SharedBankConflict => "P101",
+            LintCode::GlobalUncoalesced => "P102",
+            LintCode::MemUnpredictable => "P103",
         }
     }
 
@@ -141,6 +154,8 @@ impl LintCode {
             | LintCode::SharedRaceDynamic => Severity::Error,
             LintCode::MaybeUninitRead | LintCode::UnreachableBlock => Severity::Warning,
             LintCode::DeadWrite | LintCode::SharedAddrUnknown => Severity::Warning,
+            LintCode::SharedBankConflict | LintCode::GlobalUncoalesced => Severity::Warning,
+            LintCode::MemUnpredictable => Severity::Note,
         }
     }
 }

@@ -285,6 +285,104 @@ pub fn check(ck: &CompiledKernel, launch: &LaunchConfig, mut memory: GlobalMemor
     report
 }
 
+/// How much dynamic TB-redundancy the static `skippable` set leaves on the
+/// table under one launch.
+#[derive(Debug, Clone, Default)]
+pub struct Headroom {
+    /// Register-writing, non-atomic pcs the static plan does *not* skip
+    /// whose destination vectors nevertheless matched across all warps in
+    /// every aligned occurrence group of every TB — candidates a sharper
+    /// (still sound) analysis could reclaim.
+    pub dynamically_redundant: Vec<usize>,
+    /// Register-writing, non-atomic, unskipped pcs that never executed as
+    /// an aligned group: the sharing hardware could not have skipped them
+    /// regardless of marking, so they bound no analysis improvement.
+    pub never_aligned: Vec<usize>,
+}
+
+/// Records destination vectors of *every* register-writing instruction
+/// (the oracle's observer only records claimed-redundant ones).
+struct HeadroomObserver {
+    ws: u32,
+    num_warps: usize,
+    records: HashMap<(usize, u32), Vec<Option<Rec>>>,
+}
+
+impl FunctionalObserver for HeadroomObserver {
+    fn after_instruction(
+        &mut self,
+        w: usize,
+        pc: usize,
+        occurrence: u32,
+        instr: &Instruction,
+        warp: &gpu_sim::Warp,
+    ) {
+        let Some(dst) = instr.dst else { return };
+        let full = warp.active_mask() == warp.full_mask && warp.full_mask.count_ones() == self.ws;
+        let slot = &mut self
+            .records
+            .entry((pc, occurrence))
+            .or_insert_with(|| (0..self.num_warps).map(|_| None).collect())[w];
+        *slot = Some(Rec { full, dst: warp.reg_vector(dst) });
+    }
+}
+
+/// Measures the dynamic-redundancy headroom of the static skip plan:
+/// replays every TB of `launch` and classifies each unskipped
+/// register-writing pc by whether its aligned occurrence groups were in
+/// fact warp-identical. `skippable` is the per-pc static plan (e.g.
+/// `simt_compiler::LaunchPlan::skippable`); `memory` is consumed by the
+/// replay.
+///
+/// # Panics
+///
+/// Panics if `skippable` is shorter than the kernel's instruction count.
+#[must_use]
+pub fn dynamic_headroom(
+    ck: &CompiledKernel,
+    launch: &LaunchConfig,
+    skippable: &[bool],
+    mut memory: GlobalMemory,
+) -> Headroom {
+    let n = ck.kernel.instrs.len();
+    assert!(skippable.len() >= n, "one skippable flag per instruction required");
+    // dyn_red[pc]: Some(true) while every aligned group matched so far.
+    let mut dyn_red: Vec<Option<bool>> = vec![None; n];
+    for i in 0..launch.num_blocks() {
+        let ctaid = ctaid_at(launch.grid, i);
+        let mut obs = HeadroomObserver {
+            ws: launch.warp_size,
+            num_warps: launch.warps_per_block() as usize,
+            records: HashMap::new(),
+        };
+        run_tb_functional(ck, launch, ctaid, &mut memory, &mut obs);
+        for ((pc, _occ), recs) in obs.records {
+            if !recs.iter().all(|r| r.as_ref().is_some_and(|r| r.full)) {
+                continue;
+            }
+            let leader = recs[0].as_ref().expect("aligned group has a leader warp");
+            let all_match = recs
+                .iter()
+                .all(|r| r.as_ref().expect("aligned group checked above").dst == leader.dst);
+            let e = dyn_red[pc].get_or_insert(true);
+            *e = *e && all_match;
+        }
+    }
+    let mut headroom = Headroom::default();
+    for pc in 0..n {
+        let op = ck.kernel.instrs[pc].op;
+        if !op.writes_dst() || matches!(op, Op::Atom(_)) || skippable[pc] {
+            continue;
+        }
+        match dyn_red[pc] {
+            Some(true) => headroom.dynamically_redundant.push(pc),
+            None => headroom.never_aligned.push(pc),
+            Some(false) => {}
+        }
+    }
+    headroom
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -509,6 +607,50 @@ mod tests {
         let r = check(&ck, &launch, mem);
         assert!(r.with_code(LintCode::SharedRaceDynamic).is_empty(), "{}", r.render());
         assert!(r.items.is_empty(), "{}", r.render());
+    }
+
+    #[test]
+    fn headroom_counts_dynamically_uniform_unskipped_pcs() {
+        // A guarded mov into a never-written register under a uniform
+        // guard: the baseline analysis folds in the entry-undef contents
+        // and marks the chain vector (unskippable), but every warp
+        // computes identical vectors — measurable headroom.
+        let mut b = KernelBuilder::new("headroom");
+        let c = b.param(0);
+        let p = b.setp(simt_isa::CmpOp::Lt, c, 100u32);
+        let dst = b.alloc();
+        b.emit(
+            Instruction::new(Op::Mov, Some(dst), None, vec![simt_isa::Operand::Imm(7)])
+                .with_guard(simt_isa::Guard::if_true(p)),
+        );
+        let y = b.iadd(dst, 5u32);
+        let t = b.special(SpecialReg::TidX);
+        let off = b.shl_imm(t, 2);
+        let out = b.param(1);
+        let addr = b.iadd(out, off);
+        b.store(MemSpace::Global, addr, y, 0);
+        let ck = simt_compiler::compile(b.finish());
+
+        let add_pc = 3;
+        assert_eq!(ck.markings[add_pc], Marking::Vector, "{}", ck.annotated_disassembly());
+
+        let mut mem = GlobalMemory::new();
+        let out_buf = mem.alloc(64 * 4);
+        let launch = LaunchConfig::new(1u32, Dim3::one_d(64))
+            .with_params(vec![Value(5), Value(out_buf as u32)]);
+        let plan = simt_compiler::LaunchPlan::new(&ck, &launch);
+        let h = dynamic_headroom(&ck, &launch, &plan.skippable, mem);
+        assert!(h.dynamically_redundant.contains(&add_pc), "{h:?}");
+        assert!(h.never_aligned.is_empty(), "{h:?}");
+    }
+
+    #[test]
+    fn headroom_is_zero_when_the_plan_already_skips_everything_uniform() {
+        let ck = copy_kernel();
+        let (launch, mem, _, _) = copy_launch(&ck);
+        let plan = simt_compiler::LaunchPlan::new(&ck, &launch);
+        let h = dynamic_headroom(&ck, &launch, &plan.skippable, mem);
+        assert!(h.dynamically_redundant.is_empty(), "{h:?}");
     }
 
     #[test]

@@ -36,260 +36,10 @@
 //! verdict for one shape says nothing about another.
 
 use crate::{Diagnostic, Diagnostics, LintCode};
-use simt_compiler::affine::{Affine, AffineVal};
+use simt_compiler::affine::{fixpoint, resolve, transfer, Affine, AffineVal, FlowState, PredVal};
 use simt_compiler::{BlockId, CompiledKernel};
-use simt_isa::{CmpOp, Instruction, LaunchConfig, MemSpace, Op, Operand, Reg};
+use simt_isa::{LaunchConfig, MemSpace, Op};
 use std::collections::{BTreeMap, HashMap, HashSet};
-
-/// Sweeps with precise interval hulls before widening kicks in: loop
-/// counters with small exact bounds converge precisely, unbounded
-/// loop-carried values jump to infinity instead of iterating forever.
-const MAX_PRECISE_SWEEPS: usize = 40;
-
-/// Abstract predicate: the comparison that defined it, kept symbolic so
-/// guards can be evaluated per-thread and branch edges can refine the
-/// compared register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PredVal {
-    /// Never defined on any path seen so far.
-    Top,
-    /// `cmp(lhs, rhs)` over the operand snapshots at the defining `setp`.
-    /// `lhs_reg` names the compared register while it is still live
-    /// unredefined (for edge refinement); cleared on redefinition.
-    Cmp { cmp: CmpOp, lhs: AffineVal, rhs: AffineVal, lhs_reg: Option<Reg> },
-    /// Unknown truth value.
-    Unknown,
-}
-
-impl PredVal {
-    fn meet(self, other: PredVal) -> PredVal {
-        match (self, other) {
-            (PredVal::Top, v) | (v, PredVal::Top) => v,
-            (a, b) if a == b => a,
-            _ => PredVal::Unknown,
-        }
-    }
-
-    /// True when the predicate provably holds the same value in every
-    /// thread of the block.
-    fn is_uniform(self) -> bool {
-        match self {
-            PredVal::Cmp { lhs, rhs, .. } => lhs.is_uniform() && rhs.is_uniform(),
-            _ => false,
-        }
-    }
-
-    /// Per-thread truth value, when both operands are exact affine.
-    fn eval(self, tx: i64, ty: i64) -> Option<bool> {
-        let PredVal::Cmp { cmp, lhs, rhs, .. } = self else { return None };
-        let l = lhs.affine()?.eval(tx, ty)?;
-        let r = rhs.affine()?.eval(tx, ty)?;
-        Some(match cmp {
-            CmpOp::Eq => l == r,
-            CmpOp::Ne => l != r,
-            CmpOp::Lt => l < r,
-            CmpOp::Le => l <= r,
-            CmpOp::Gt => l > r,
-            CmpOp::Ge => l >= r,
-        })
-    }
-}
-
-/// Dataflow state at one program point.
-#[derive(Debug, Clone, PartialEq)]
-struct State {
-    reachable: bool,
-    regs: Vec<AffineVal>,
-    preds: Vec<PredVal>,
-}
-
-impl State {
-    fn unreachable(nregs: usize, npreds: usize) -> State {
-        State {
-            reachable: false,
-            regs: vec![AffineVal::Top; nregs],
-            preds: vec![PredVal::Top; npreds],
-        }
-    }
-
-    fn entry(nregs: usize, npreds: usize) -> State {
-        State { reachable: true, ..State::unreachable(nregs, npreds) }
-    }
-
-    /// Meet with a predecessor's out-state; returns true on change.
-    fn meet_with(&mut self, other: &State, widen: bool) -> bool {
-        if !other.reachable {
-            return false;
-        }
-        if !self.reachable {
-            *self = other.clone();
-            return true;
-        }
-        let mut changed = false;
-        for (a, b) in self.regs.iter_mut().zip(&other.regs) {
-            let m = a.meet(*b, widen);
-            if m != *a {
-                *a = m;
-                changed = true;
-            }
-        }
-        for (a, b) in self.preds.iter_mut().zip(&other.preds) {
-            let m = a.meet(*b);
-            if m != *a {
-                *a = m;
-                changed = true;
-            }
-        }
-        changed
-    }
-}
-
-fn resolve(st: &State, op: Operand) -> AffineVal {
-    match op {
-        // Reads of never-defined registers are V001/V002 territory; here
-        // they are simply unknown.
-        Operand::Reg(r) => match st.regs[usize::from(r.0)] {
-            AffineVal::Top => AffineVal::Unknown,
-            v => v,
-        },
-        // Immediates are u32 bit patterns used with wrapping adds;
-        // sign-extending matches how negative deltas are encoded.
-        Operand::Imm(v) => AffineVal::constant(i64::from(v as i32)),
-    }
-}
-
-/// Abstract value an instruction writes to its general destination.
-fn value_of(st: &State, instr: &Instruction, block_z: u32) -> AffineVal {
-    let s = |i: usize| resolve(st, instr.srcs[i]);
-    match instr.op {
-        Op::Mov => s(0),
-        Op::IAdd => s(0) + s(1),
-        Op::ISub => s(0) - s(1),
-        Op::IMul => s(0) * s(1),
-        Op::IMad => s(0) * s(1) + s(2),
-        Op::Shl => s(0) << s(1),
-        Op::IMin => s(0).min_(s(1)),
-        Op::IMax => s(0).max_(s(1)),
-        Op::S2R(sp) => AffineVal::of_special(sp, block_z),
-        Op::Ld(MemSpace::Param) => AffineVal::uniform_unknown(),
-        // A uniform address loads one word into every lane; the value is
-        // unknown but TB-uniform within this dynamic instance.
-        Op::Ld(_) => {
-            if s(0).is_uniform() {
-                AffineVal::uniform_unknown()
-            } else {
-                AffineVal::Unknown
-            }
-        }
-        Op::Atom(_) => AffineVal::Unknown,
-        Op::Sel(p) => {
-            let (a, b) = (s(0), s(1));
-            if a == b {
-                a
-            } else if st.preds[usize::from(p.0)].is_uniform() {
-                a.meet(b, false)
-            } else {
-                // Per-thread mixture of two different affine forms.
-                AffineVal::Unknown
-            }
-        }
-        // Bitwise, shifts-by-register, float and conversion ops: uniform
-        // in, uniform out; thread-dependent in, unknown out.
-        _ => {
-            let ops: Vec<AffineVal> = (0..instr.srcs.len()).map(s).collect();
-            AffineVal::opaque(&ops)
-        }
-    }
-}
-
-/// Applies one instruction to the state.
-fn transfer(st: &mut State, instr: &Instruction, block_z: u32) {
-    let guard_pred = instr.guard.map(|g| st.preds[usize::from(g.pred.0)]);
-    let guard_uniform = guard_pred.is_some_and(PredVal::is_uniform);
-    if let Some(p) = instr.pdst {
-        let new = match instr.op {
-            Op::Setp(cmp) => {
-                let lhs_reg = match instr.srcs[0] {
-                    Operand::Reg(r) => Some(r),
-                    Operand::Imm(_) => None,
-                };
-                PredVal::Cmp {
-                    cmp,
-                    lhs: resolve(st, instr.srcs[0]),
-                    rhs: resolve(st, instr.srcs[1]),
-                    lhs_reg,
-                }
-            }
-            _ => PredVal::Unknown,
-        };
-        let slot = &mut st.preds[usize::from(p.0)];
-        // A guarded setp mixes old and new bits; predicates have no hull,
-        // so anything but an identical redefinition degrades.
-        *slot = if instr.guard.is_none() || *slot == new { new } else { PredVal::Unknown };
-    }
-    if let Some(d) = instr.dst {
-        let v = value_of(st, instr, block_z);
-        let slot = usize::from(d.0);
-        let old = match st.regs[slot] {
-            AffineVal::Top => AffineVal::Unknown,
-            o => o,
-        };
-        st.regs[slot] = if instr.guard.is_none() {
-            v
-        } else if guard_uniform {
-            // All threads together keep old or take new: hull is sound.
-            old.meet(v, false)
-        } else if old == v {
-            v
-        } else {
-            // Thread-dependent mixture of old and new values.
-            AffineVal::Unknown
-        };
-        // The compared register changed: branch edges can no longer
-        // refine it through predicates captured before this write.
-        for p in &mut st.preds {
-            if let PredVal::Cmp { lhs_reg, .. } = p {
-                if *lhs_reg == Some(d) {
-                    *lhs_reg = None;
-                }
-            }
-        }
-    }
-}
-
-/// Narrows `lhs_reg`'s interval on a branch edge where the predicate is
-/// known to be `polarity`. Only sound for TB-uniform comparisons against
-/// exact constants (all threads agree on the edge taken).
-fn refine(st: &mut State, pv: PredVal, polarity: bool) {
-    let PredVal::Cmp { cmp, lhs, rhs, lhs_reg: Some(r) } = pv else { return };
-    let Some(bound) = rhs.affine() else { return };
-    if !(bound.is_uniform() && bound.is_exact() && lhs.is_uniform()) {
-        return;
-    }
-    let slot = usize::from(r.0);
-    // Belt and braces: the predicate describes the register only while
-    // the register still holds the compared value.
-    if st.regs[slot] != lhs {
-        return;
-    }
-    let AffineVal::Aff(f) = st.regs[slot] else { return };
-    let c = bound.lo;
-    let (mut lo, mut hi) = (f.lo, f.hi);
-    match (cmp, polarity) {
-        (CmpOp::Lt, true) | (CmpOp::Ge, false) => hi = hi.min(c.saturating_sub(1)),
-        (CmpOp::Lt, false) | (CmpOp::Ge, true) => lo = lo.max(c),
-        (CmpOp::Le, true) | (CmpOp::Gt, false) => hi = hi.min(c),
-        (CmpOp::Le, false) | (CmpOp::Gt, true) => lo = lo.max(c.saturating_add(1)),
-        (CmpOp::Eq, true) | (CmpOp::Ne, false) => {
-            lo = lo.max(c);
-            hi = hi.min(c);
-        }
-        (CmpOp::Eq, false) | (CmpOp::Ne, true) => {}
-    }
-    if lo <= hi {
-        st.regs[slot] = AffineVal::Aff(Affine { lo, hi, ..f });
-    }
-}
 
 /// One shared-memory access with its converged abstract address.
 struct SharedAccess {
@@ -413,6 +163,53 @@ fn dominators(ck: &CompiledKernel) -> Vec<Vec<bool>> {
     dom
 }
 
+/// Per-block execution conditions from dominating divergent branches:
+/// for each block, the `(predicate, required polarity)` pairs of every
+/// dominating two-way branch whose chosen side exclusively reaches it.
+/// Shared by the race pass and the memory-performance predictor.
+pub(crate) fn block_conditions(
+    ck: &CompiledKernel,
+    in_states: &[FlowState],
+    block_z: u32,
+) -> Vec<Vec<(PredVal, bool)>> {
+    let nb = ck.cfg.blocks.len();
+    let mut branch_info: HashMap<BlockId, (PredVal, bool)> = HashMap::new();
+    for (b, block) in ck.cfg.blocks.iter().enumerate() {
+        if !in_states[b].reachable {
+            continue;
+        }
+        let mut st = in_states[b].clone();
+        for pc in block.range() {
+            let instr = &ck.kernel.instrs[pc];
+            if let (Op::Bra { .. }, Some(g)) = (instr.op, instr.guard) {
+                branch_info.insert(b, (st.preds[usize::from(g.pred.0)], !g.negate));
+            }
+            transfer(&mut st, instr, block_z);
+        }
+    }
+    let dom = dominators(ck);
+    let mut block_conds: Vec<Vec<(PredVal, bool)>> = vec![Vec::new(); nb];
+    for (&b, &(pv, taken_polarity)) in &branch_info {
+        let succs = &ck.cfg.blocks[b].succs;
+        if succs.len() != 2 || succs[0] == succs[1] {
+            continue;
+        }
+        let rt = reachable_blocks(ck, succs[0]);
+        let rf = reachable_blocks(ck, succs[1]);
+        for x in 0..nb {
+            if x == b || !dom[x][b] {
+                continue;
+            }
+            if rt[x] && !rf[x] {
+                block_conds[x].push((pv, taken_polarity));
+            } else if rf[x] && !rt[x] {
+                block_conds[x].push((pv, !taken_polarity));
+            }
+        }
+    }
+    block_conds
+}
+
 /// Per-thread execution evidence for one access.
 struct ThreadSets {
     /// Linear thread ids that provably execute the access.
@@ -521,64 +318,15 @@ pub fn check(ck: &CompiledKernel, launch: &LaunchConfig) -> Diagnostics {
         return report;
     }
 
-    let nregs = usize::from(ck.kernel.num_regs);
-    let npreds = instrs
-        .iter()
-        .flat_map(|i| {
-            i.pdst.into_iter().chain(i.guard.map(|g| g.pred)).chain(match i.op {
-                Op::Sel(p) => Some(p),
-                _ => None,
-            })
-        })
-        .map(|p| usize::from(p.0) + 1)
-        .max()
-        .unwrap_or(0);
     let (bx, by, bz) = (launch.block.x.max(1), launch.block.y.max(1), launch.block.z.max(1));
     let threads = launch.threads_per_block();
 
     // ---- 1. affine-interval fixed point over the CFG -------------------
-    let nb = ck.cfg.blocks.len();
-    let mut in_states: Vec<State> = (0..nb).map(|_| State::unreachable(nregs, npreds)).collect();
-    in_states[0] = State::entry(nregs, npreds);
+    let in_states = fixpoint(&ck.kernel, &ck.cfg, bz, false);
     let rpo = ck.cfg.reverse_post_order();
-    for sweep in 0.. {
-        let widen = sweep >= MAX_PRECISE_SWEEPS;
-        let mut changed = false;
-        for &b in &rpo {
-            if !in_states[b].reachable {
-                continue;
-            }
-            let mut st = in_states[b].clone();
-            for pc in ck.cfg.blocks[b].range() {
-                transfer(&mut st, &instrs[pc], bz);
-            }
-            let block = &ck.cfg.blocks[b];
-            let term = block.range().last();
-            let branch_guard = term.and_then(|pc| match instrs[pc].op {
-                Op::Bra { .. } => instrs[pc].guard,
-                _ => None,
-            });
-            for (i, &succ) in block.succs.iter().enumerate() {
-                let mut out = st.clone();
-                if let Some(g) = branch_guard {
-                    if block.succs.len() == 2 && block.succs[0] != block.succs[1] {
-                        // succs[0] is the taken edge: the guard accepted.
-                        let polarity = if i == 0 { !g.negate } else { g.negate };
-                        let pv = out.preds[usize::from(g.pred.0)];
-                        refine(&mut out, pv, polarity);
-                    }
-                }
-                changed |= in_states[succ].meet_with(&out, widen);
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
 
-    // ---- 2. collect accesses and branch conditions ---------------------
+    // ---- 2. collect accesses -------------------------------------------
     let mut accesses: Vec<SharedAccess> = Vec::new();
-    let mut branch_info: HashMap<BlockId, (PredVal, bool)> = HashMap::new();
     for &b in &rpo {
         if !in_states[b].reachable {
             continue;
@@ -594,34 +342,12 @@ pub fn check(ck: &CompiledKernel, launch: &LaunchConfig) -> Diagnostics {
                 let guard = instr.guard.map(|g| (st.preds[usize::from(g.pred.0)], !g.negate));
                 accesses.push(SharedAccess { pc, block: b, is_store: is_shared_st, addr, guard });
             }
-            if let (Op::Bra { .. }, Some(g)) = (instr.op, instr.guard) {
-                branch_info.insert(b, (st.preds[usize::from(g.pred.0)], !g.negate));
-            }
             transfer(&mut st, instr, bz);
         }
     }
 
     // ---- 3. per-block execution conditions from dominating branches ----
-    let dom = dominators(ck);
-    let mut block_conds: Vec<Vec<(PredVal, bool)>> = vec![Vec::new(); nb];
-    for (&b, &(pv, taken_polarity)) in &branch_info {
-        let succs = &ck.cfg.blocks[b].succs;
-        if succs.len() != 2 || succs[0] == succs[1] {
-            continue;
-        }
-        let rt = reachable_blocks(ck, succs[0]);
-        let rf = reachable_blocks(ck, succs[1]);
-        for x in 0..nb {
-            if x == b || !dom[x][b] {
-                continue;
-            }
-            if rt[x] && !rf[x] {
-                block_conds[x].push((pv, taken_polarity));
-            } else if rf[x] && !rt[x] {
-                block_conds[x].push((pv, !taken_polarity));
-            }
-        }
-    }
+    let block_conds = block_conditions(ck, &in_states, bz);
 
     // ---- 4. same-epoch overlap checking --------------------------------
     let epochs = Epochs::build(ck);
@@ -798,7 +524,7 @@ pub fn check(ck: &CompiledKernel, launch: &LaunchConfig) -> Diagnostics {
 mod tests {
     use super::*;
     use simt_compiler::compile;
-    use simt_isa::{Dim3, Guard, KernelBuilder, SpecialReg};
+    use simt_isa::{CmpOp, Dim3, Guard, KernelBuilder, SpecialReg};
 
     fn launch_1d(n: u32) -> LaunchConfig {
         LaunchConfig::new(1u32, Dim3::one_d(n))

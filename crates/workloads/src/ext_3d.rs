@@ -59,7 +59,7 @@ pub fn volume_blend(scale: Scale, analyze_tid_y: bool) -> Workload {
     let res = b.fadd(v, wgt);
     let oaddr = b.iadd(dst, off);
     b.store(MemSpace::Global, oaddr, res, 0);
-    let opts = AnalysisOptions { analyze_tid_y };
+    let opts = AnalysisOptions { analyze_tid_y, ..AnalysisOptions::default() };
     let ck = compile_with_options(b.finish(), opts);
 
     let n = (wx * wy * wz) as usize;

@@ -1,8 +1,11 @@
-//! Deliberately racy fixture kernels for the shared-memory race
-//! detector, plus a clean control.
+//! Fixture kernels pinning the verifier's and analyzer's behavior:
+//! deliberately racy kernels for the shared-memory race detector, memory
+//! access patterns for the `P1xx` performance lints, and kernels whose
+//! markings only the refinement passes can improve — each with a matching
+//! negative control.
 //!
 //! These are *not* part of the paper's Table 1 catalog: each one models a
-//! bug class the verifier must catch (or, for the control, must not flag).
+//! bug class (or an analysis win) the toolchain must pin down.
 //!
 //! | Fixture | Static verdict | Dynamic verdict |
 //! |---|---|---|
@@ -10,10 +13,29 @@
 //! | [`racy_same_word`] | `V301` | `V303` |
 //! | [`racy_nonaffine`] | `V302` only | `V303` |
 //! | [`clean_two_phase`] | clean | clean |
+//!
+//! | Fixture | Expected lint |
+//! |---|---|
+//! | [`conflict_stride`] | `P101` (32-way bank conflict) |
+//! | [`conflict_free`] | none |
+//! | [`uncoalesced_stride`] | `P102` (32 lines where 1 suffices) |
+//! | [`coalesced_stride`] | none |
+//! | [`nonaffine_addr`] | `P103` (no static bound) |
+//!
+//! | Fixture | Baseline | Refined | Win |
+//! |---|---|---|---|
+//! | [`refine_entry_win`] | `V` | `CR`, promoted by (16,4) | skippable |
+//! | [`refine_entry_negative`] | `V` | `V` (warpid guard) | none |
+//! | [`refine_branch_win`] | `V` | `DR` on the `v == 42` edge | skippable |
+//! | [`refine_affine_win`] | `CR` | `DR` (tid terms cancel) | skippable |
+//! | [`refine_tidy_win`] | `V` | `CRxy`, promoted by (8,4) | skippable |
 
 use gpu_sim::GlobalMemory;
 use simt_compiler::{compile, CompiledKernel};
-use simt_isa::{Dim3, KernelBuilder, LaunchConfig, MemSpace, SpecialReg, Value};
+use simt_isa::{
+    CmpOp, Dim3, Guard, Instruction, KernelBuilder, LaunchConfig, MemSpace, Op, Operand,
+    SpecialReg, Value,
+};
 
 /// One race-detector fixture: a compiled kernel with its launch and
 /// initial memory, ready for `simt_verify::verify_full`.
@@ -31,12 +53,16 @@ pub struct Fixture {
 
 const THREADS: u32 = 64;
 
-fn finish(name: &'static str, b: KernelBuilder) -> Fixture {
+fn finish_sized(name: &'static str, b: KernelBuilder, block: Dim3, out_bytes: u64) -> Fixture {
     let ck = compile(b.finish());
     let mut memory = GlobalMemory::new();
-    let out = memory.alloc(u64::from(THREADS) * 4);
-    let launch = LaunchConfig::new(1u32, Dim3::one_d(THREADS)).with_params(vec![Value(out as u32)]);
+    let out = memory.alloc(out_bytes);
+    let launch = LaunchConfig::new(1u32, block).with_params(vec![Value(out as u32)]);
     Fixture { name, ck, launch, memory }
+}
+
+fn finish(name: &'static str, b: KernelBuilder) -> Fixture {
+    finish_sized(name, b, Dim3::one_d(THREADS), u64::from(THREADS) * 4)
 }
 
 /// Stores the result of loading shared word 0 out to global memory;
@@ -122,4 +148,213 @@ pub fn clean_two_phase() -> Fixture {
 #[must_use]
 pub fn racy() -> Vec<Fixture> {
     vec![racy_missing_barrier(), racy_same_word(), racy_nonaffine()]
+}
+
+/// Worst-case shared-memory banking: stride-128 addresses put every lane
+/// of a warp in bank 0, serializing each access over 32 bank passes
+/// (`P101` on both the store and the read-back load).
+#[must_use]
+pub fn conflict_stride() -> Fixture {
+    let mut b = KernelBuilder::new("conflict_stride");
+    let t = b.special(SpecialReg::TidX);
+    let smem = b.alloc_shared(THREADS * 128);
+    let off = b.shl_imm(t, 7);
+    let addr = b.iadd(off, smem);
+    b.store(MemSpace::Shared, addr, t, 0);
+    b.barrier();
+    let v = b.load(MemSpace::Shared, addr, 0);
+    writeback(&mut b, v);
+    finish("conflict_stride", b)
+}
+
+/// The banking control: stride-4 addresses hit 32 distinct banks, so both
+/// shared accesses complete in one pass and `P101` stays silent.
+#[must_use]
+pub fn conflict_free() -> Fixture {
+    let mut b = KernelBuilder::new("conflict_free");
+    let t = b.special(SpecialReg::TidX);
+    let smem = b.alloc_shared(THREADS * 4);
+    let off = b.shl_imm(t, 2);
+    let addr = b.iadd(off, smem);
+    b.store(MemSpace::Shared, addr, t, 0);
+    b.barrier();
+    let v = b.load(MemSpace::Shared, addr, 0);
+    writeback(&mut b, v);
+    finish("conflict_free", b)
+}
+
+/// Worst-case global coalescing: a stride-128 store touches one 128-byte
+/// line per lane — 32 transactions where a coalesced access of the same
+/// width needs one (`P102`).
+#[must_use]
+pub fn uncoalesced_stride() -> Fixture {
+    let mut b = KernelBuilder::new("uncoalesced_stride");
+    let t = b.special(SpecialReg::TidX);
+    let out = b.param(0);
+    let off = b.shl_imm(t, 7);
+    let addr = b.iadd(out, off);
+    b.store(MemSpace::Global, addr, t, 0);
+    finish_sized("uncoalesced_stride", b, Dim3::one_d(THREADS), u64::from(THREADS) * 128)
+}
+
+/// The coalescing control: a stride-4 store covers each warp's 128 bytes
+/// with at most two lines (one when aligned), matching the ideal, so
+/// `P102` stays silent.
+#[must_use]
+pub fn coalesced_stride() -> Fixture {
+    let mut b = KernelBuilder::new("coalesced_stride");
+    let t = b.special(SpecialReg::TidX);
+    let out = b.param(0);
+    let off = b.shl_imm(t, 2);
+    let addr = b.iadd(out, off);
+    b.store(MemSpace::Global, addr, t, 0);
+    finish("coalesced_stride", b)
+}
+
+/// A global store whose address flows through `tid.x & 1`: not
+/// thread-affine, so the predictor must report `P103` (no static bound)
+/// instead of guessing.
+#[must_use]
+pub fn nonaffine_addr() -> Fixture {
+    let mut b = KernelBuilder::new("nonaffine_addr");
+    let t = b.special(SpecialReg::TidX);
+    let out = b.param(0);
+    let bucket = b.and(t, 1u32);
+    let off = b.shl_imm(bucket, 2);
+    let addr = b.iadd(out, off);
+    b.store(MemSpace::Global, addr, t, 0);
+    finish("nonaffine_addr", b)
+}
+
+/// The memory-performance fixtures, in documentation order.
+#[must_use]
+pub fn perf() -> Vec<Fixture> {
+    vec![
+        conflict_stride(),
+        conflict_free(),
+        uncoalesced_stride(),
+        coalesced_stride(),
+        nonaffine_addr(),
+    ]
+}
+
+/// Stores `value` to `out[tid.y * block.x + tid.x]` for a 2D block of
+/// width `bx`.
+fn writeback_2d(b: &mut KernelBuilder, value: simt_isa::Reg, bx: u32) {
+    let tx = b.special(SpecialReg::TidX);
+    let ty = b.special(SpecialReg::TidY);
+    let out = b.param(0);
+    let lin = b.imad(ty, bx, tx);
+    let off = b.shl_imm(lin, 2);
+    let addr = b.iadd(out, off);
+    b.store(MemSpace::Global, addr, value, 0);
+}
+
+/// Entry-uniform win: a conditional `mov` into a never-otherwise-written
+/// register reads the register-file's zero-initialized old value. The
+/// baseline calls that old value Vector; the refined analysis proves the
+/// result conditionally redundant, and the promoting `(16,4)` block makes
+/// it skippable.
+#[must_use]
+pub fn refine_entry_win() -> Fixture {
+    let mut b = KernelBuilder::new("refine_entry_win");
+    let t = b.special(SpecialReg::TidX);
+    let p = b.setp(CmpOp::Lt, t, 8u32);
+    let dst = b.alloc();
+    b.emit(
+        Instruction::new(Op::Mov, Some(dst), None, vec![Operand::Imm(7)])
+            .with_guard(Guard::if_true(p)),
+    );
+    let y = b.iadd(dst, 5u32);
+    writeback_2d(&mut b, y, 16);
+    finish_sized("refine_entry_win", b, Dim3::two_d(16, 4), u64::from(THREADS) * 4)
+}
+
+/// Entry-uniform negative control: the same guarded `mov`, but the guard
+/// compares `warpid`, which differs across warps — refinement must keep
+/// the result Vector.
+#[must_use]
+pub fn refine_entry_negative() -> Fixture {
+    let mut b = KernelBuilder::new("refine_entry_negative");
+    let w = b.special(SpecialReg::WarpId);
+    let p = b.setp(CmpOp::Lt, w, 1u32);
+    let dst = b.alloc();
+    b.emit(
+        Instruction::new(Op::Mov, Some(dst), None, vec![Operand::Imm(7)])
+            .with_guard(Guard::if_true(p)),
+    );
+    let y = b.iadd(dst, 5u32);
+    writeback(&mut b, y);
+    finish("refine_entry_negative", b)
+}
+
+/// Branch-edge win: `v` is genuinely Vector (a loaded value plus
+/// `warpid`), but on the taken edge of `if (v == 42)` it is pinned to the
+/// uniform constant, so the body's `v + 1` becomes definitely redundant.
+/// The input buffer holds `42 - warpid(t)` so every lane takes the branch.
+#[must_use]
+pub fn refine_branch_win() -> Fixture {
+    let mut b = KernelBuilder::new("refine_branch_win");
+    let t = b.special(SpecialReg::TidX);
+    let off = b.shl_imm(t, 2);
+    let inp = b.param(1);
+    let a = b.iadd(inp, off);
+    let vl = b.load(MemSpace::Global, a, 0);
+    let w = b.special(SpecialReg::WarpId);
+    let v = b.iadd(vl, w);
+    let p = b.setp(CmpOp::Eq, v, 42u32);
+    let y = b.alloc();
+    b.mov_to(y, 0u32);
+    b.if_then(Guard::if_true(p), |b| {
+        b.iadd_to(y, v, 1u32);
+    });
+    writeback(&mut b, y);
+    let mut fx = finish("refine_branch_win", b);
+    let inp_buf = fx.memory.alloc(u64::from(THREADS) * 4);
+    let values: Vec<u32> = (0..THREADS).map(|t| 42 - t / 32).collect();
+    fx.memory.write_slice_u32(inp_buf, &values);
+    fx.launch.params.push(Value(inp_buf as u32));
+    fx
+}
+
+/// Affine-closure win: `(t + 7) - t` is conditionally redundant under the
+/// pointwise lattice, but closing over the tid coefficients cancels the
+/// thread term and proves it definitely redundant — skippable even under
+/// this non-promoting 1D launch.
+#[must_use]
+pub fn refine_affine_win() -> Fixture {
+    let mut b = KernelBuilder::new("refine_affine_win");
+    let t = b.special(SpecialReg::TidX);
+    let u = b.iadd(t, 7u32);
+    let y = b.isub(u, t);
+    writeback(&mut b, y);
+    finish("refine_affine_win", b)
+}
+
+/// tid.y-dimension win: `tid.y * 8 + tid.x` is Vector to the baseline
+/// (which tracks only tid.x), conditionally redundant in both dimensions
+/// after refinement, and the `(8,4)` block promotes it to skippable.
+#[must_use]
+pub fn refine_tidy_win() -> Fixture {
+    let mut b = KernelBuilder::new("refine_tidy_win");
+    let tx = b.special(SpecialReg::TidX);
+    let ty = b.special(SpecialReg::TidY);
+    let lin = b.imad(ty, 8u32, tx);
+    let off = b.shl_imm(lin, 2);
+    let out = b.param(0);
+    let addr = b.iadd(out, off);
+    b.store(MemSpace::Global, addr, lin, 0);
+    finish_sized("refine_tidy_win", b, Dim3::two_d(8, 4), 32 * 4)
+}
+
+/// The refinement fixtures, in documentation order.
+#[must_use]
+pub fn refinement() -> Vec<Fixture> {
+    vec![
+        refine_entry_win(),
+        refine_entry_negative(),
+        refine_branch_win(),
+        refine_affine_win(),
+        refine_tidy_win(),
+    ]
 }
