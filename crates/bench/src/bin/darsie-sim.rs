@@ -7,6 +7,8 @@
 //! darsie-sim --list
 //! darsie-sim verify [ABBR ...] [--workload NAME] [--scale test|eval] [--json]
 //! darsie-sim analyze [ABBR ...] [--workload NAME] [--scale test|eval] [--json]
+//! darsie-sim prove [ABBR ...] [--workload NAME] [--scale test|eval] [--json]
+//! darsie-sim lints [--json]
 //! ```
 //!
 //! The `verify` subcommand runs the `simt-verify` static checks (including
@@ -25,6 +27,16 @@
 //! a cycle-simulator run of the baseline technique). It exits non-zero if
 //! the refined markings fail the soundness oracle or any memory prediction
 //! bound excludes the measured counters.
+//!
+//! The `prove` subcommand runs the symbolic translation validator: for
+//! each workload it discharges every redundancy-marking and branch-sync
+//! claim over the whole launch family the marking quantifies over, and
+//! reports per-workload proved/disproved/unknown counts. It exits
+//! non-zero on any disproof (`S401`) or branch-sync violation (`S403`).
+//!
+//! The `lints` subcommand prints the registry of every lint the verifier
+//! can emit — code, severity, producing pass and a one-line description —
+//! generated from the `LintCode` enum itself so it can never go stale.
 
 use darsie::DarsieConfig;
 use gpu_energy::EnergyModel;
@@ -38,7 +50,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: darsie-sim <ABBR> [options]   |   darsie-sim --list   |   \
          darsie-sim verify [ABBR ...] [--workload NAME] [--scale test|eval] [--json]   |   \
-         darsie-sim analyze [ABBR ...] [--workload NAME] [--scale test|eval] [--json]\n\
+         darsie-sim analyze [ABBR ...] [--workload NAME] [--scale test|eval] [--json]   |   \
+         darsie-sim prove [ABBR ...] [--workload NAME] [--scale test|eval] [--json]   |   \
+         darsie-sim lints [--json]\n\
          options:\n\
            --technique base|uv|dac|darsie|darsie-ignore-store|darsie-no-cf-sync|silicon-sync\n\
            --scale test|eval        (default eval)\n\
@@ -68,6 +82,17 @@ fn json_escape(s: &str) -> String {
         }
     }
     out
+}
+
+/// Comma-separated catalog abbreviations for "unknown workload" errors.
+fn known_abbrs() -> String {
+    catalog(Scale::Test).iter().map(|w| w.abbr).collect::<Vec<_>>().join(", ")
+}
+
+/// Rejects an unknown benchmark/workload name, listing the valid ones.
+fn unknown_workload(kind: &str, name: &str) -> ! {
+    eprintln!("unknown {kind} `{name}`; valid abbreviations: {}", known_abbrs());
+    std::process::exit(2);
 }
 
 /// Shared `verify`/`analyze` options: scale, output mode and workload
@@ -101,12 +126,7 @@ fn parse_subcommand_args(args: &[String]) -> SubcommandArgs {
     }
     let mut selected: Vec<Workload> = abbrs
         .iter()
-        .map(|a| {
-            by_abbr(a, scale).unwrap_or_else(|| {
-                eprintln!("unknown benchmark `{a}` (try --list)");
-                std::process::exit(2);
-            })
-        })
+        .map(|a| by_abbr(a, scale).unwrap_or_else(|| unknown_workload("benchmark", a)))
         .collect();
     for n in &names {
         let nl = n.to_lowercase();
@@ -115,8 +135,7 @@ fn parse_subcommand_args(args: &[String]) -> SubcommandArgs {
             .filter(|w| w.abbr.to_lowercase() == nl || w.name.to_lowercase() == nl)
             .collect();
         if matched.is_empty() {
-            eprintln!("unknown workload `{n}` (try --list)");
-            std::process::exit(2);
+            unknown_workload("workload", n);
         }
         selected.extend(matched);
     }
@@ -199,6 +218,133 @@ fn verify_command(args: &[String]) {
     }
     if errors > 0 {
         std::process::exit(1);
+    }
+}
+
+/// `darsie-sim prove`: the symbolic translation validator. Discharges
+/// every redundancy-marking and branch-sync claim of the selected
+/// workloads over their full quantified launch families and exits 1 on
+/// any `S401` disproof or `S403` branch-sync violation.
+fn prove_command(args: &[String]) {
+    let SubcommandArgs { json, selected } = parse_subcommand_args(args);
+
+    let mut errors = 0usize;
+    let mut by_code: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut totals = (0usize, 0usize, 0usize);
+    let mut records: Vec<String> = Vec::new();
+    for w in &selected {
+        let p = simt_verify::symex::prove(&w.ck, Some((&w.launch, &w.memory)));
+        let s = &p.stats;
+        errors += p.report.error_count();
+        totals.0 += s.proved;
+        totals.1 += s.disproved;
+        totals.2 += s.unknown;
+        for d in &p.report.items {
+            *by_code.entry(d.code.code()).or_insert(0) += 1;
+        }
+        if json {
+            let diags: Vec<String> = p
+                .report
+                .items
+                .iter()
+                .map(|d| {
+                    format!(
+                        "{{\"code\":\"{}\",\"severity\":\"{}\",\"pc\":{},\"message\":\"{}\"}}",
+                        d.code,
+                        d.severity,
+                        d.pc.map_or_else(|| "null".to_string(), |pc| pc.to_string()),
+                        json_escape(&d.message)
+                    )
+                })
+                .collect();
+            records.push(format!(
+                "{{\"abbr\":\"{}\",\"kernel\":\"{}\",\"block\":[{},{},{}],\
+                 \"value_claims\":{},\"branch_claims\":{},\"proved\":{},\"disproved\":{},\
+                 \"unknown\":{},\"complete\":{},\"diagnostics\":[{}]}}",
+                json_escape(w.abbr),
+                json_escape(&w.ck.kernel.name),
+                w.block.x,
+                w.block.y,
+                w.block.z,
+                s.value_claims,
+                s.branch_claims,
+                s.proved,
+                s.disproved,
+                s.unknown,
+                s.complete,
+                diags.join(",")
+            ));
+        } else {
+            println!(
+                "prove {:8} ({}, TB=({},{},{})): {} claim(s): {} proved, {} disproved, \
+                 {} unknown{}",
+                w.abbr,
+                w.name,
+                w.block.x,
+                w.block.y,
+                w.block.z,
+                s.value_claims + s.branch_claims,
+                s.proved,
+                s.disproved,
+                s.unknown,
+                if s.complete { "" } else { " (budget exhausted)" }
+            );
+            if !p.report.items.is_empty() {
+                print!("{}", p.report.render());
+            }
+        }
+    }
+    let code_totals: Vec<String> = by_code.iter().map(|(c, n)| format!("\"{c}\":{n}")).collect();
+    if json {
+        println!(
+            "{{\"workloads\":[{}],\"by_code\":{{{}}},\"total_proved\":{},\
+             \"total_disproved\":{},\"total_unknown\":{}}}",
+            records.join(","),
+            code_totals.join(","),
+            totals.0,
+            totals.1,
+            totals.2
+        );
+    } else {
+        println!(
+            "proved {} workload(s): {} proved, {} disproved, {} unknown",
+            selected.len(),
+            totals.0,
+            totals.1,
+            totals.2
+        );
+    }
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// `darsie-sim lints`: the lint registry, generated from [`LintCode`]
+/// itself — code, severity, producing pass and one-line description.
+fn lints_command(args: &[String]) {
+    use simt_verify::LintCode;
+    let json = args.iter().any(|a| a == "--json");
+    if args.iter().any(|a| a != "--json") {
+        usage();
+    }
+    if json {
+        let rows: Vec<String> = LintCode::ALL
+            .iter()
+            .map(|l| {
+                format!(
+                    "{{\"code\":\"{}\",\"severity\":\"{}\",\"pass\":\"{}\",\"doc\":\"{}\"}}",
+                    l.code(),
+                    l.severity(),
+                    l.pass(),
+                    json_escape(l.doc())
+                )
+            })
+            .collect();
+        println!("{{\"lints\":[{}]}}", rows.join(","));
+    } else {
+        for l in LintCode::ALL {
+            println!("{:5} {:7} {:10} {}", l.code(), l.severity().to_string(), l.pass(), l.doc());
+        }
     }
 }
 
@@ -409,6 +555,14 @@ fn main() {
         analyze_command(&args[1..]);
         return;
     }
+    if args.first().map(String::as_str) == Some("prove") {
+        prove_command(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("lints") {
+        lints_command(&args[1..]);
+        return;
+    }
     let Some(abbr) = args.first().filter(|a| !a.starts_with("--")) else { usage() };
 
     let mut scale = Scale::Eval;
@@ -461,10 +615,7 @@ fn main() {
         _ => usage(),
     };
 
-    let Some(w) = by_abbr(abbr, scale) else {
-        eprintln!("unknown benchmark `{abbr}` (try --list)");
-        std::process::exit(2);
-    };
+    let Some(w) = by_abbr(abbr, scale) else { unknown_workload("benchmark", abbr) };
     let cfg = GpuConfig {
         num_sms: sms,
         scheduler,

@@ -1,0 +1,339 @@
+//! Integration tests for the `darsie-sim` CLI: workload-selection
+//! robustness (unknown names must fail fast and list the valid ones) and
+//! golden schemas for every `--json` document, parsed with a minimal
+//! validating JSON reader so a malformed or restructured document fails
+//! loudly rather than by substring accident.
+
+use std::collections::BTreeMap;
+use std::process::Command;
+
+fn run(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_darsie-sim"))
+        .args(args)
+        .output()
+        .expect("spawn darsie-sim");
+    (
+        out.status.code(),
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        String::from_utf8(out.stderr).expect("utf-8 stderr"),
+    )
+}
+
+/// A minimal JSON value — the workspace deliberately has no serde, and
+/// the CLI emits its documents by hand, so the test parses them by hand
+/// too.
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Json {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos);
+        skip_ws(bytes, &mut pos);
+        assert_eq!(pos, bytes.len(), "trailing garbage after JSON document");
+        v
+    }
+
+    #[track_caller]
+    fn get(&self, key: &str) -> &Json {
+        match self {
+            Json::Obj(m) => m.get(key).unwrap_or_else(|| panic!("missing key `{key}`")),
+            other => panic!("expected object with `{key}`, got {other:?}"),
+        }
+    }
+
+    #[track_caller]
+    fn arr(&self) -> &[Json] {
+        match self {
+            Json::Arr(a) => a,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[track_caller]
+    fn num(&self) -> f64 {
+        match self {
+            Json::Num(n) => *n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[track_caller]
+    fn str(&self) -> &str {
+        match self {
+            Json::Str(s) => s,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    #[track_caller]
+    fn bool(&self) -> bool {
+        match self {
+            Json::Bool(b) => *b,
+            other => panic!("expected bool, got {other:?}"),
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && (b[*pos] as char).is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) {
+    assert!(b[*pos..].starts_with(lit.as_bytes()), "expected `{lit}` at byte {pos}");
+    *pos += lit.len();
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Json {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut m = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Json::Obj(m);
+            }
+            loop {
+                skip_ws(b, pos);
+                let k = parse_string(b, pos);
+                skip_ws(b, pos);
+                expect(b, pos, ":");
+                let v = parse_value(b, pos);
+                assert!(m.insert(k.clone(), v).is_none(), "duplicate key `{k}`");
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Json::Obj(m);
+                    }
+                    other => panic!("expected `,` or `}}`, got {other:?}"),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut a = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Json::Arr(a);
+            }
+            loop {
+                a.push(parse_value(b, pos));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Json::Arr(a);
+                    }
+                    other => panic!("expected `,` or `]`, got {other:?}"),
+                }
+            }
+        }
+        Some(b'"') => Json::Str(parse_string(b, pos)),
+        Some(b't') => {
+            expect(b, pos, "true");
+            Json::Bool(true)
+        }
+        Some(b'f') => {
+            expect(b, pos, "false");
+            Json::Bool(false)
+        }
+        Some(b'n') => {
+            expect(b, pos, "null");
+            Json::Null
+        }
+        _ => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).unwrap();
+            Json::Num(s.parse().unwrap_or_else(|_| panic!("bad number `{s}`")))
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> String {
+    expect(b, pos, "\"");
+    let mut s = String::new();
+    loop {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return s;
+            }
+            b'\\' => {
+                *pos += 1;
+                match b[*pos] {
+                    b'"' => s.push('"'),
+                    b'\\' => s.push('\\'),
+                    b'n' => s.push('\n'),
+                    b't' => s.push('\t'),
+                    b'r' => s.push('\r'),
+                    b'u' => {
+                        let hex = std::str::from_utf8(&b[*pos + 1..*pos + 5]).unwrap();
+                        let c = u32::from_str_radix(hex, 16).unwrap();
+                        s.push(char::from_u32(c).unwrap());
+                        *pos += 4;
+                    }
+                    e => panic!("unsupported escape `\\{}`", e as char),
+                }
+                *pos += 1;
+            }
+            _ => {
+                let start = *pos;
+                while b[*pos] != b'"' && b[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                s.push_str(std::str::from_utf8(&b[start..*pos]).unwrap());
+            }
+        }
+    }
+}
+
+/// Every subcommand that selects workloads rejects an unknown
+/// `--workload` name with a usage exit and the full list of valid
+/// abbreviations so the caller never has to guess.
+#[test]
+fn unknown_workload_name_fails_and_lists_valid_names() {
+    for sub in ["verify", "analyze", "prove"] {
+        let (code, _, err) = run(&[sub, "--workload", "nosuch"]);
+        assert_eq!(code, Some(2), "{sub}: exit code");
+        assert!(err.contains("unknown workload `nosuch`"), "{sub}: {err}");
+        for abbr in ["BIN", "PT", "DCT8x8", "MM"] {
+            assert!(err.contains(abbr), "{sub}: `{abbr}` missing from\n{err}");
+        }
+    }
+}
+
+/// Positional abbreviations get the same treatment.
+#[test]
+fn unknown_positional_abbr_fails_and_lists_valid_names() {
+    for sub in ["verify", "analyze", "prove"] {
+        let (code, _, err) = run(&[sub, "NOSUCH"]);
+        assert_eq!(code, Some(2), "{sub}: exit code");
+        assert!(err.contains("unknown benchmark `NOSUCH`"), "{sub}: {err}");
+        assert!(err.contains("BIN"), "{sub}: valid names missing from\n{err}");
+    }
+}
+
+/// Golden schema for `verify --json`.
+#[test]
+fn verify_json_schema() {
+    let (code, out, _) = run(&["verify", "BIN", "--scale", "test", "--json"]);
+    assert_eq!(code, Some(0));
+    let doc = Json::parse(out.trim());
+    let ws = doc.get("workloads").arr();
+    assert_eq!(ws.len(), 1);
+    let w = &ws[0];
+    assert_eq!(w.get("abbr").str(), "BIN");
+    assert!(!w.get("kernel").str().is_empty());
+    assert_eq!(w.get("block").arr().len(), 3);
+    for d in w.get("diagnostics").arr() {
+        d.get("code").str();
+        d.get("severity").str();
+        d.get("message").str();
+        assert!(matches!(d.get("pc"), Json::Num(_) | Json::Null));
+    }
+    w.get("errors").num();
+    w.get("warnings").num();
+    assert!(matches!(doc.get("by_code"), Json::Obj(_)));
+    assert_eq!(doc.get("total_errors").num(), 0.0);
+    doc.get("total_warnings").num();
+}
+
+/// Golden schema for `analyze --json`.
+#[test]
+fn analyze_json_schema() {
+    let (code, out, _) = run(&["analyze", "BIN", "--scale", "test", "--json"]);
+    assert_eq!(code, Some(0));
+    let doc = Json::parse(out.trim());
+    let w = &doc.get("workloads").arr()[0];
+    assert_eq!(w.get("abbr").str(), "BIN");
+    for side in ["baseline", "refined"] {
+        let s = w.get(side);
+        s.get("vector").num();
+        s.get("cond").num();
+        s.get("def").num();
+        s.get("skippable").num();
+    }
+    assert!(matches!(w.get("refined").get("upgrades"), Json::Obj(_)));
+    assert_eq!(w.get("oracle_errors").num(), 0.0);
+    w.get("headroom").get("dynamically_redundant").num();
+    w.get("headroom").get("never_aligned").num();
+    assert!(matches!(w.get("blame"), Json::Obj(_)));
+    let mem = w.get("mem");
+    mem.get("accesses").num();
+    mem.get("unpredictable").num();
+    mem.get("violations").num();
+    mem.get("checks").arr();
+    mem.get("lints").arr();
+    let t = doc.get("totals");
+    assert_eq!(t.get("oracle_errors").num(), 0.0);
+    assert_eq!(t.get("mem_violations").num(), 0.0);
+    t.get("coverage_wins").num();
+    t.get("marking_wins").num();
+}
+
+/// Golden schema for `prove --json`, plus the headline property: the
+/// catalog workload proves every claim with nothing left unknown.
+#[test]
+fn prove_json_schema() {
+    let (code, out, _) = run(&["prove", "BIN", "--scale", "test", "--json"]);
+    assert_eq!(code, Some(0));
+    let doc = Json::parse(out.trim());
+    let w = &doc.get("workloads").arr()[0];
+    assert_eq!(w.get("abbr").str(), "BIN");
+    assert!(!w.get("kernel").str().is_empty());
+    assert_eq!(w.get("block").arr().len(), 3);
+    let claims = w.get("value_claims").num() + w.get("branch_claims").num();
+    assert!(claims > 0.0);
+    assert_eq!(w.get("proved").num(), claims);
+    assert_eq!(w.get("disproved").num(), 0.0);
+    assert_eq!(w.get("unknown").num(), 0.0);
+    assert!(w.get("complete").bool());
+    assert_eq!(w.get("diagnostics").arr().len(), 0);
+    assert!(matches!(doc.get("by_code"), Json::Obj(_)));
+    assert!(doc.get("total_proved").num() > 0.0);
+    assert_eq!(doc.get("total_disproved").num(), 0.0);
+    assert_eq!(doc.get("total_unknown").num(), 0.0);
+}
+
+/// Golden schema for `lints --json`: one row per `LintCode` variant with
+/// all four columns, including the symbolic-validator codes.
+#[test]
+fn lints_json_schema() {
+    let (code, out, _) = run(&["lints", "--json"]);
+    assert_eq!(code, Some(0));
+    let doc = Json::parse(out.trim());
+    let rows = doc.get("lints").arr();
+    let codes: Vec<&str> = rows
+        .iter()
+        .map(|r| {
+            r.get("severity").str();
+            r.get("pass").str();
+            assert!(!r.get("doc").str().is_empty());
+            r.get("code").str()
+        })
+        .collect();
+    for c in ["V001", "V201", "V301", "P101", "S401", "S402", "S403"] {
+        assert!(codes.contains(&c), "lint registry is missing {c}");
+    }
+}

@@ -103,7 +103,12 @@ fn operand(warp: &Warp, o: simt_isa::Operand, lane: u32) -> u32 {
     }
 }
 
-fn alu(op: Op, a: u32, b: u32, c: u32) -> u32 {
+/// The per-lane ALU function. Public so the symbolic translation
+/// validator's constant folder (`simt_compiler::term::fold_alu`) can be
+/// parity-tested against the executor it models, and so counterexample
+/// replay tooling can evaluate single operations outside a warp context.
+#[must_use]
+pub fn alu(op: Op, a: u32, b: u32, c: u32) -> u32 {
     let (ai, bi) = (a as i32, b as i32);
     let (af, bf, cf) = (f32::from_bits(a), f32::from_bits(b), f32::from_bits(c));
     match op {

@@ -70,6 +70,7 @@ pub mod warp;
 
 pub use config::{GpuConfig, SchedulerPolicy, Technique};
 pub use events::{EventKind, EventLog, PipeEvent};
+pub use exec::alu;
 pub use functional::{
     ctaid_at, run_tb_functional, FunctionalObserver, NullObserver, RaceSanitizer, SharedRace,
 };

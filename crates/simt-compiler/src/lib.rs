@@ -41,6 +41,7 @@ pub mod class;
 pub mod dom;
 pub mod pass;
 pub mod refine;
+pub mod term;
 
 pub use affine::{Affine, AffineVal};
 pub use analysis::{analyze, Analysis, AnalysisOptions};
@@ -50,3 +51,4 @@ pub use class::{AbsClass, Pat, Red, Taxonomy};
 pub use dom::{PostDoms, ReconvergenceTable, RECONVERGE_AT_EXIT};
 pub use pass::{compile, compile_with_options, promotes_tid_y, CompiledKernel, LaunchPlan};
 pub use refine::{refine, RefineReason, Refined, Upgrade};
+pub use term::{fold_alu, Deps, EvalCtx, TermArena, TermId, TermNode};

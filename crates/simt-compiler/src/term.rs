@@ -1,0 +1,806 @@
+//! Hash-consed symbolic bitvector terms for translation validation.
+//!
+//! The symbolic executor in `simt-verify` runs a kernel over *symbolic*
+//! thread coordinates and symbolic initial memory; every register then
+//! holds a [`TermId`] into a [`TermArena`]. Two things make the domain
+//! dimension-parametric rather than tied to one replayed launch:
+//!
+//! 1. **Canonicalization through the affine domain.** Every interned term
+//!    carries its [`AffineVal`] abstraction (computed with the exact same
+//!    transfer rules as [`crate::affine`]); a term whose affine form is
+//!    TB-uniform has *no* thread dependencies, whatever its syntax. This
+//!    is what lets `tid.x * 4 - tid.x * 4 + n` prove uniform without any
+//!    rewriting.
+//! 2. **Dependency tracking.** Every term carries the set of thread-
+//!    coordinate sources ([`Deps`]) its value can range over: `tid.x`,
+//!    `tid.y`, `laneid`, `warpid`, or an opaque escape. The paper's
+//!    promotion predicate (2D TB, `ntid.x` a power of two no larger than
+//!    the warp size) makes `tid.x = laneid mod ntid.x` a pure *lane*
+//!    function, so a conditionally redundant value may depend on `tid.x`
+//!    and the lane but on nothing else; a definitely redundant value may
+//!    depend on the lane only; a skippable branch predicate on nothing.
+//!
+//! Terms are hash-consed: structurally equal terms share one id, so
+//! equality is O(1) and the executor's path merging cannot blow up on
+//! shared subexpressions. Constant folding mirrors the functional
+//! executor's ALU bit-for-bit ([`fold_alu`] — parity-tested against
+//! `gpu-sim` from that crate's test suite).
+
+use crate::affine::AffineVal;
+use simt_isa::{CmpOp, MemSpace, Op, SpecialReg};
+use std::collections::HashMap;
+
+/// Set of thread-coordinate sources a term's value can depend on.
+///
+/// The empty set means "TB-uniform for every launch of the 2D family":
+/// the value is a function of launch constants (`ntid.*`, `ctaid.*`,
+/// parameters, uniform loads) only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Deps(u8);
+
+impl Deps {
+    /// No thread dependence (TB-uniform).
+    pub const NONE: Deps = Deps(0);
+    /// Depends on `tid.x`.
+    pub const TIDX: Deps = Deps(1);
+    /// Depends on `tid.y`.
+    pub const TIDY: Deps = Deps(1 << 1);
+    /// Depends on the lane id within the warp.
+    pub const LANE: Deps = Deps(1 << 2);
+    /// Depends on the warp id within the threadblock.
+    pub const WARP: Deps = Deps(1 << 3);
+    /// Escapes the tracked sources (atomic results, overwritten memory).
+    pub const OTHER: Deps = Deps(1 << 4);
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: Deps) -> Deps {
+        Deps(self.0 | other.0)
+    }
+
+    /// True when every source in `self` is also in `allowed`.
+    #[must_use]
+    pub fn subset_of(self, allowed: Deps) -> bool {
+        self.0 & !allowed.0 == 0
+    }
+
+    /// True when the term depends on no thread coordinate at all.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for Deps {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return f.write_str("{}");
+        }
+        let names = [
+            (Deps::TIDX, "tid.x"),
+            (Deps::TIDY, "tid.y"),
+            (Deps::LANE, "laneid"),
+            (Deps::WARP, "warpid"),
+            (Deps::OTHER, "opaque"),
+        ];
+        let parts: Vec<&str> =
+            names.iter().filter(|(d, _)| !self.0 & d.0 == 0).map(|(_, n)| *n).collect();
+        write!(f, "{{{}}}", parts.join(","))
+    }
+}
+
+/// Index of a term in its [`TermArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// Arena index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One node of the term DAG. Predicates are terms too, valued 0 / 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TermNode {
+    /// A concrete 32-bit constant.
+    Const(u32),
+    /// A symbolic special register (`tid.x`, `ntid.y`, `laneid`, ...).
+    Special(SpecialReg),
+    /// A fresh opaque value (atomic results); `id` keeps instances apart.
+    Havoc(u32),
+    /// An ALU operation over up to three operands (absent operands are
+    /// the constant 0, matching the functional executor).
+    Alu {
+        /// The opcode (an ALU op per `OpKind`).
+        op: Op,
+        /// First source.
+        a: TermId,
+        /// Second source (constant 0 when the op takes fewer).
+        b: TermId,
+        /// Third source (constant 0 when the op takes fewer).
+        c: TermId,
+    },
+    /// A comparison producing 0 / 1.
+    Cmp {
+        /// Comparison operator.
+        cmp: CmpOp,
+        /// True for the float comparison (`setp.f32`).
+        float: bool,
+        /// Left operand.
+        a: TermId,
+        /// Right operand.
+        b: TermId,
+    },
+    /// `c != 0 ? t : e` — the path-merge and guarded-write combinator.
+    Ite {
+        /// Condition (0 / 1 valued).
+        c: TermId,
+        /// Value when the condition holds.
+        t: TermId,
+        /// Value when it does not.
+        e: TermId,
+    },
+    /// A load `space[base + offset]` observing memory generation `gen`.
+    /// Generation 0 is the *initial* symbolic memory: a pure function of
+    /// the address. Later generations have seen at least one symbolic
+    /// store to the space.
+    Load {
+        /// The memory space.
+        space: MemSpace,
+        /// Base-address term.
+        base: TermId,
+        /// Static byte offset.
+        offset: i32,
+        /// Memory generation observed.
+        gen: u32,
+    },
+}
+
+/// Constant-folds one ALU operation exactly like the functional
+/// executor's per-lane ALU (`gpu-sim`'s `exec::alu`, against which this
+/// is parity-tested). Returns `None` for non-ALU opcodes.
+#[must_use]
+pub fn fold_alu(op: Op, a: u32, b: u32, c: u32) -> Option<u32> {
+    let (ai, bi) = (a as i32, b as i32);
+    let (af, bf, cf) = (f32::from_bits(a), f32::from_bits(b), f32::from_bits(c));
+    Some(match op {
+        Op::IAdd => a.wrapping_add(b),
+        Op::ISub => a.wrapping_sub(b),
+        Op::IMul => a.wrapping_mul(b),
+        Op::IMulHi => ((i64::from(ai) * i64::from(bi)) >> 32) as u32,
+        Op::IMad => a.wrapping_mul(b).wrapping_add(c),
+        Op::IMin => ai.min(bi) as u32,
+        Op::IMax => ai.max(bi) as u32,
+        Op::Shl => a.wrapping_shl(b & 31),
+        Op::Shr => a.wrapping_shr(b & 31),
+        Op::Sra => (ai >> (b & 31)) as u32,
+        Op::And => a & b,
+        Op::Or => a | b,
+        Op::Xor => a ^ b,
+        Op::Not => !a,
+        Op::FAdd => (af + bf).to_bits(),
+        Op::FSub => (af - bf).to_bits(),
+        Op::FMul => (af * bf).to_bits(),
+        Op::FFma => af.mul_add(bf, cf).to_bits(),
+        Op::FMin => af.min(bf).to_bits(),
+        Op::FMax => af.max(bf).to_bits(),
+        Op::FDiv => (af / bf).to_bits(),
+        Op::FRcp => (1.0 / af).to_bits(),
+        Op::FSqrt => af.sqrt().to_bits(),
+        Op::FExp2 => af.exp2().to_bits(),
+        Op::FLog2 => af.log2().to_bits(),
+        Op::Mov => a,
+        Op::I2F => (ai as f32).to_bits(),
+        Op::F2I => {
+            let t = af.trunc();
+            if t.is_nan() {
+                0
+            } else {
+                (t.clamp(i32::MIN as f32, i32::MAX as f32) as i32) as u32
+            }
+        }
+        _ => return None,
+    })
+}
+
+/// Concrete evaluation context: one thread of one candidate launch of
+/// the 2D family (grid fixed to a single threadblock).
+pub struct EvalCtx<'a> {
+    /// Block shape `(ntid.x, ntid.y)`; `ntid.z = 1`.
+    pub block: (u32, u32),
+    /// SIMT width.
+    pub warp_size: u32,
+    /// Warp index within the threadblock.
+    pub warp: u32,
+    /// Lane index within the warp.
+    pub lane: u32,
+    /// Kernel parameter words.
+    pub params: &'a [u32],
+    /// Reads a word of the *initial* global memory image.
+    pub read_global: &'a dyn Fn(u64) -> u32,
+}
+
+/// The hash-consed term arena. Interning computes, once per node, the
+/// affine abstraction and the dependency set.
+#[derive(Default)]
+pub struct TermArena {
+    nodes: Vec<TermNode>,
+    affine: Vec<AffineVal>,
+    deps: Vec<Deps>,
+    memo: HashMap<TermNode, TermId>,
+    next_havoc: u32,
+}
+
+impl TermArena {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> TermArena {
+        TermArena::default()
+    }
+
+    /// Number of interned terms.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no term has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node behind `id`.
+    #[must_use]
+    pub fn node(&self, id: TermId) -> TermNode {
+        self.nodes[id.index()]
+    }
+
+    /// The affine abstraction of `id`.
+    #[must_use]
+    pub fn affine(&self, id: TermId) -> AffineVal {
+        self.affine[id.index()]
+    }
+
+    /// The dependency set of `id`. A term whose affine form is TB-uniform
+    /// has the empty set whatever its syntax.
+    #[must_use]
+    pub fn deps(&self, id: TermId) -> Deps {
+        self.deps[id.index()]
+    }
+
+    fn intern(&mut self, node: TermNode, affine: AffineVal, deps: Deps) -> TermId {
+        if let Some(&id) = self.memo.get(&node) {
+            return id;
+        }
+        // Canonicalize through the affine domain: a provably TB-uniform
+        // value depends on no thread coordinate.
+        let deps = if affine.is_uniform() { Deps::NONE } else { deps };
+        let id = TermId(u32::try_from(self.nodes.len()).expect("term arena overflow"));
+        self.nodes.push(node);
+        self.affine.push(affine);
+        self.deps.push(deps);
+        self.memo.insert(node, id);
+        id
+    }
+
+    /// Interns a constant.
+    pub fn constant(&mut self, v: u32) -> TermId {
+        // Immediates sign-extend in the affine domain, matching
+        // `affine::resolve`.
+        self.intern(TermNode::Const(v), AffineVal::constant(i64::from(v as i32)), Deps::NONE)
+    }
+
+    /// Reads `id` back as a constant, if it is one.
+    #[must_use]
+    pub fn as_const(&self, id: TermId) -> Option<u32> {
+        match self.node(id) {
+            TermNode::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Interns a symbolic special register. The 2D launch family pins
+    /// `tid.z` to 0 and `ntid.z` to 1; a single-threadblock candidate
+    /// grid pins `ctaid.*` to 0 and `nctaid.*` to 1.
+    pub fn special(&mut self, s: SpecialReg) -> TermId {
+        match s {
+            SpecialReg::TidZ => return self.constant(0),
+            SpecialReg::NtidZ => return self.constant(1),
+            _ => {}
+        }
+        let deps = match s {
+            SpecialReg::TidX => Deps::TIDX,
+            SpecialReg::TidY => Deps::TIDY,
+            SpecialReg::LaneId => Deps::LANE,
+            SpecialReg::WarpId => Deps::WARP,
+            _ => Deps::NONE,
+        };
+        self.intern(TermNode::Special(s), AffineVal::of_special(s, 1), deps)
+    }
+
+    /// Interns a fresh opaque value.
+    pub fn havoc(&mut self) -> TermId {
+        let id = self.next_havoc;
+        self.next_havoc += 1;
+        self.intern(TermNode::Havoc(id), AffineVal::Unknown, Deps::OTHER)
+    }
+
+    fn union3(&self, a: TermId, b: TermId, c: TermId) -> Deps {
+        self.deps(a).union(self.deps(b)).union(self.deps(c))
+    }
+
+    /// Interns an ALU operation; absent second / third operands read as
+    /// the constant 0, matching the functional executor.
+    pub fn alu(&mut self, op: Op, a: TermId, b: Option<TermId>, c: Option<TermId>) -> TermId {
+        let zero = self.constant(0);
+        let b = b.unwrap_or(zero);
+        let c = c.unwrap_or(zero);
+        if let (Some(ka), Some(kb), Some(kc)) =
+            (self.as_const(a), self.as_const(b), self.as_const(c))
+        {
+            if let Some(v) = fold_alu(op, ka, kb, kc) {
+                return self.constant(v);
+            }
+        }
+        // Bit-exact algebraic identities keep loop-unrolled address
+        // chains small and let uniform branch guards fold.
+        let (ka, kb) = (self.as_const(a), self.as_const(b));
+        match op {
+            Op::Mov => return a,
+            Op::IAdd if kb == Some(0) => return a,
+            Op::IAdd if ka == Some(0) => return b,
+            Op::ISub if kb == Some(0) => return a,
+            Op::ISub if a == b => return self.constant(0),
+            Op::IMul if kb == Some(1) => return a,
+            Op::IMul if ka == Some(1) => return b,
+            Op::IMul if ka == Some(0) || kb == Some(0) => return self.constant(0),
+            Op::IMad if ka == Some(0) || kb == Some(0) => return c,
+            Op::Shl | Op::Shr | Op::Sra if kb.is_some_and(|k| k & 31 == 0) => return a,
+            Op::And if a == b => return a,
+            Op::And if ka == Some(0) || kb == Some(0) => return self.constant(0),
+            Op::And if kb == Some(u32::MAX) => return a,
+            Op::Or if a == b || kb == Some(0) => return a,
+            Op::Or if ka == Some(0) => return b,
+            Op::Xor if a == b => return self.constant(0),
+            Op::Xor if kb == Some(0) => return a,
+            Op::Xor if ka == Some(0) => return b,
+            _ => {}
+        }
+        // Re-associate xor-by-constant chains so double negation folds.
+        if op == Op::Xor {
+            if let (TermNode::Alu { op: Op::Xor, a: ia, b: ib, .. }, Some(k)) = (self.node(a), kb) {
+                if let Some(k2) = self.as_const(ib) {
+                    let folded = self.constant(k ^ k2);
+                    return self.alu(Op::Xor, ia, Some(folded), None);
+                }
+            }
+        }
+        let affine = self.alu_affine(op, a, b, c);
+        let deps = self.union3(a, b, c);
+        self.intern(TermNode::Alu { op, a, b, c }, affine, deps)
+    }
+
+    /// Affine transfer mirroring `affine::value_of`.
+    fn alu_affine(&self, op: Op, a: TermId, b: TermId, c: TermId) -> AffineVal {
+        let (va, vb, vc) = (self.affine(a), self.affine(b), self.affine(c));
+        match op {
+            Op::IAdd => va + vb,
+            Op::ISub => va - vb,
+            Op::IMul => va * vb,
+            Op::IMad => va * vb + vc,
+            Op::Shl => va << vb,
+            Op::IMin => va.min_(vb),
+            Op::IMax => va.max_(vb),
+            _ => AffineVal::opaque(&[va, vb, vc]),
+        }
+    }
+
+    /// Interns a comparison (0 / 1 valued).
+    pub fn cmp(&mut self, cmp: CmpOp, float: bool, a: TermId, b: TermId) -> TermId {
+        if let (Some(ka), Some(kb)) = (self.as_const(a), self.as_const(b)) {
+            let v = if float {
+                cmp.eval_f32(f32::from_bits(ka), f32::from_bits(kb))
+            } else {
+                cmp.eval_i32(ka as i32, kb as i32)
+            };
+            return self.constant(u32::from(v));
+        }
+        if !float && a == b {
+            // Reflexive integer comparisons are decidable syntactically.
+            let v = matches!(cmp, CmpOp::Eq | CmpOp::Le | CmpOp::Ge);
+            return self.constant(u32::from(v));
+        }
+        let uniform = self.affine(a).is_uniform() && self.affine(b).is_uniform();
+        let affine = if uniform {
+            AffineVal::Aff(crate::affine::Affine { a: 0, b: 0, lo: 0, hi: 1 })
+        } else {
+            AffineVal::Unknown
+        };
+        let deps = self.deps(a).union(self.deps(b));
+        self.intern(TermNode::Cmp { cmp, float, a, b }, affine, deps)
+    }
+
+    /// Boolean negation of a 0 / 1 valued term.
+    pub fn not(&mut self, p: TermId) -> TermId {
+        let one = self.constant(1);
+        self.alu(Op::Xor, p, Some(one), None)
+    }
+
+    /// Interns `c != 0 ? t : e`.
+    pub fn ite(&mut self, c: TermId, t: TermId, e: TermId) -> TermId {
+        if let Some(k) = self.as_const(c) {
+            return if k != 0 { t } else { e };
+        }
+        if t == e {
+            return t;
+        }
+        let (vt, ve) = (self.affine(t), self.affine(e));
+        // Mirrors the `Sel` rule of `affine::value_of`: a TB-uniform
+        // condition hulls the arms, a thread-dependent one mixes them.
+        let affine = if self.deps(c).is_empty() { vt.meet(ve, false) } else { AffineVal::Unknown };
+        let deps = self.union3(c, t, e);
+        self.intern(TermNode::Ite { c, t, e }, affine, deps)
+    }
+
+    /// Interns a load of `space[base + offset]` at memory generation
+    /// `gen`. Generation-0 shared memory is architecturally zeroed;
+    /// generation-0 loads elsewhere are pure functions of the address.
+    pub fn load(&mut self, space: MemSpace, base: TermId, offset: i32, gen: u32) -> TermId {
+        if gen == 0 && space == MemSpace::Shared {
+            return self.constant(0);
+        }
+        let addr_uniform = self.affine(base).is_uniform();
+        let (affine, deps) = if gen == 0 {
+            // Initial symbolic memory: the value is a function of the
+            // address alone, so it inherits the address's dependencies.
+            let affine = if space == MemSpace::Param || addr_uniform {
+                AffineVal::uniform_unknown()
+            } else {
+                AffineVal::Unknown
+            };
+            (affine, self.deps(base))
+        } else if space == MemSpace::Param {
+            // Parameter space is read-only; stores never reach it.
+            (AffineVal::uniform_unknown(), self.deps(base))
+        } else if addr_uniform {
+            // One word read by every thread: TB-uniform within this
+            // dynamic instance (the same standing assumption the affine
+            // dataflow makes; the race passes police violations).
+            (AffineVal::uniform_unknown(), Deps::NONE)
+        } else if space == MemSpace::Shared {
+            // Post-store shared memory is still one fixed address->value
+            // function per dynamic TB instance (stores are ordered by
+            // barriers; the race passes police violations), so the value
+            // inherits the address's thread dependencies: equal addresses
+            // read equal words whichever thread stored them.
+            (AffineVal::Unknown, self.deps(base))
+        } else {
+            // Post-store global memory may also have been written by other
+            // threadblocks in flight; stay conservative.
+            (AffineVal::Unknown, self.deps(base).union(Deps::OTHER))
+        };
+        self.intern(TermNode::Load { space, base, offset, gen }, affine, deps)
+    }
+
+    /// Concretely evaluates `id` for one thread of a candidate launch.
+    /// `None` when the term escapes evaluation (havoc, post-store loads,
+    /// negative or unaligned addresses).
+    #[must_use]
+    pub fn eval(&self, id: TermId, ctx: &EvalCtx<'_>) -> Option<u32> {
+        match self.node(id) {
+            TermNode::Const(v) => Some(v),
+            TermNode::Special(s) => {
+                let lin = u64::from(ctx.warp) * u64::from(ctx.warp_size) + u64::from(ctx.lane);
+                let (bx, by) = (u64::from(ctx.block.0), u64::from(ctx.block.1));
+                Some(match s {
+                    SpecialReg::TidX => (lin % bx) as u32,
+                    SpecialReg::TidY => ((lin / bx) % by) as u32,
+                    SpecialReg::TidZ => (lin / (bx * by)) as u32,
+                    SpecialReg::NtidX => ctx.block.0,
+                    SpecialReg::NtidY => ctx.block.1,
+                    SpecialReg::NtidZ => 1,
+                    SpecialReg::CtaidX | SpecialReg::CtaidY | SpecialReg::CtaidZ => 0,
+                    SpecialReg::NctaidX | SpecialReg::NctaidY | SpecialReg::NctaidZ => 1,
+                    SpecialReg::LaneId => ctx.lane,
+                    SpecialReg::WarpId => ctx.warp,
+                })
+            }
+            TermNode::Havoc(_) => None,
+            TermNode::Alu { op, a, b, c } => {
+                let (a, b, c) = (self.eval(a, ctx)?, self.eval(b, ctx)?, self.eval(c, ctx)?);
+                fold_alu(op, a, b, c)
+            }
+            TermNode::Cmp { cmp, float, a, b } => {
+                let (a, b) = (self.eval(a, ctx)?, self.eval(b, ctx)?);
+                let v = if float {
+                    cmp.eval_f32(f32::from_bits(a), f32::from_bits(b))
+                } else {
+                    cmp.eval_i32(a as i32, b as i32)
+                };
+                Some(u32::from(v))
+            }
+            TermNode::Ite { c, t, e } => {
+                if self.eval(c, ctx)? != 0 {
+                    self.eval(t, ctx)
+                } else {
+                    self.eval(e, ctx)
+                }
+            }
+            TermNode::Load { space, base, offset, gen } => {
+                if gen != 0 && space != MemSpace::Param {
+                    return None;
+                }
+                let base = self.eval(base, ctx)?;
+                let addr = u64::try_from(i64::from(base) + i64::from(offset)).ok()?;
+                match space {
+                    MemSpace::Param => {
+                        let i = usize::try_from(addr / 4).ok()?;
+                        Some(ctx.params.get(i).copied().unwrap_or(0))
+                    }
+                    MemSpace::Global => {
+                        if addr % 4 != 0 {
+                            return None;
+                        }
+                        Some((ctx.read_global)(addr))
+                    }
+                    MemSpace::Shared => Some(0),
+                }
+            }
+        }
+    }
+
+    /// Renders `id` as a compact expression for diagnostics, eliding deep
+    /// subterms.
+    #[must_use]
+    pub fn render(&self, id: TermId) -> String {
+        self.render_depth(id, 4)
+    }
+
+    fn render_depth(&self, id: TermId, depth: usize) -> String {
+        if depth == 0 {
+            return "..".into();
+        }
+        match self.node(id) {
+            TermNode::Const(v) => format!("{}", v as i32),
+            TermNode::Special(s) => format!("{s}"),
+            TermNode::Havoc(i) => format!("havoc{i}"),
+            TermNode::Alu { op, a, b, c } => {
+                let n = op.num_srcs();
+                let mut parts = vec![self.render_depth(a, depth - 1)];
+                if n >= 2 {
+                    parts.push(self.render_depth(b, depth - 1));
+                }
+                if n >= 3 {
+                    parts.push(self.render_depth(c, depth - 1));
+                }
+                format!("({} {})", op.mnemonic(), parts.join(" "))
+            }
+            TermNode::Cmp { cmp, float, a, b } => {
+                let suffix = if float { "f32" } else { "s32" };
+                format!(
+                    "({cmp}.{suffix} {} {})",
+                    self.render_depth(a, depth - 1),
+                    self.render_depth(b, depth - 1)
+                )
+            }
+            TermNode::Ite { c, t, e } => format!(
+                "(ite {} {} {})",
+                self.render_depth(c, depth - 1),
+                self.render_depth(t, depth - 1),
+                self.render_depth(e, depth - 1)
+            ),
+            TermNode::Load { space, base, offset, gen } => {
+                format!("(ld.{space}@{gen} {}{offset:+})", self.render_depth(base, depth - 1))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena() -> TermArena {
+        TermArena::new()
+    }
+
+    #[test]
+    fn hash_consing_shares_structurally_equal_terms() {
+        let mut t = arena();
+        let x = t.special(SpecialReg::TidX);
+        let four = t.constant(4);
+        let a = t.alu(Op::IMul, x, Some(four), None);
+        let b = t.alu(Op::IMul, x, Some(four), None);
+        assert_eq!(a, b);
+        let n = t.len();
+        let _ = t.alu(Op::IMul, x, Some(four), None);
+        assert_eq!(t.len(), n, "re-interning allocates nothing");
+    }
+
+    #[test]
+    fn constant_folding_matches_alu_semantics() {
+        let mut t = arena();
+        let a = t.constant(7);
+        let b = t.constant(u32::MAX);
+        let sum = t.alu(Op::IAdd, a, Some(b), None);
+        assert_eq!(t.as_const(sum), Some(6), "wrapping add folds");
+        let hi = t.constant(0x8000_0000);
+        let two = t.constant(2);
+        let mh = t.alu(Op::IMulHi, hi, Some(two), None);
+        assert_eq!(t.as_const(mh), Some(u32::MAX));
+    }
+
+    #[test]
+    fn algebraic_identities_fold() {
+        let mut t = arena();
+        let x = t.special(SpecialReg::TidX);
+        let zero = t.constant(0);
+        assert_eq!(t.alu(Op::IAdd, x, Some(zero), None), x);
+        assert_eq!(t.alu(Op::ISub, x, Some(x), None), zero);
+        assert_eq!(t.alu(Op::Xor, x, Some(x), None), zero);
+        assert_eq!(t.alu(Op::And, x, Some(x), None), x);
+        assert_eq!(t.alu(Op::Mov, x, None, None), x);
+        let p = t.cmp(CmpOp::Le, false, x, x);
+        assert_eq!(t.as_const(p), Some(1), "reflexive le is true");
+    }
+
+    #[test]
+    fn affine_canonicalization_erases_dependencies() {
+        let mut t = arena();
+        let x = t.special(SpecialReg::TidX);
+        let four = t.constant(4);
+        let fx = t.alu(Op::IMul, x, Some(four), None);
+        assert_eq!(t.deps(fx), Deps::TIDX);
+        // 4*tid.x - 4*tid.x is syntactically tid.x-dependent but
+        // affine-uniform; folding also catches it here, so build the
+        // harder (4*tid.x + n) - 4*tid.x with an opaque uniform n.
+        let n = t.special(SpecialReg::NtidX);
+        let sum = t.alu(Op::IAdd, fx, Some(n), None);
+        assert_eq!(t.deps(sum), Deps::TIDX);
+        let diff = t.alu(Op::ISub, sum, Some(fx), None);
+        assert!(t.deps(diff).is_empty(), "affine proves tid.x cancels: {}", t.render(diff));
+    }
+
+    #[test]
+    fn special_dependencies() {
+        let mut t = arena();
+        let y = t.special(SpecialReg::TidY);
+        let lane = t.special(SpecialReg::LaneId);
+        let warp = t.special(SpecialReg::WarpId);
+        let cta = t.special(SpecialReg::CtaidX);
+        assert_eq!(t.deps(y), Deps::TIDY);
+        assert_eq!(t.deps(lane), Deps::LANE);
+        assert_eq!(t.deps(warp), Deps::WARP);
+        assert!(t.deps(cta).is_empty());
+        let z = t.special(SpecialReg::TidZ);
+        assert_eq!(t.as_const(z), Some(0), "2D family pins tid.z");
+    }
+
+    #[test]
+    fn initial_memory_loads_inherit_address_deps() {
+        let mut t = arena();
+        let x = t.special(SpecialReg::TidX);
+        let two = t.constant(2);
+        let addr = t.alu(Op::Shl, x, Some(two), None);
+        let ld = t.load(MemSpace::Global, addr, 0, 0);
+        assert_eq!(t.deps(ld), Deps::TIDX, "in[tid.x] is a tid.x function");
+        let uaddr = t.constant(64);
+        let uld = t.load(MemSpace::Global, uaddr, 0, 0);
+        assert!(t.deps(uld).is_empty());
+        // After a store the value may be anyone's data.
+        let post = t.load(MemSpace::Global, addr, 0, 1);
+        assert!(!t.deps(post).subset_of(Deps::TIDX.union(Deps::LANE)));
+        assert_eq!(t.eval(post, &ctx(8, 8, 0, 0, &[], &|_| 0)), None);
+        // Generation-0 shared memory is zeroed.
+        let sld = t.load(MemSpace::Shared, addr, 0, 0);
+        assert_eq!(t.as_const(sld), Some(0));
+    }
+
+    fn ctx<'a>(
+        bx: u32,
+        by: u32,
+        warp: u32,
+        lane: u32,
+        params: &'a [u32],
+        read: &'a dyn Fn(u64) -> u32,
+    ) -> EvalCtx<'a> {
+        EvalCtx { block: (bx, by), warp_size: 32, warp, lane, params, read_global: read }
+    }
+
+    #[test]
+    fn eval_matches_linear_thread_decomposition() {
+        let mut t = arena();
+        let x = t.special(SpecialReg::TidX);
+        let y = t.special(SpecialReg::TidY);
+        let read = |_: u64| 0;
+        // Block (8,8): warp 1 lane 3 is linear thread 35 = (3, 4).
+        let c = ctx(8, 8, 1, 3, &[], &read);
+        assert_eq!(t.eval(x, &c), Some(3));
+        assert_eq!(t.eval(y, &c), Some(4));
+        // tid.x under a promoting block is a lane function: warp 0 lane 3
+        // agrees with warp 1 lane 3.
+        let c0 = ctx(8, 8, 0, 3, &[], &read);
+        assert_eq!(t.eval(x, &c0), Some(3));
+        assert_ne!(t.eval(y, &c0), t.eval(y, &c), "tid.y differs across warps");
+    }
+
+    #[test]
+    fn eval_reads_initial_memory_and_params() {
+        let mut t = arena();
+        let read = |addr: u64| if addr == 0x100 { 77 } else { 0 };
+        let base = t.constant(0x100);
+        let ld = t.load(MemSpace::Global, base, 0, 0);
+        let c = ctx(8, 8, 0, 0, &[11, 22], &read);
+        assert_eq!(t.eval(ld, &c), Some(77));
+        let p1 = t.constant(0);
+        let pld = t.load(MemSpace::Param, p1, 4, 0);
+        assert_eq!(t.eval(pld, &c), Some(22));
+        let odd = t.constant(0x101);
+        let bad = t.load(MemSpace::Global, odd, 0, 0);
+        assert_eq!(t.eval(bad, &c), None, "unaligned evaluation refuses");
+        let neg = t.constant(u32::MAX);
+        let under = t.load(MemSpace::Global, neg, i32::MIN, 0);
+        assert_eq!(t.eval(under, &c), None, "negative address refuses");
+    }
+
+    #[test]
+    fn ite_merges_and_folds() {
+        let mut t = arena();
+        let x = t.special(SpecialReg::TidX);
+        let y = t.special(SpecialReg::TidY);
+        let n = t.special(SpecialReg::NtidX);
+        let k = t.constant(4);
+        let p = t.cmp(CmpOp::Lt, false, n, k);
+        let m = t.ite(p, x, y);
+        assert_eq!(t.deps(m), Deps::TIDX.union(Deps::TIDY));
+        assert_eq!(t.ite(p, x, x), x, "equal arms collapse");
+        let tru = t.constant(1);
+        assert_eq!(t.ite(tru, x, y), x, "constant condition selects");
+        // A thread-dependent condition poisons uniformity even over
+        // uniform arms.
+        let q = t.cmp(CmpOp::Lt, false, x, k);
+        let a = t.constant(10);
+        let b = t.constant(20);
+        let mix = t.ite(q, a, b);
+        assert_eq!(t.deps(mix), Deps::TIDX);
+    }
+
+    #[test]
+    fn not_flips_booleans() {
+        let mut t = arena();
+        let tru = t.constant(1);
+        let fls = t.not(tru);
+        assert_eq!(t.as_const(fls), Some(0));
+        let x = t.special(SpecialReg::TidX);
+        let k = t.constant(4);
+        let p = t.cmp(CmpOp::Lt, false, x, k);
+        let np = t.not(p);
+        let c = ctx(8, 8, 0, 1, &[], &|_| 0);
+        assert_eq!(t.eval(p, &c), Some(1));
+        assert_eq!(t.eval(np, &c), Some(0));
+        assert_eq!(t.not(np), p, "double negation folds back via xor");
+    }
+
+    #[test]
+    fn havoc_is_fresh_and_opaque() {
+        let mut t = arena();
+        let h1 = t.havoc();
+        let h2 = t.havoc();
+        assert_ne!(h1, h2);
+        assert_eq!(t.deps(h1), Deps::OTHER);
+        assert_eq!(t.eval(h1, &ctx(8, 8, 0, 0, &[], &|_| 0)), None);
+    }
+
+    #[test]
+    fn deps_display_and_subsets() {
+        let d = Deps::TIDX.union(Deps::LANE);
+        assert!(Deps::TIDX.subset_of(d));
+        assert!(!d.subset_of(Deps::LANE));
+        assert!(Deps::NONE.subset_of(Deps::NONE));
+        assert_eq!(format!("{d}"), "{tid.x,laneid}");
+        assert_eq!(format!("{}", Deps::NONE), "{}");
+    }
+}

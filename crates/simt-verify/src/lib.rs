@@ -42,6 +42,7 @@ pub mod divergence;
 pub mod oracle;
 pub mod perf;
 pub mod races;
+pub mod symex;
 
 use gpu_sim::GlobalMemory;
 use simt_compiler::CompiledKernel;
@@ -117,6 +118,19 @@ pub enum LintCode {
     /// `P103` — a memory access has no static performance bound (address
     /// or execution mask is not exactly thread-affine).
     MemUnpredictable,
+    /// `S401` — symbolic execution disproved a redundancy marking for
+    /// some launch of the 2D family, with a replay-confirmed concrete
+    /// counterexample (TB dimensions plus inputs).
+    DisprovedMarking,
+    /// `S402` — a redundancy or uniformity claim could not be proved for
+    /// the whole launch family (symbolic budget exhausted or the value
+    /// escapes the term domain); conservative warning.
+    UnprovableMarking,
+    /// `S403` — a branch the classes declare skippable (TB-uniform) has a
+    /// predicate that provably diverges across threads for some launch of
+    /// the promotion family, breaking the single-control-flow-history
+    /// requirement.
+    BranchSyncViolation,
 }
 
 impl LintCode {
@@ -138,6 +152,9 @@ impl LintCode {
             LintCode::SharedBankConflict => "P101",
             LintCode::GlobalUncoalesced => "P102",
             LintCode::MemUnpredictable => "P103",
+            LintCode::DisprovedMarking => "S401",
+            LintCode::UnprovableMarking => "S402",
+            LintCode::BranchSyncViolation => "S403",
         }
     }
 
@@ -151,11 +168,101 @@ impl LintCode {
             | LintCode::UnsoundMarking
             | LintCode::UnsoundPromotion
             | LintCode::SharedRaceStatic
-            | LintCode::SharedRaceDynamic => Severity::Error,
+            | LintCode::SharedRaceDynamic
+            | LintCode::DisprovedMarking
+            | LintCode::BranchSyncViolation => Severity::Error,
             LintCode::MaybeUninitRead | LintCode::UnreachableBlock => Severity::Warning,
             LintCode::DeadWrite | LintCode::SharedAddrUnknown => Severity::Warning,
             LintCode::SharedBankConflict | LintCode::GlobalUncoalesced => Severity::Warning,
+            LintCode::UnprovableMarking => Severity::Warning,
             LintCode::MemUnpredictable => Severity::Note,
+        }
+    }
+
+    /// Every lint, in report order. The `darsie-sim lints` registry and
+    /// the README-drift test iterate this, so adding a variant without
+    /// extending it is a compile error (the length is checked too).
+    pub const ALL: [LintCode; 17] = [
+        LintCode::UninitRead,
+        LintCode::MaybeUninitRead,
+        LintCode::UnreachableBlock,
+        LintCode::DeadWrite,
+        LintCode::BarrierUnderDivergence,
+        LintCode::PredicatedBarrier,
+        LintCode::UnsoundMarking,
+        LintCode::UnsoundPromotion,
+        LintCode::SharedRaceStatic,
+        LintCode::SharedAddrUnknown,
+        LintCode::SharedRaceDynamic,
+        LintCode::SharedBankConflict,
+        LintCode::GlobalUncoalesced,
+        LintCode::MemUnpredictable,
+        LintCode::DisprovedMarking,
+        LintCode::UnprovableMarking,
+        LintCode::BranchSyncViolation,
+    ];
+
+    /// The pass that emits this lint (the README table's "Pass" column).
+    #[must_use]
+    pub fn pass(self) -> &'static str {
+        match self {
+            LintCode::UninitRead
+            | LintCode::MaybeUninitRead
+            | LintCode::UnreachableBlock
+            | LintCode::DeadWrite => "dataflow",
+            LintCode::BarrierUnderDivergence | LintCode::PredicatedBarrier => "divergence",
+            LintCode::UnsoundMarking | LintCode::UnsoundPromotion => "oracle",
+            LintCode::SharedRaceStatic
+            | LintCode::SharedAddrUnknown
+            | LintCode::SharedRaceDynamic => "races",
+            LintCode::SharedBankConflict
+            | LintCode::GlobalUncoalesced
+            | LintCode::MemUnpredictable => "perf",
+            LintCode::DisprovedMarking
+            | LintCode::UnprovableMarking
+            | LintCode::BranchSyncViolation => "symex",
+        }
+    }
+
+    /// One-line documentation rendered by `darsie-sim lints`.
+    #[must_use]
+    pub fn doc(self) -> &'static str {
+        match self {
+            LintCode::UninitRead => "register or predicate read that no path defines",
+            LintCode::MaybeUninitRead => "register or predicate defined on only some paths",
+            LintCode::UnreachableBlock => "basic block unreachable from the kernel entry",
+            LintCode::DeadWrite => "register or predicate write no path ever reads",
+            LintCode::BarrierUnderDivergence => {
+                "bar.sync between a potentially divergent branch and its reconvergence point"
+            }
+            LintCode::PredicatedBarrier => "bar.sync carries a guard predicate",
+            LintCode::UnsoundMarking => {
+                "definitely redundant instruction produced different vectors across warps"
+            }
+            LintCode::UnsoundPromotion => {
+                "launch-promoted conditionally redundant instruction diverged across warps"
+            }
+            LintCode::SharedRaceStatic => {
+                "shared-memory accesses provably overlap across threads in one barrier interval"
+            }
+            LintCode::SharedAddrUnknown => {
+                "shared-memory race freedom undecidable (address not thread-affine)"
+            }
+            LintCode::SharedRaceDynamic => {
+                "sanitizer observed two threads touching one shared word in one epoch"
+            }
+            LintCode::SharedBankConflict => "shared access provably serializes over bank passes",
+            LintCode::GlobalUncoalesced => "global access touches more lines than a coalesced one",
+            LintCode::MemUnpredictable => "memory access has no static performance bound",
+            LintCode::DisprovedMarking => {
+                "symbolic execution disproved a marking with a replay-confirmed counterexample"
+            }
+            LintCode::UnprovableMarking => {
+                "claim not provable for the whole launch family (budget or non-affine escape)"
+            }
+            LintCode::BranchSyncViolation => {
+                "skippable branch predicate provably diverges for some family launch"
+            }
         }
     }
 }
@@ -294,6 +401,7 @@ pub fn verify_full(
 ) -> Diagnostics {
     let mut report = verify_launch(ck, launch);
     report.merge(races::check(ck, launch));
+    report.merge(symex::check(ck, launch, &memory));
     report.merge(oracle::check(ck, launch, memory));
     report
 }

@@ -1,0 +1,849 @@
+//! Symbolic translation validation: dimension-parametric proofs that the
+//! compiler's redundancy markings and branch-sync assumptions are sound
+//! for *every* launch the paper's promotion predicate admits, not just
+//! the one configuration the differential oracle replays.
+//!
+//! The engine executes the compiled kernel once over symbolic
+//! `tid.*`/`ntid.*` and symbolic initial memory (terms from
+//! [`simt_compiler::term`]). Control flow follows the compiler's own
+//! reconvergence table: a branch whose predicate folds to a constant is
+//! followed directly; otherwise both arms run to the immediate
+//! postdominator and the states merge pointwise with `ite` terms, so
+//! loops with symbolic trip counts unroll up to the fork budget. From the
+//! merged state every marked instruction and skippable branch yields
+//! proof obligations over the term's dependency set:
+//!
+//! | claim | quantified over | obligation |
+//! |---|---|---|
+//! | DR (`Marking::Redundant` / `Red::Redundant`) | every launch | deps ⊆ {laneid} |
+//! | CR via `px` | 2D TBs, `ntid.x` = 2^k ≤ warp size | deps ⊆ {tid.x, laneid} |
+//! | CR via `px && py` | whole TB inside one warp | vacuous (single warp) |
+//! | skippable branch | family of its class | deps = ∅ |
+//!
+//! The `px` row is the paper's promotion theorem: when `ntid.x` divides
+//! the warp size, `tid.x = laneid mod ntid.x` is a pure *lane* function,
+//! so per-lane values agree across warps. The `py` row is vacuous because
+//! `ntid.x * ntid.y ≤ warp size` leaves a single warp per threadblock and
+//! cross-warp redundancy has nothing to compare.
+//!
+//! Claims the term domain cannot discharge fall back to the affine
+//! fixpoint ([`affine::fixpoint`]), which is already launch-generic —
+//! but only its *exact* verdicts are trusted: the interval meet hulls
+//! different per-path constants at control-flow joins, so a non-exact
+//! "uniform" interval may still hide warp-divergent values and proves
+//! nothing here. Guarded writes likewise fall to the term domain, which
+//! models the unwritten lanes explicitly.
+//! Claims neither prover discharges are *attacked*: the recorded terms
+//! are evaluated concretely over a small family of two-warp candidate
+//! blocks, and any cross-warp mismatch is replayed through the
+//! differential oracle (the functional executor) before `S401` is
+//! emitted — a counterexample the executor does not confirm is never
+//! reported. Unresolved claims degrade to the conservative `S402`
+//! warning; concrete divergence of a skippable branch predicate is
+//! `S403`.
+
+use crate::{oracle, Diagnostic, Diagnostics, LintCode};
+use gpu_sim::GlobalMemory;
+use simt_compiler::affine::{self, AffineVal};
+use simt_compiler::{CompiledKernel, Deps, EvalCtx, Red, TermArena, TermId, RECONVERGE_AT_EXIT};
+use simt_isa::{Instruction, LaunchConfig, Marking, MemSpace, Op, Operand, Value};
+use std::collections::HashMap;
+
+/// Total instructions the symbolic executor may retire (loops unroll).
+const FUEL: usize = 1 << 16;
+/// Maximum nesting of unresolved branch forks (also bounds unrolling).
+const MAX_FORK_DEPTH: usize = 64;
+/// Term-arena ceiling; blowing past it aborts to the affine fallback.
+const MAX_TERMS: usize = 1 << 20;
+/// Candidate `(ntid.x, ntid.y)` shapes for disproving claims quantified
+/// over *every* launch: two full warps each, 1D and promoted 2D.
+const DIMS_ALL: [(u32, u32); 4] = [(64, 1), (32, 2), (16, 4), (8, 8)];
+/// Candidate shapes for claims quantified over the `px` promotion family
+/// (2D, `ntid.x` a power of two ≤ warp size): two full warps each.
+const DIMS_PX: [(u32, u32); 4] = [(32, 2), (16, 4), (8, 8), (4, 16)];
+
+/// How a claim quantifies over launch configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Family {
+    /// Claimed for every launch (DR markings, `Red::Redundant` classes).
+    All,
+    /// Claimed whenever the x-dimension promotion check passes.
+    PromotedX,
+    /// Claimed only when both x- and y-checks pass (single-warp TBs).
+    PromotedXY,
+}
+
+impl Family {
+    /// Dependency sources a sound *value* claim of this family may have.
+    fn allowed_value_deps(self) -> Deps {
+        match self {
+            Family::All => Deps::LANE,
+            Family::PromotedX => Deps::TIDX.union(Deps::LANE),
+            // Single warp per TB: cross-warp redundancy is vacuous.
+            Family::PromotedXY => {
+                Deps::TIDX.union(Deps::TIDY).union(Deps::LANE).union(Deps::WARP).union(Deps::OTHER)
+            }
+        }
+    }
+
+    /// Candidate block shapes used to hunt counterexamples.
+    fn candidate_dims(self) -> &'static [(u32, u32)] {
+        match self {
+            Family::All => &DIMS_ALL,
+            Family::PromotedX => &DIMS_PX,
+            Family::PromotedXY => &[],
+        }
+    }
+
+    fn describe(self) -> &'static str {
+        match self {
+            Family::All => "every launch",
+            Family::PromotedX => "every x-promoted launch",
+            Family::PromotedXY => "every xy-promoted launch",
+        }
+    }
+}
+
+/// The strongest launch family under which `pc`'s marking or class claims
+/// its result is shared across warps. Mirrors the differential oracle's
+/// claim predicate, but quantified over the family instead of one launch.
+fn value_claim(ck: &CompiledKernel, pc: usize) -> Option<Family> {
+    let instr = &ck.kernel.instrs[pc];
+    if !instr.op.writes_dst() || instr.dst.is_none() || matches!(instr.op, Op::Atom(_)) {
+        return None;
+    }
+    let class = ck.classes[pc];
+    let marking = ck.markings[pc];
+    let claims = |px: bool, py: bool| {
+        let marking_claims = match marking {
+            Marking::Redundant => true,
+            Marking::ConditionallyRedundant => match class.red {
+                Red::CondRedundantXY => px && py,
+                _ => px,
+            },
+            Marking::Vector => false,
+        };
+        marking_claims || class.finalize(px, py).taxonomy().is_redundant()
+    };
+    if claims(false, false) {
+        Some(Family::All)
+    } else if claims(true, false) {
+        Some(Family::PromotedX)
+    } else if claims(true, true) {
+        Some(Family::PromotedXY)
+    } else {
+        None
+    }
+}
+
+/// The strongest family under which the guarded branch at `pc` is
+/// skippable (its class finalizes to uniform-redundant, the condition
+/// DARSIE's fetch-skip and the divergence pass rely on).
+fn branch_claim(ck: &CompiledKernel, pc: usize) -> Option<Family> {
+    let instr = &ck.kernel.instrs[pc];
+    if !matches!(instr.op, Op::Bra { .. }) || instr.guard.is_none() {
+        return None;
+    }
+    let class = ck.classes[pc];
+    if class.finalize(false, false).is_uv_uniform() {
+        Some(Family::All)
+    } else if class.finalize(true, false).is_uv_uniform() {
+        Some(Family::PromotedX)
+    } else if class.finalize(true, true).is_uv_uniform() {
+        Some(Family::PromotedXY)
+    } else {
+        None
+    }
+}
+
+/// One recorded execution of an obligation site: the term the site
+/// produced and the path condition under which this visit happens.
+#[derive(Clone, Copy)]
+struct Visit {
+    path: TermId,
+    term: TermId,
+}
+
+/// Register/predicate file over terms; one per explored path segment.
+#[derive(Clone)]
+struct SymState {
+    regs: Vec<TermId>,
+    preds: Vec<TermId>,
+}
+
+enum Flow {
+    /// Reached the stop pc (a reconvergence point).
+    Fell,
+    /// Executed `exit` (or both arms of a fork did).
+    Exited,
+}
+
+/// Budget exhaustion: fuel, fork depth, arena size, or an unmodeled
+/// construct (thread-partial `exit`). The run so far remains usable for
+/// counterexample hunting, but proofs require completion.
+struct Exhausted;
+
+struct Engine<'a> {
+    ck: &'a CompiledKernel,
+    t: TermArena,
+    /// Store generation per space: [global, shared]. Monotonic across
+    /// paths, so a generation-0 load provably precedes every store.
+    gens: [u32; 2],
+    fuel: usize,
+    value_sites: Vec<bool>,
+    branch_sites: Vec<bool>,
+    value_visits: HashMap<usize, Vec<Visit>>,
+    branch_visits: HashMap<usize, Vec<Visit>>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(ck: &'a CompiledKernel, value_sites: Vec<bool>, branch_sites: Vec<bool>) -> Engine<'a> {
+        Engine {
+            ck,
+            t: TermArena::new(),
+            gens: [0, 0],
+            fuel: FUEL,
+            value_sites,
+            branch_sites,
+            value_visits: HashMap::new(),
+            branch_visits: HashMap::new(),
+        }
+    }
+
+    fn gen_of(&self, space: MemSpace) -> u32 {
+        match space {
+            MemSpace::Global => self.gens[0],
+            MemSpace::Shared => self.gens[1],
+            MemSpace::Param => 0,
+        }
+    }
+
+    fn bump_gen(&mut self, space: MemSpace) {
+        match space {
+            MemSpace::Global => self.gens[0] += 1,
+            MemSpace::Shared => self.gens[1] += 1,
+            MemSpace::Param => {}
+        }
+    }
+
+    fn operand(&mut self, st: &SymState, op: Operand) -> TermId {
+        match op {
+            Operand::Reg(r) => st.regs[r.index()],
+            Operand::Imm(v) => self.t.constant(v),
+        }
+    }
+
+    /// The value the instruction writes to its destination register, in
+    /// lockstep with the functional executor's per-lane semantics.
+    fn dst_value(&mut self, st: &SymState, instr: &Instruction) -> TermId {
+        let src = |i: usize| instr.srcs.get(i).copied();
+        match instr.op {
+            Op::S2R(s) => self.t.special(s),
+            Op::Sel(p) => {
+                let pv = st.preds[p.index()];
+                let a = src(0).map(|o| self.operand(st, o));
+                let b = src(1).map(|o| self.operand(st, o));
+                let zero = self.t.constant(0);
+                self.t.ite(pv, a.unwrap_or(zero), b.unwrap_or(zero))
+            }
+            Op::Ld(space) => {
+                let zero = self.t.constant(0);
+                let base = src(0).map_or(zero, |o| self.operand(st, o));
+                let gen = self.gen_of(space);
+                self.t.load(space, base, instr.offset, gen)
+            }
+            Op::Atom(_) => self.t.havoc(),
+            _ => {
+                // Plain ALU: absent operands read as zero, as in `exec`.
+                let a = src(0).map(|o| self.operand(st, o));
+                let b = src(1).map(|o| self.operand(st, o));
+                let c = src(2).map(|o| self.operand(st, o));
+                let zero = self.t.constant(0);
+                self.t.alu(instr.op, a.unwrap_or(zero), b, c)
+            }
+        }
+    }
+
+    /// Runs from `pc` until `stop` (or `exit`), mutating `st` in place.
+    /// `stop == RECONVERGE_AT_EXIT` means run until the kernel exits.
+    fn run(
+        &mut self,
+        st: &mut SymState,
+        mut pc: usize,
+        stop: usize,
+        path: TermId,
+        depth: usize,
+    ) -> Result<Flow, Exhausted> {
+        loop {
+            if pc == stop {
+                return Ok(Flow::Fell);
+            }
+            if pc >= self.ck.kernel.instrs.len() {
+                return Ok(Flow::Exited);
+            }
+            if self.fuel == 0 || self.t.len() > MAX_TERMS {
+                return Err(Exhausted);
+            }
+            self.fuel -= 1;
+            let instr = self.ck.kernel.instrs[pc].clone();
+            let cond = instr.guard.map(|g| {
+                let p = st.preds[g.pred.index()];
+                if g.negate {
+                    self.t.not(p)
+                } else {
+                    p
+                }
+            });
+            match instr.op {
+                Op::Bra { target } => {
+                    let one = self.t.constant(1);
+                    let c = cond.unwrap_or(one);
+                    if instr.guard.is_some() && self.branch_sites[pc] {
+                        self.branch_visits.entry(pc).or_default().push(Visit { path, term: c });
+                    }
+                    match self.t.as_const(c) {
+                        Some(0) => pc += 1,
+                        Some(_) => pc = target,
+                        None => {
+                            if depth >= MAX_FORK_DEPTH {
+                                return Err(Exhausted);
+                            }
+                            let join = match self.ck.recon.recon[pc] {
+                                Some(j) => j,
+                                None => RECONVERGE_AT_EXIT,
+                            };
+                            let not_c = self.t.not(c);
+                            let path_t = self.t.alu(Op::And, path, Some(c), None);
+                            let path_e = self.t.alu(Op::And, path, Some(not_c), None);
+                            let mut taken = st.clone();
+                            let ft = self.run(&mut taken, target, join, path_t, depth + 1)?;
+                            let fe = self.run(st, pc + 1, join, path_e, depth + 1)?;
+                            match (ft, fe) {
+                                (Flow::Exited, Flow::Exited) => return Ok(Flow::Exited),
+                                (Flow::Exited, Flow::Fell) => {}
+                                (Flow::Fell, Flow::Exited) => *st = taken,
+                                (Flow::Fell, Flow::Fell) => {
+                                    for i in 0..st.regs.len() {
+                                        if taken.regs[i] != st.regs[i] {
+                                            st.regs[i] = self.t.ite(c, taken.regs[i], st.regs[i]);
+                                        }
+                                    }
+                                    for i in 0..st.preds.len() {
+                                        if taken.preds[i] != st.preds[i] {
+                                            st.preds[i] =
+                                                self.t.ite(c, taken.preds[i], st.preds[i]);
+                                        }
+                                    }
+                                }
+                            }
+                            // Both arms reconverged strictly before the
+                            // exit, so the join is a real pc.
+                            pc = join;
+                        }
+                    }
+                    continue;
+                }
+                Op::Exit => match cond.map(|c| self.t.as_const(c)) {
+                    None | Some(Some(1..)) => return Ok(Flow::Exited),
+                    Some(Some(0)) => {
+                        pc += 1;
+                        continue;
+                    }
+                    // A thread-partial exit tears the warp apart; the
+                    // term domain has no mask concept, so give up.
+                    Some(None) => return Err(Exhausted),
+                },
+                Op::Bar => {
+                    pc += 1;
+                    continue;
+                }
+                Op::St(space) => {
+                    self.bump_gen(space);
+                    pc += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            if matches!(instr.op, Op::Atom(_)) {
+                self.bump_gen(MemSpace::Global);
+            }
+            if instr.op.writes_pdst() {
+                if let Some(p) = instr.pdst {
+                    let (a, b) = match (instr.srcs.first(), instr.srcs.get(1)) {
+                        (Some(&a), Some(&b)) => (self.operand(st, a), self.operand(st, b)),
+                        _ => {
+                            let z = self.t.constant(0);
+                            (z, z)
+                        }
+                    };
+                    let v = match instr.op {
+                        Op::Setp(cmp) => self.t.cmp(cmp, false, a, b),
+                        Op::SetpF(cmp) => self.t.cmp(cmp, true, a, b),
+                        _ => self.t.havoc(),
+                    };
+                    let old = st.preds[p.index()];
+                    st.preds[p.index()] = match cond {
+                        None => v,
+                        Some(c) => self.t.ite(c, v, old),
+                    };
+                }
+            }
+            if instr.op.writes_dst() {
+                if let Some(d) = instr.dst {
+                    let v = self.dst_value(st, &instr);
+                    let old = st.regs[d.index()];
+                    st.regs[d.index()] = match cond {
+                        None => v,
+                        Some(c) => self.t.ite(c, v, old),
+                    };
+                    // Record the post-instruction register, exactly what
+                    // the oracle's observer snapshots (a false guard
+                    // leaves the old value, and so does the `ite`).
+                    if self.value_sites[pc] {
+                        self.value_visits
+                            .entry(pc)
+                            .or_default()
+                            .push(Visit { path, term: st.regs[d.index()] });
+                    }
+                }
+            }
+            pc += 1;
+        }
+    }
+}
+
+/// Per-obligation outcome of [`prove`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Sound for the whole quantified family.
+    Proved,
+    /// A replay-confirmed counterexample exists (`S401` / `S403`).
+    Disproved,
+    /// Neither proved nor disproved within budget (`S402`).
+    Unknown,
+}
+
+/// Aggregate counts from one [`prove`] run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProveStats {
+    /// Marked-instruction obligations examined.
+    pub value_claims: usize,
+    /// Skippable-branch obligations examined.
+    pub branch_claims: usize,
+    /// Obligations proved for their whole launch family.
+    pub proved: usize,
+    /// Obligations with replay-confirmed counterexamples.
+    pub disproved: usize,
+    /// Obligations left open (budget / term-domain escape).
+    pub unknown: usize,
+    /// True when symbolic execution covered every path within budget.
+    pub complete: bool,
+}
+
+/// Result of [`prove`]: the lint report plus the proof ledger.
+pub struct Prove {
+    /// `S401`/`S402`/`S403` diagnostics.
+    pub report: Diagnostics,
+    /// Proved / disproved / unknown counts.
+    pub stats: ProveStats,
+}
+
+/// Proves (or refutes) every redundancy marking and branch-sync claim of
+/// `ck` over its whole quantified launch family. When a reference launch
+/// and memory image are supplied, counterexample hunting evaluates loads
+/// against that initial image and replays candidates with its parameters;
+/// otherwise a zeroed memory and empty parameter list are used.
+#[must_use]
+pub fn prove(ck: &CompiledKernel, reference: Option<(&LaunchConfig, &GlobalMemory)>) -> Prove {
+    let n = ck.kernel.instrs.len();
+    let vclaims: Vec<Option<Family>> = (0..n).map(|pc| value_claim(ck, pc)).collect();
+    let bclaims: Vec<Option<Family>> = (0..n).map(|pc| branch_claim(ck, pc)).collect();
+
+    // Pass 1: the symbolic engine.
+    let mut eng = Engine::new(
+        ck,
+        vclaims.iter().map(Option::is_some).collect(),
+        bclaims.iter().map(Option::is_some).collect(),
+    );
+    let zero = eng.t.constant(0);
+    let one = eng.t.constant(1);
+    let mut st = SymState {
+        regs: vec![zero; ck.kernel.num_regs as usize],
+        preds: vec![zero; affine::num_preds(&ck.kernel.instrs)],
+    };
+    let complete = eng.run(&mut st, 0, RECONVERGE_AT_EXIT, one, 0).is_ok();
+    let Engine { mut t, value_visits, branch_visits, .. } = eng;
+
+    // Pass 2: the launch-generic affine fixpoint as a fallback prover.
+    let flows = affine::fixpoint(&ck.kernel, &ck.cfg, 1, true);
+    let mut aff_val: Vec<Option<AffineVal>> = vec![None; n];
+    let mut aff_guard_uniform = vec![false; n];
+    let mut reachable = vec![false; n];
+    for (b, block) in ck.cfg.blocks.iter().enumerate() {
+        let mut fs = flows[b].clone();
+        if !fs.reachable {
+            continue;
+        }
+        for pc in block.range() {
+            reachable[pc] = true;
+            let instr = &ck.kernel.instrs[pc];
+            if let Some(g) = instr.guard {
+                aff_guard_uniform[pc] = pred_exact_uniform(fs.preds[g.pred.index()]);
+            }
+            // Guarded writes mix old and new bits per thread; only the
+            // term domain models the unwritten lanes, so the affine
+            // prover is restricted to unconditional definitions.
+            if instr.op.writes_dst() && instr.dst.is_some() && instr.guard.is_none() {
+                aff_val[pc] = Some(affine::value_of(&fs, instr, 1));
+            }
+            affine::transfer(&mut fs, instr, 1);
+        }
+    }
+
+    let (ref_params, ref_memory);
+    match reference {
+        Some((launch, memory)) => {
+            ref_params = launch.params.iter().map(|v| v.as_u32()).collect::<Vec<u32>>();
+            ref_memory = memory.clone();
+        }
+        None => {
+            ref_params = Vec::new();
+            ref_memory = GlobalMemory::new();
+        }
+    }
+
+    let mut report = Diagnostics::new(ck.kernel.name.clone());
+    let mut stats = ProveStats { complete, ..ProveStats::default() };
+
+    for pc in 0..n {
+        if let Some(family) = vclaims[pc] {
+            stats.value_claims += 1;
+            let verdict = judge_value(
+                ck,
+                pc,
+                family,
+                complete,
+                &mut t,
+                &value_visits,
+                &aff_val,
+                &reachable,
+                &ref_params,
+                &ref_memory,
+                &mut report,
+            );
+            count(&mut stats, verdict);
+        }
+        if let Some(family) = bclaims[pc] {
+            stats.branch_claims += 1;
+            let verdict = judge_branch(
+                pc,
+                family,
+                complete,
+                &mut t,
+                &branch_visits,
+                &aff_guard_uniform,
+                &reachable,
+                &ref_params,
+                &ref_memory,
+                &mut report,
+            );
+            count(&mut stats, verdict);
+        }
+    }
+    Prove { report, stats }
+}
+
+fn count(stats: &mut ProveStats, v: Verdict) {
+    match v {
+        Verdict::Proved => stats.proved += 1,
+        Verdict::Disproved => stats.disproved += 1,
+        Verdict::Unknown => stats.unknown += 1,
+    }
+}
+
+/// A cross-warp mismatch found by concrete evaluation of a visit's term.
+struct Witness {
+    block: (u32, u32),
+    lane: u32,
+    values: (u32, u32),
+    term: TermId,
+}
+
+/// Evaluates each failing visit over two-warp candidate blocks, looking
+/// for a lane whose value differs between the warps (for branch claims,
+/// any two threads that disagree). Only threads satisfying the visit's
+/// path condition count.
+fn hunt(
+    t: &TermArena,
+    visits: &[Visit],
+    failing: &[bool],
+    dims: &[(u32, u32)],
+    params: &[u32],
+    memory: &GlobalMemory,
+    cross_warp_only: bool,
+) -> Option<Witness> {
+    let read = |addr: u64| memory.read_u32(addr);
+    for &(bx, by) in dims {
+        for (visit, fail) in visits.iter().zip(failing) {
+            if !fail {
+                continue;
+            }
+            let eval_at = |warp: u32, lane: u32| -> Option<u32> {
+                let ctx = EvalCtx {
+                    block: (bx, by),
+                    warp_size: 32,
+                    warp,
+                    lane,
+                    params,
+                    read_global: &read,
+                };
+                if t.eval(visit.path, &ctx)? == 0 {
+                    return None;
+                }
+                t.eval(visit.term, &ctx)
+            };
+            if cross_warp_only {
+                for lane in 0..32 {
+                    if let (Some(a), Some(b)) = (eval_at(0, lane), eval_at(1, lane)) {
+                        if a != b {
+                            return Some(Witness {
+                                block: (bx, by),
+                                lane,
+                                values: (a, b),
+                                term: visit.term,
+                            });
+                        }
+                    }
+                }
+            } else {
+                // Branch uniformity: any two threads of the TB disagreeing
+                // is divergence, including within one warp.
+                let mut first: Option<(u32, u32)> = None;
+                for warp in 0..2 {
+                    for lane in 0..32 {
+                        if let Some(v) = eval_at(warp, lane) {
+                            match first {
+                                None => first = Some((lane, v)),
+                                Some((l0, v0)) if v0 != v => {
+                                    return Some(Witness {
+                                        block: (bx, by),
+                                        lane: l0,
+                                        values: (v0, v),
+                                        term: visit.term,
+                                    });
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// True when the affine abstraction pins a *single concrete constant*
+/// for every thread. Plain `is_uniform` is not enough for a proof: the
+/// interval meet hulls different per-path constants at control-flow
+/// joins, so a non-exact "uniform" interval may still differ across
+/// warps that took different paths.
+fn exact_uniform(v: AffineVal) -> bool {
+    v.affine().is_some_and(|f| f.is_uniform() && f.is_exact())
+}
+
+/// True when the predicate's truth value is pinned by exact uniform
+/// operands — the same concrete comparison in every thread of every
+/// family launch.
+fn pred_exact_uniform(pv: affine::PredVal) -> bool {
+    match pv {
+        affine::PredVal::Cmp { lhs, rhs, .. } => exact_uniform(lhs) && exact_uniform(rhs),
+        _ => false,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn judge_value(
+    ck: &CompiledKernel,
+    pc: usize,
+    family: Family,
+    complete: bool,
+    t: &mut TermArena,
+    visits: &HashMap<usize, Vec<Visit>>,
+    aff_val: &[Option<AffineVal>],
+    reachable: &[bool],
+    ref_params: &[u32],
+    ref_memory: &GlobalMemory,
+    report: &mut Diagnostics,
+) -> Verdict {
+    if !reachable[pc] || family == Family::PromotedXY {
+        // Dead code proves anything; single-warp TBs have no second warp
+        // to diverge from.
+        return Verdict::Proved;
+    }
+    // Affine prover: launch-generic by construction. Only *exact*
+    // constants are proofs — the interval meet hulls different per-path
+    // constants at joins, so a non-exact a = b = 0 interval can still
+    // hide a warp-divergent value (e.g. a counter after a warp-dependent
+    // loop exit).
+    if let Some(av) = aff_val[pc] {
+        let affine_proof = match family {
+            Family::All => exact_uniform(av),
+            // a*tid.x + c with a pinned c is a lane function under the
+            // px promotion.
+            Family::PromotedX => av.affine().is_some_and(|f| f.b == 0 && f.is_exact()),
+            Family::PromotedXY => true,
+        };
+        if affine_proof {
+            return Verdict::Proved;
+        }
+    }
+    let allowed = family.allowed_value_deps();
+    let empty = Vec::new();
+    let vs = visits.get(&pc).unwrap_or(&empty);
+    let failing: Vec<bool> = vs.iter().map(|v| !t.deps(v.term).subset_of(allowed)).collect();
+    if complete && !failing.iter().any(|&f| f) {
+        // Every dynamic instance of this pc, on every path, is a function
+        // of the allowed sources only (or the pc never executes).
+        return Verdict::Proved;
+    }
+    // Attack: concrete candidate dims, then confirm through the oracle.
+    if let Some(w) = hunt(t, vs, &failing, family.candidate_dims(), ref_params, ref_memory, true) {
+        if let Some(confirming) = replay(ck, pc, w.block, ref_params, ref_memory) {
+            report.push(Diagnostic::new(
+                LintCode::DisprovedMarking,
+                Some(pc),
+                format!(
+                    "{} marking disproved for block ({},{}): lane {} sees {:#x} in warp 0 \
+                     but {:#x} in warp 1; value {}; counterexample confirmed by functional \
+                     replay ({confirming})",
+                    marking_name(ck, pc),
+                    w.block.0,
+                    w.block.1,
+                    w.lane,
+                    w.values.0,
+                    w.values.1,
+                    t.render(w.term),
+                ),
+            ));
+            return Verdict::Disproved;
+        }
+    }
+    let why = if complete {
+        let d = vs
+            .iter()
+            .zip(&failing)
+            .filter(|&(_, &f)| f)
+            .map(|(v, _)| t.deps(v.term))
+            .fold(Deps::NONE, Deps::union);
+        format!("value depends on {d} (allowed {})", allowed)
+    } else {
+        "symbolic execution budget exhausted before covering every path".to_string()
+    };
+    report.push(Diagnostic::new(
+        LintCode::UnprovableMarking,
+        Some(pc),
+        format!("{} marking not provable for {}: {why}", marking_name(ck, pc), family.describe(),),
+    ));
+    Verdict::Unknown
+}
+
+#[allow(clippy::too_many_arguments)]
+fn judge_branch(
+    pc: usize,
+    family: Family,
+    complete: bool,
+    t: &mut TermArena,
+    visits: &HashMap<usize, Vec<Visit>>,
+    aff_guard_uniform: &[bool],
+    reachable: &[bool],
+    ref_params: &[u32],
+    ref_memory: &GlobalMemory,
+    report: &mut Diagnostics,
+) -> Verdict {
+    if !reachable[pc] || family == Family::PromotedXY {
+        return Verdict::Proved;
+    }
+    if aff_guard_uniform[pc] {
+        return Verdict::Proved;
+    }
+    let empty = Vec::new();
+    let vs = visits.get(&pc).unwrap_or(&empty);
+    let failing: Vec<bool> = vs.iter().map(|v| !t.deps(v.term).is_empty()).collect();
+    if complete && !failing.iter().any(|&f| f) {
+        return Verdict::Proved;
+    }
+    let dims = family.candidate_dims();
+    if let Some(w) = hunt(t, vs, &failing, dims, ref_params, ref_memory, false) {
+        report.push(Diagnostic::new(
+            LintCode::BranchSyncViolation,
+            Some(pc),
+            format!(
+                "skippable branch diverges for block ({},{}): threads disagree on the \
+                 predicate ({} vs {}); condition {}",
+                w.block.0,
+                w.block.1,
+                w.values.0,
+                w.values.1,
+                t.render(w.term),
+            ),
+        ));
+        return Verdict::Disproved;
+    }
+    let why = if complete {
+        let d = vs
+            .iter()
+            .zip(&failing)
+            .filter(|&(_, &f)| f)
+            .map(|(v, _)| t.deps(v.term))
+            .fold(Deps::NONE, Deps::union);
+        format!("predicate depends on {d}")
+    } else {
+        "symbolic execution budget exhausted before covering every path".to_string()
+    };
+    report.push(Diagnostic::new(
+        LintCode::UnprovableMarking,
+        Some(pc),
+        format!("branch uniformity not provable for {}: {why}", family.describe()),
+    ));
+    Verdict::Unknown
+}
+
+/// Replays a candidate block shape through the differential oracle (the
+/// functional executor) and returns the confirming lint code when the
+/// oracle observes the same unsoundness at `pc`. This is the no-false-
+/// witness guarantee: an `S401` is only emitted for counterexamples the
+/// executor reproduces.
+fn replay(
+    ck: &CompiledKernel,
+    pc: usize,
+    block: (u32, u32),
+    params: &[u32],
+    memory: &GlobalMemory,
+) -> Option<&'static str> {
+    let launch = LaunchConfig::new(1u32, block)
+        .with_params(params.iter().map(|&w| Value(w)).collect::<Vec<Value>>());
+    let diags = oracle::check(ck, &launch, memory.clone());
+    for code in [LintCode::UnsoundMarking, LintCode::UnsoundPromotion] {
+        if diags.with_code(code).iter().any(|d| d.pc == Some(pc)) {
+            return Some(code.code());
+        }
+    }
+    None
+}
+
+fn marking_name(ck: &CompiledKernel, pc: usize) -> String {
+    match ck.markings[pc] {
+        Marking::Redundant => "DR".to_string(),
+        Marking::ConditionallyRedundant => "CR".to_string(),
+        Marking::Vector => format!("class {:?}/{:?}", ck.classes[pc].red, ck.classes[pc].pat),
+    }
+}
+
+/// [`prove`] specialized for the `verify_full` pipeline: validates the
+/// kernel's claims over the whole family of the given reference launch,
+/// using its memory image for counterexample evaluation.
+#[must_use]
+pub fn check(ck: &CompiledKernel, launch: &LaunchConfig, memory: &GlobalMemory) -> Diagnostics {
+    prove(ck, Some((launch, memory))).report
+}

@@ -1,0 +1,41 @@
+//! The lint registry and its documentation must agree: every code the
+//! verifier can emit appears as a row of the README lint table, and the
+//! `LintCode::ALL` registry itself is complete and free of duplicates.
+
+use simt_verify::LintCode;
+use std::collections::BTreeSet;
+
+fn readme() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+    std::fs::read_to_string(path).expect("README.md at the repository root")
+}
+
+/// Every registered lint code has a `| CODE |` row in the README table.
+#[test]
+fn every_lint_code_is_documented_in_the_readme() {
+    let text = readme();
+    for l in LintCode::ALL {
+        let row = format!("| {} |", l.code());
+        assert!(
+            text.contains(&row),
+            "lint {} ({}) has no row in the README lint table",
+            l.code(),
+            l.doc()
+        );
+    }
+}
+
+/// The registry is duplicate-free and its codes follow the band naming
+/// convention the docs rely on (`V...`, `P...`, `S...` + 3 digits).
+#[test]
+fn registry_codes_are_unique_and_well_formed() {
+    let mut seen = BTreeSet::new();
+    for l in LintCode::ALL {
+        let c = l.code();
+        assert!(seen.insert(c), "duplicate lint code {c}");
+        assert_eq!(c.len(), 4, "{c}: band letter + 3 digits");
+        assert!(matches!(c.as_bytes()[0], b'V' | b'P' | b'S'), "{c}: unknown band");
+        assert!(c[1..].bytes().all(|b| b.is_ascii_digit()), "{c}: digits after the band");
+        assert!(!l.doc().is_empty() && !l.pass().is_empty(), "{c}: missing docs");
+    }
+}

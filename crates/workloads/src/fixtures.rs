@@ -29,12 +29,21 @@
 //! | [`refine_branch_win`] | `V` | `DR` on the `v == 42` edge | skippable |
 //! | [`refine_affine_win`] | `CR` | `DR` (tid terms cancel) | skippable |
 //! | [`refine_tidy_win`] | `V` | `CRxy`, promoted by (8,4) | skippable |
+//!
+//! | Fixture | Expected prover verdict |
+//! |---|---|
+//! | [`symex_forged_dr`] | `S401` (forged DR on a warpid value, replay-confirmed) |
+//! | [`symex_lane_dr`] | clean (laneid chain; only the term domain proves it) |
+//! | [`symex_opaque_escape`] | `S402` (forged DR on an atomic result: no proof, no witness) |
+//! | [`symex_opaque_control`] | clean (same kernel, honest markings) |
+//! | [`symex_forged_uniform_branch`] | `S403` (forged uniform class on a `tid.x` branch) |
+//! | [`symex_uniform_branch`] | clean (genuinely uniform `ntid.x` branch) |
 
 use gpu_sim::GlobalMemory;
-use simt_compiler::{compile, CompiledKernel};
+use simt_compiler::{compile, AbsClass, CompiledKernel};
 use simt_isa::{
-    CmpOp, Dim3, Guard, Instruction, KernelBuilder, LaunchConfig, MemSpace, Op, Operand,
-    SpecialReg, Value,
+    AtomOp, CmpOp, Dim3, Guard, Instruction, KernelBuilder, LaunchConfig, Marking, MemSpace, Op,
+    Operand, SpecialReg, Value,
 };
 
 /// One race-detector fixture: a compiled kernel with its launch and
@@ -356,5 +365,121 @@ pub fn refinement() -> Vec<Fixture> {
         refine_branch_win(),
         refine_affine_win(),
         refine_tidy_win(),
+    ]
+}
+
+/// First instruction matching `pred` — for tampering one site of a
+/// compiled fixture.
+fn pc_of(ck: &CompiledKernel, pred: impl Fn(&Instruction) -> bool) -> usize {
+    ck.kernel.instrs.iter().position(pred).expect("fixture pattern present")
+}
+
+/// Forged DR marking the translation validator must *disprove*:
+/// `warpid + 5` genuinely differs between warps, so hand-upgrading its
+/// marking to `Redundant` is unsound for every launch with two warps.
+/// The prover owes an `S401` whose counterexample the functional
+/// executor confirms.
+#[must_use]
+pub fn symex_forged_dr() -> Fixture {
+    let mut b = KernelBuilder::new("symex_forged_dr");
+    let w = b.special(SpecialReg::WarpId);
+    let y = b.iadd(w, 5u32);
+    writeback(&mut b, y);
+    let mut fx = finish("symex_forged_dr", b);
+    let pc = pc_of(&fx.ck, |i| i.op == Op::IAdd && i.srcs.get(1) == Some(&Operand::Imm(5)));
+    fx.ck.markings[pc] = Marking::Redundant;
+    fx
+}
+
+/// The `S401` negative control, and the case where *only* the term
+/// domain can prove: `laneid * 2 + 5` is definitely redundant (the lane
+/// pattern repeats in every warp) but is not TB-uniform, so the affine
+/// fallback cannot discharge it — the deps ⊆ {laneid} rule must.
+#[must_use]
+pub fn symex_lane_dr() -> Fixture {
+    let mut b = KernelBuilder::new("symex_lane_dr");
+    let l = b.special(SpecialReg::LaneId);
+    let d = b.shl_imm(l, 1);
+    let y = b.iadd(d, 5u32);
+    writeback(&mut b, y);
+    finish("symex_lane_dr", b)
+}
+
+/// Forged DR on a value the term domain cannot see through: an atomic
+/// result is interleaving-dependent, so no proof exists — but neither
+/// does a concrete counterexample (the symbolic value never evaluates).
+/// The honest verdict is the conservative `S402`.
+#[must_use]
+pub fn symex_opaque_escape() -> Fixture {
+    let mut fx = symex_opaque_control();
+    let pc = pc_of(&fx.ck, |i| i.op == Op::IAdd && i.srcs.get(1) == Some(&Operand::Imm(0)));
+    fx.ck.kernel.name = "symex_opaque_escape".into();
+    fx.ck.markings[pc] = Marking::Redundant;
+    Fixture { name: "symex_opaque_escape", ..fx }
+}
+
+/// The `S402` negative control: the same atomic-result kernel with its
+/// honest `Vector` markings proves clean (the escape is never claimed
+/// redundant, so nothing is owed a proof).
+#[must_use]
+pub fn symex_opaque_control() -> Fixture {
+    let mut b = KernelBuilder::new("symex_opaque_control");
+    let out = b.param(0);
+    let h = b.atom(AtomOp::Add, out, 1u32);
+    let y = b.iadd(h, 0u32);
+    writeback(&mut b, y);
+    finish("symex_opaque_control", b)
+}
+
+/// Forged branch-sync claim: the branch predicate `tid.x < 8` diverges
+/// inside every warp wider than 8 lanes, so hand-upgrading the branch's
+/// class to uniform-redundant (the condition under which DARSIE skips
+/// re-fetching both paths) breaks the single-control-flow-history
+/// requirement. The prover owes an `S403` with concrete divergent
+/// threads.
+#[must_use]
+pub fn symex_forged_uniform_branch() -> Fixture {
+    let mut b = KernelBuilder::new("symex_forged_uniform_branch");
+    let t = b.special(SpecialReg::TidX);
+    let p = b.setp(CmpOp::Lt, t, 8u32);
+    let y = b.alloc();
+    b.mov_to(y, 0u32);
+    b.if_then(Guard::if_true(p), |b| {
+        b.iadd_to(y, y, 1u32);
+    });
+    writeback(&mut b, y);
+    let mut fx = finish("symex_forged_uniform_branch", b);
+    let pc = pc_of(&fx.ck, |i| matches!(i.op, Op::Bra { .. }) && i.guard.is_some());
+    fx.ck.classes[pc] = AbsClass::UNIFORM;
+    fx
+}
+
+/// The `S403` negative control: the same shape branching on `ntid.x`,
+/// which every thread of every launch agrees on; the analysis itself
+/// classes the branch uniform and the prover must concur.
+#[must_use]
+pub fn symex_uniform_branch() -> Fixture {
+    let mut b = KernelBuilder::new("symex_uniform_branch");
+    let n = b.special(SpecialReg::NtidX);
+    let p = b.setp(CmpOp::Lt, n, 100u32);
+    let y = b.alloc();
+    b.mov_to(y, 0u32);
+    b.if_then(Guard::if_true(p), |b| {
+        b.iadd_to(y, y, 1u32);
+    });
+    writeback(&mut b, y);
+    finish("symex_uniform_branch", b)
+}
+
+/// The translation-validation fixtures, in documentation order.
+#[must_use]
+pub fn symex() -> Vec<Fixture> {
+    vec![
+        symex_forged_dr(),
+        symex_lane_dr(),
+        symex_opaque_escape(),
+        symex_opaque_control(),
+        symex_forged_uniform_branch(),
+        symex_uniform_branch(),
     ]
 }
