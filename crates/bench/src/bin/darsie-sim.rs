@@ -8,6 +8,7 @@
 //! darsie-sim verify [ABBR ...] [--workload NAME] [--scale test|eval] [--json]
 //! darsie-sim analyze [ABBR ...] [--workload NAME] [--scale test|eval] [--json]
 //! darsie-sim prove [ABBR ...] [--workload NAME] [--scale test|eval] [--json]
+//! darsie-sim profile [ABBR ...] [--workload NAME] [--scale test|eval] [--json] [--perfetto PATH]
 //! darsie-sim lints [--json]
 //! ```
 //!
@@ -34,6 +35,16 @@
 //! reports per-workload proved/disproved/unknown counts. It exits
 //! non-zero on any disproof (`S401`) or branch-sync violation (`S403`).
 //!
+//! The `profile` subcommand runs each selected workload under the
+//! baseline and DARSIE with cycle-accounted profiling: every issue slot
+//! of every cycle is attributed to exactly one stall cause, and the
+//! accounting identity (`Σ causes == cycles × schedulers × issue_width`)
+//! is checked on every run — a violation exits non-zero. The report
+//! breaks slots down by cause, lists the hottest PCs, and summarizes
+//! leader-election latency and DARSIE structure occupancy. With
+//! `--perfetto PATH` the DARSIE run's pipeline events are written as
+//! Chrome trace-event JSON loadable in <https://ui.perfetto.dev>.
+//!
 //! The `lints` subcommand prints the registry of every lint the verifier
 //! can emit — code, severity, producing pass and a one-line description —
 //! generated from the `LintCode` enum itself so it can never go stale.
@@ -52,6 +63,8 @@ fn usage() -> ! {
          darsie-sim verify [ABBR ...] [--workload NAME] [--scale test|eval] [--json]   |   \
          darsie-sim analyze [ABBR ...] [--workload NAME] [--scale test|eval] [--json]   |   \
          darsie-sim prove [ABBR ...] [--workload NAME] [--scale test|eval] [--json]   |   \
+         darsie-sim profile [ABBR ...] [--workload NAME] [--scale test|eval] [--json] \
+         [--perfetto PATH]   |   \
          darsie-sim lints [--json]\n\
          options:\n\
            --technique base|uv|dac|darsie|darsie-ignore-store|darsie-no-cf-sync|silicon-sync\n\
@@ -61,6 +74,7 @@ fn usage() -> ! {
            --skip-entries N         (default 8)\n\
            --rename-regs N          (default 32)\n\
            --skip-ports N           (default 2)\n\
+           --max-leader-stall N     (default 64)\n\
            --trace N                print the first N pipeline events\n\
            --no-validate            skip the CPU-reference check"
     );
@@ -532,6 +546,215 @@ fn analyze_command(args: &[String]) {
     }
 }
 
+/// Serializes one technique's profile (plus the run's headline stats) as
+/// a JSON object; returns the record and whether the accounting identity
+/// held.
+fn profile_record_json(
+    technique: &Technique,
+    r: &gpu_sim::SimResult,
+    prof: &gpu_sim::SimProfile,
+) -> (String, bool) {
+    let slots = prof.slots();
+    let reused = r.stats.instrs_reused.total();
+    let skipped = r.stats.instrs_skipped.total();
+    // Two checks gate `identity_ok`: per-SM slot balance, and the
+    // cross-check that `issued` slots equal the instructions the
+    // simulator says it executed or reused.
+    let balanced = prof.check_identity().is_ok();
+    let crosscheck = slots.get(gpu_sim::StallCause::Issued) == r.stats.instrs_executed + reused;
+    let ok = balanced && crosscheck;
+
+    let slot_fields: Vec<String> =
+        slots.iter().map(|(c, n)| format!("\"{}\":{n}", c.label())).collect();
+
+    // Hot PCs: top 5 by total slot involvement (issued + skipped + blamed
+    // stalls).
+    let per_pc = prof.per_pc();
+    let mut hot: Vec<(usize, &gpu_sim::PcProfile)> =
+        per_pc.iter().map(|(&pc, p)| (pc, p)).collect();
+    hot.sort_by_key(|(pc, p)| (std::cmp::Reverse(p.issued + p.skipped + p.stalls.total()), *pc));
+    let hot_fields: Vec<String> = hot
+        .iter()
+        .take(5)
+        .map(|(pc, p)| {
+            let (top_cause, _) = p
+                .stalls
+                .iter()
+                .filter(|&(c, _)| c != gpu_sim::StallCause::Issued)
+                .max_by_key(|&(_, n)| n)
+                .unwrap_or((gpu_sim::StallCause::IdleNoWarp, 0));
+            format!(
+                "{{\"pc\":{pc},\"issued\":{},\"skipped\":{},\"stall_slots\":{},\
+                 \"top_stall\":\"{}\"}}",
+                p.issued,
+                p.skipped,
+                p.stalls.total(),
+                top_cause.label()
+            )
+        })
+        .collect();
+
+    let hist = prof.leader_latency();
+    let buckets: Vec<String> = hist.buckets().iter().map(u64::to_string).collect();
+
+    let (mut samples, mut dropped) = (0u64, 0u64);
+    let (mut peak_skip, mut peak_vers, mut peak_wait) = (0u32, 0u32, 0u32);
+    for sm in &prof.sms {
+        samples += sm.samples.len() as u64;
+        dropped += sm.samples_dropped;
+        for s in &sm.samples {
+            peak_skip = peak_skip.max(s.skip_entries);
+            peak_vers = peak_vers.max(s.live_versions);
+            peak_wait = peak_wait.max(s.waiting_warps);
+        }
+    }
+
+    let d = &r.stats.darsie;
+    let record = format!(
+        "{{\"technique\":\"{}\",\"cycles\":{},\"issue_slots\":{},\"identity_ok\":{ok},\
+         \"slots\":{{{}}},\"executed\":{},\"reused\":{reused},\"skipped\":{skipped},\
+         \"hot_pcs\":[{}],\
+         \"leader_latency\":{{\"count\":{},\"buckets\":[{}]}},\
+         \"occupancy\":{{\"samples\":{samples},\"dropped\":{dropped},\
+         \"peak_skip_entries\":{peak_skip},\"peak_live_versions\":{peak_vers},\
+         \"peak_waiting_warps\":{peak_wait}}},\
+         \"darsie\":{{\"leaders_elected\":{},\"instructions_skipped\":{},\
+         \"leader_giveups\":{},\"wait_for_leader_cycles\":{},\"branch_sync_cycles\":{}}},\
+         \"trace_dropped\":{}}}",
+        technique.label(),
+        r.cycles,
+        prof.issue_slots(),
+        slot_fields.join(","),
+        r.stats.instrs_executed,
+        hot_fields.join(","),
+        hist.count(),
+        buckets.join(","),
+        d.leaders_elected,
+        d.instructions_skipped,
+        d.leader_giveups,
+        d.wait_for_leader_cycles,
+        d.branch_sync_cycles,
+        r.events.dropped,
+    );
+    (record, ok)
+}
+
+/// The Perfetto output path for one workload: the user's path verbatim
+/// for a single-workload run, `stem-ABBR.ext` otherwise.
+fn perfetto_path(base: &str, abbr: &str, single: bool) -> String {
+    if single {
+        return base.to_string();
+    }
+    match base.rfind('.') {
+        Some(dot) if dot > base.rfind('/').map_or(0, |s| s + 1) => {
+            format!("{}-{}{}", &base[..dot], abbr, &base[dot..])
+        }
+        _ => format!("{base}-{abbr}"),
+    }
+}
+
+/// `darsie-sim profile`: run each selected workload under Base and DARSIE
+/// with cycle-accounted profiling on, and report where every issue slot
+/// went. Exits 1 when any run violates the accounting identity
+/// (`Σ slot causes == cycles × schedulers × issue_width`, and
+/// `issued == executed + reused`). With `--perfetto PATH`, also writes a
+/// Chrome trace-event JSON of the DARSIE run's pipeline events.
+fn profile_command(args: &[String]) {
+    let mut perfetto: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--perfetto" {
+            perfetto = Some(it.next().cloned().unwrap_or_else(|| usage()));
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    let SubcommandArgs { json, selected } = parse_subcommand_args(&rest);
+    let single = selected.len() == 1;
+
+    let mut violations = 0usize;
+    let mut records: Vec<String> = Vec::new();
+    for w in &selected {
+        let mut tech_records: Vec<String> = Vec::new();
+        for technique in [Technique::Base, Technique::darsie()] {
+            let is_darsie = matches!(technique, Technique::Darsie(_));
+            let trace = perfetto.is_some() && is_darsie;
+            let cfg = GpuConfig {
+                profile: true,
+                shadow_check: false,
+                trace_events: trace,
+                ..GpuConfig::test_small()
+            };
+            let r = w.run_unchecked(&cfg, technique.clone());
+            let prof = r.profile.as_ref().expect("profiling was enabled");
+            let (record, ok) = profile_record_json(&technique, &r, prof);
+            if !ok {
+                violations += 1;
+            }
+            if json {
+                tech_records.push(record);
+            } else {
+                let slots = prof.slots();
+                let total = slots.total().max(1);
+                println!(
+                    "profile {:8} {:12} {:>9} cycles, {:>11} issue slots{}",
+                    w.abbr,
+                    technique.label(),
+                    r.cycles,
+                    prof.issue_slots(),
+                    if ok { "" } else { "  IDENTITY VIOLATION" }
+                );
+                for (cause, n) in slots.iter().filter(|&(_, n)| n > 0) {
+                    println!(
+                        "    {:18} {:>11}  ({:5.1}%)",
+                        cause.label(),
+                        n,
+                        100.0 * n as f64 / total as f64
+                    );
+                }
+                let hist = prof.leader_latency();
+                if hist.count() > 0 {
+                    println!("    leader latency     {:>11} samples", hist.count());
+                }
+            }
+            if trace {
+                let path =
+                    perfetto_path(perfetto.as_deref().expect("perfetto path set"), w.abbr, single);
+                let json_trace = gpu_sim::chrome_trace_json(&r.events, Some(prof));
+                if let Err(e) = std::fs::write(&path, json_trace) {
+                    eprintln!("cannot write perfetto trace {path}: {e}");
+                    std::process::exit(1);
+                }
+                if !json {
+                    println!("    perfetto trace     {path}");
+                }
+            }
+        }
+        if json {
+            records.push(format!(
+                "{{\"abbr\":\"{}\",\"kernel\":\"{}\",\"techniques\":[{}]}}",
+                json_escape(w.abbr),
+                json_escape(&w.ck.kernel.name),
+                tech_records.join(",")
+            ));
+        }
+    }
+    if json {
+        println!(
+            "{{\"workloads\":[{}],\"totals\":{{\"workloads\":{},\
+             \"identity_violations\":{violations}}}}}",
+            records.join(","),
+            selected.len()
+        );
+    } else {
+        println!("profiled {} workload(s): {violations} identity violation(s)", selected.len());
+    }
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--list") {
@@ -557,6 +780,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("prove") {
         prove_command(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("profile") {
+        profile_command(&args[1..]);
         return;
     }
     if args.first().map(String::as_str) == Some("lints") {
@@ -599,6 +826,9 @@ fn main() {
                 dcfg.rename_regs_per_tb = next().parse().unwrap_or_else(|_| usage());
             }
             "--skip-ports" => dcfg.skip_table_ports = next().parse().unwrap_or_else(|_| usage()),
+            "--max-leader-stall" => {
+                dcfg.max_leader_stall = next().parse().unwrap_or_else(|_| usage());
+            }
             "--no-validate" => validate = false,
             "--trace" => trace = next().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
@@ -625,7 +855,7 @@ fn main() {
     };
 
     let start = std::time::Instant::now();
-    let r = if validate {
+    let mut r = if validate {
         w.run(&cfg, technique.clone())
     } else {
         w.run_unchecked(&cfg, technique.clone())
@@ -671,6 +901,7 @@ fn main() {
         println!("  wait-for-leader cyc  {:>12}", s.darsie.wait_for_leader_cycles);
         println!("  branch-sync cyc      {:>12}", s.darsie.branch_sync_cycles);
         println!("  freelist stalls      {:>12}", s.darsie.freelist_stalls);
+        println!("  leader give-ups      {:>12}", s.darsie.leader_giveups);
     }
     let e = EnergyModel::with_sms(sms).evaluate(s);
     println!(

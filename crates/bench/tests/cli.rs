@@ -213,7 +213,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> String {
 /// abbreviations so the caller never has to guess.
 #[test]
 fn unknown_workload_name_fails_and_lists_valid_names() {
-    for sub in ["verify", "analyze", "prove"] {
+    for sub in ["verify", "analyze", "prove", "profile"] {
         let (code, _, err) = run(&[sub, "--workload", "nosuch"]);
         assert_eq!(code, Some(2), "{sub}: exit code");
         assert!(err.contains("unknown workload `nosuch`"), "{sub}: {err}");
@@ -226,7 +226,7 @@ fn unknown_workload_name_fails_and_lists_valid_names() {
 /// Positional abbreviations get the same treatment.
 #[test]
 fn unknown_positional_abbr_fails_and_lists_valid_names() {
-    for sub in ["verify", "analyze", "prove"] {
+    for sub in ["verify", "analyze", "prove", "profile"] {
         let (code, _, err) = run(&[sub, "NOSUCH"]);
         assert_eq!(code, Some(2), "{sub}: exit code");
         assert!(err.contains("unknown benchmark `NOSUCH`"), "{sub}: {err}");
@@ -314,6 +314,128 @@ fn prove_json_schema() {
     assert!(doc.get("total_proved").num() > 0.0);
     assert_eq!(doc.get("total_disproved").num(), 0.0);
     assert_eq!(doc.get("total_unknown").num(), 0.0);
+}
+
+/// Golden schema for `profile --json`, plus the headline invariant: the
+/// slot counts sum to exactly `cycles × schedulers × issue_width` (the
+/// accounting identity) and the document says so via `identity_ok`.
+#[test]
+fn profile_json_schema() {
+    let (code, out, _) = run(&["profile", "BIN", "--scale", "test", "--json"]);
+    assert_eq!(code, Some(0));
+    let doc = Json::parse(out.trim());
+    let ws = doc.get("workloads").arr();
+    assert_eq!(ws.len(), 1);
+    let w = &ws[0];
+    assert_eq!(w.get("abbr").str(), "BIN");
+    assert!(!w.get("kernel").str().is_empty());
+    let techs = w.get("techniques").arr();
+    assert_eq!(techs.len(), 2, "Base and DARSIE");
+    let labels: Vec<&str> = techs.iter().map(|t| t.get("technique").str()).collect();
+    assert_eq!(labels, ["BASE", "DARSIE"]);
+    for t in techs {
+        assert!(t.get("identity_ok").bool());
+        let slots = match t.get("slots") {
+            Json::Obj(m) => m,
+            other => panic!("expected slots object, got {other:?}"),
+        };
+        assert_eq!(slots.len(), 12, "one key per stall cause");
+        for key in [
+            "issued",
+            "skipped_by_darsie",
+            "scoreboard",
+            "operand_collector",
+            "exec_unit_busy",
+            "lsu_queue",
+            "ibuffer_empty",
+            "wait_leader",
+            "branch_sync",
+            "barrier",
+            "majority_evict",
+            "idle_no_warp",
+        ] {
+            assert!(slots.contains_key(key), "missing slot cause `{key}`");
+        }
+        let sum: f64 = slots.values().map(Json::num).sum();
+        assert_eq!(sum, t.get("issue_slots").num(), "accounting identity in the document");
+        assert_eq!(
+            t.get("slots").get("issued").num(),
+            t.get("executed").num() + t.get("reused").num(),
+            "issued slots cross-check"
+        );
+        for h in t.get("hot_pcs").arr() {
+            h.get("pc").num();
+            h.get("issued").num();
+            h.get("skipped").num();
+            h.get("stall_slots").num();
+            h.get("top_stall").str();
+        }
+        let lat = t.get("leader_latency");
+        lat.get("count").num();
+        assert_eq!(lat.get("buckets").arr().len(), 16);
+        let occ = t.get("occupancy");
+        occ.get("samples").num();
+        occ.get("dropped").num();
+        occ.get("peak_skip_entries").num();
+        occ.get("peak_live_versions").num();
+        occ.get("peak_waiting_warps").num();
+        let d = t.get("darsie");
+        d.get("leaders_elected").num();
+        d.get("instructions_skipped").num();
+        d.get("leader_giveups").num();
+        t.get("trace_dropped").num();
+    }
+    // DARSIE actually skips on BIN: the slots and counters show it.
+    let dars = &techs[1];
+    assert!(dars.get("slots").get("skipped_by_darsie").num() > 0.0);
+    assert!(dars.get("darsie").get("leaders_elected").num() > 0.0);
+    let t = doc.get("totals");
+    assert_eq!(t.get("workloads").num(), 1.0);
+    assert_eq!(t.get("identity_violations").num(), 0.0);
+}
+
+/// `profile --perfetto` writes a valid Chrome trace-event document:
+/// round-trip parse it and check the event structure Perfetto requires.
+#[test]
+fn profile_perfetto_trace_round_trips() {
+    let dir = std::env::temp_dir().join("darsie-sim-perfetto-test");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("bin.trace.json");
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let (code, _, err) =
+        run(&["profile", "BIN", "--scale", "test", "--json", "--perfetto", path_str]);
+    assert_eq!(code, Some(0), "{err}");
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    std::fs::remove_file(&path).ok();
+    let doc = Json::parse(text.trim());
+    let evs = doc.get("traceEvents").arr();
+    assert!(!evs.is_empty(), "trace has events");
+    let mut complete = 0usize;
+    let mut meta = 0usize;
+    for e in evs {
+        match e.get("ph").str() {
+            "X" => {
+                complete += 1;
+                e.get("ts").num();
+                e.get("dur").num();
+                e.get("pid").num();
+                e.get("tid").num();
+                assert!(!e.get("name").str().is_empty());
+                e.get("args").get("pc").num();
+            }
+            "M" => {
+                meta += 1;
+                assert!(!e.get("args").get("name").str().is_empty());
+            }
+            "C" => {
+                e.get("args").get("skip_entries").num();
+            }
+            other => panic!("unexpected phase `{other}`"),
+        }
+    }
+    assert!(complete > 0, "at least one complete event");
+    assert!(meta > 0, "process/thread name metadata present");
+    doc.get("otherData").get("dropped_events").num();
 }
 
 /// Golden schema for `lints --json`: one row per `LintCode` variant with

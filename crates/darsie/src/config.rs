@@ -16,6 +16,11 @@ pub struct DarsieConfig {
     /// Maximum redundant instructions one warp can skip per cycle (each
     /// skip is a `pc += 8`; bounded by the adders of Figure 7).
     pub max_skips_per_warp_cycle: usize,
+    /// Cycles a would-be leader waits for skip-table/renaming resources
+    /// before giving up and executing the (redundant) instruction
+    /// normally. Give-ups are counted in
+    /// [`DarsieStats::leader_giveups`](crate::DarsieStats::leader_giveups).
+    pub max_leader_stall: u32,
     /// Do not invalidate load entries when stores execute
     /// (the paper's `DARSIE-IGNORE-STORE` variant, Figure 8).
     pub ignore_store: bool,
@@ -35,6 +40,7 @@ impl Default for DarsieConfig {
             rename_regs_per_tb: 32,
             skip_table_ports: 2,
             max_skips_per_warp_cycle: 4,
+            max_leader_stall: 64,
             ignore_store: false,
             no_cf_sync: false,
             versioning: true,
@@ -72,6 +78,7 @@ mod tests {
         assert_eq!(c.skip_entries_per_tb, 8);
         assert_eq!(c.rename_regs_per_tb, 32);
         assert_eq!(c.skip_table_ports, 2);
+        assert_eq!(c.max_leader_stall, 64);
         assert!(!c.ignore_store);
         assert!(!c.no_cf_sync);
         assert!(c.versioning);

@@ -45,6 +45,9 @@ pub struct SkipEntry {
     pub passed_mask: WarpMask,
     /// LRU timestamp.
     pub last_use: u64,
+    /// Cycle the entry was created (leader elected); the profiler's
+    /// leader-election latency is writeback time minus this.
+    pub created: u64,
 }
 
 /// Result of probing the table when a warp's next fetch PC is skippable.
@@ -71,6 +74,12 @@ impl SkipTable {
     #[must_use]
     pub fn new(capacity: usize) -> SkipTable {
         SkipTable { capacity, entries: Vec::with_capacity(capacity) }
+    }
+
+    /// The configured capacity of this bank.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Current number of live entries.
@@ -154,6 +163,7 @@ impl SkipTable {
             waiting_mask: 0,
             passed_mask: 1 << warp,
             last_use: now,
+            created: now,
         });
         stats.leaders_elected += 1;
         true

@@ -22,6 +22,10 @@ pub struct DarsieStats {
     pub version_allocations: u64,
     /// Leader elections that failed because the freelist was empty.
     pub freelist_stalls: u64,
+    /// Would-be leaders that exhausted the bounded stall
+    /// (`max_leader_stall`) and executed the redundant instruction
+    /// normally instead of leading.
+    pub leader_giveups: u64,
     /// Probes coalesced onto an already-granted PC this cycle.
     pub coalesced_probes: u64,
     /// Probes rejected for lack of skip-table ports (retried next cycle).
@@ -49,6 +53,7 @@ impl DarsieStats {
         self.rename_reads += other.rename_reads;
         self.version_allocations += other.version_allocations;
         self.freelist_stalls += other.freelist_stalls;
+        self.leader_giveups += other.leader_giveups;
         self.coalesced_probes += other.coalesced_probes;
         self.coalescer_rejections += other.coalescer_rejections;
         self.wait_for_leader_cycles += other.wait_for_leader_cycles;

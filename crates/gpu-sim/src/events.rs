@@ -1,12 +1,18 @@
 //! Pipeline event tracing: an optional per-cycle record of what the SMs
 //! did, for debugging kernels and inspecting the DARSIE protocol in
 //! action. Enabled with [`GpuConfig::trace_events`]; events come back in
-//! [`SimResult::events`](crate::SimResult) ordered by cycle.
+//! [`SimResult::events`](crate::SimResult) ordered by cycle, and export to
+//! Chrome trace-event JSON via [`crate::perfetto`].
 //!
-//! Tracing is meant for small runs (every event is a heap record).
+//! The log is a bounded ring: it keeps the **last**
+//! [`GpuConfig::trace_capacity`](crate::GpuConfig::trace_capacity) events
+//! and counts everything older in [`EventLog::dropped`], so long runs cost
+//! bounded memory. With tracing disabled no event is ever constructed
+//! (call sites gate on the flag before building a [`PipeEvent`]).
 //!
 //! [`GpuConfig::trace_events`]: crate::GpuConfig::trace_events
 
+use std::collections::VecDeque;
 use std::fmt;
 
 /// One pipeline event.
@@ -61,51 +67,72 @@ impl fmt::Display for PipeEvent {
     }
 }
 
-/// A bounded event buffer (keeps the first `capacity` events; counts the
-/// rest so callers know the trace was truncated).
+/// A bounded ring buffer of events: keeps the most recent `capacity`
+/// events and counts everything displaced in [`EventLog::dropped`].
 #[derive(Debug, Clone, Default)]
 pub struct EventLog {
-    events: Vec<PipeEvent>,
+    events: VecDeque<PipeEvent>,
     capacity: usize,
-    /// Events dropped after the buffer filled.
+    /// Events dropped (displaced from the ring, or pushed with zero
+    /// capacity).
     pub dropped: u64,
 }
 
 impl EventLog {
-    /// A log keeping at most `capacity` events.
+    /// A ring keeping at most `capacity` events.
     #[must_use]
     pub fn new(capacity: usize) -> EventLog {
-        EventLog { events: Vec::new(), capacity, dropped: 0 }
+        EventLog { events: VecDeque::new(), capacity, dropped: 0 }
     }
 
-    /// Records one event.
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records one event, displacing the oldest when full.
     pub fn push(&mut self, e: PipeEvent) {
-        if self.events.len() < self.capacity {
-            self.events.push(e);
-        } else {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
             self.dropped += 1;
         }
+        self.events.push_back(e);
     }
 
-    /// The recorded events.
+    /// The recorded events, oldest first, as one slice.
     #[must_use]
-    pub fn events(&self) -> &[PipeEvent] {
-        &self.events
+    pub fn events(&mut self) -> &[PipeEvent] {
+        self.events.make_contiguous()
+    }
+
+    /// Iterates the recorded events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &PipeEvent> {
+        self.events.iter()
     }
 
     /// Consumes the log.
     #[must_use]
     pub fn into_events(self) -> Vec<PipeEvent> {
-        self.events
+        self.events.into()
     }
 
-    /// Merges another log (stable by cycle).
+    /// Merges another log, sorts by cycle, and re-applies this ring's
+    /// capacity (keeping the most recent events).
     pub fn merge(&mut self, other: EventLog) {
         self.dropped += other.dropped;
-        for e in other.events {
-            self.push(e);
+        let mut all: Vec<PipeEvent> = self.events.drain(..).chain(other.events).collect();
+        all.sort_by_key(|e| e.cycle);
+        if all.len() > self.capacity {
+            let excess = all.len() - self.capacity;
+            all.drain(..excess);
+            self.dropped += excess as u64;
         }
-        self.events.sort_by_key(|e| e.cycle);
+        self.events = all.into();
     }
 
     /// Number of recorded events.
@@ -140,6 +167,25 @@ mod tests {
     }
 
     #[test]
+    fn ring_keeps_the_most_recent_events() {
+        let mut log = EventLog::new(2);
+        for c in 1..=5 {
+            log.push(ev(c, EventKind::Issue));
+        }
+        let cycles: Vec<u64> = log.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![4, 5], "oldest displaced first");
+        assert_eq!(log.dropped, 3);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing_but_counts() {
+        let mut log = EventLog::new(0);
+        log.push(ev(1, EventKind::Fetch));
+        assert!(log.is_empty());
+        assert_eq!(log.dropped, 1);
+    }
+
+    #[test]
     fn merge_sorts_by_cycle() {
         let mut a = EventLog::new(10);
         a.push(ev(5, EventKind::Issue));
@@ -148,6 +194,20 @@ mod tests {
         a.merge(b);
         assert_eq!(a.events()[0].cycle, 1);
         assert_eq!(a.events()[1].cycle, 5);
+    }
+
+    #[test]
+    fn merge_reapplies_capacity_keeping_latest() {
+        let mut a = EventLog::new(2);
+        a.push(ev(5, EventKind::Issue));
+        a.push(ev(7, EventKind::Issue));
+        let mut b = EventLog::new(2);
+        b.push(ev(1, EventKind::Fetch));
+        b.push(ev(9, EventKind::Writeback));
+        a.merge(b);
+        let cycles: Vec<u64> = a.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![7, 9]);
+        assert_eq!(a.dropped, 2);
     }
 
     #[test]

@@ -20,6 +20,9 @@ pub struct SimResult {
     pub memory: GlobalMemory,
     /// Pipeline trace (empty unless [`GpuConfig::trace_events`]).
     pub events: crate::events::EventLog,
+    /// Cycle-accounted profile, one entry per SM (`None` unless
+    /// [`GpuConfig::profile`]).
+    pub profile: Option<crate::profile::SimProfile>,
 }
 
 /// The whole GPU: `num_sms` SMs sharing L2, DRAM and global memory.
@@ -129,10 +132,16 @@ impl Gpu {
         }
 
         let mut stats = SimStats::default();
-        let mut events = crate::events::EventLog::new(200_000);
+        let mut events = crate::events::EventLog::new(self.cfg.trace_capacity);
+        let mut profile = self.cfg.profile.then(crate::profile::SimProfile::default);
         for sm in &mut sms {
             stats.merge(&sm.stats);
             events.merge(std::mem::take(&mut sm.events));
+            if let Some(p) = profile.as_mut() {
+                let smp = std::mem::take(&mut sm.profile);
+                debug_assert_eq!(smp.check_identity(), Ok(()), "SM {} accounting", smp.sm);
+                p.sms.push(smp);
+            }
         }
         stats.cycles = now;
         assert_eq!(
@@ -140,7 +149,7 @@ impl Gpu {
             "dispatcher lost threadblocks in {}",
             ck.kernel.name
         );
-        SimResult { cycles: now, stats, memory: global, events }
+        SimResult { cycles: now, stats, memory: global, events, profile }
     }
 }
 

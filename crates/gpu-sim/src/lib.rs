@@ -61,6 +61,8 @@ pub mod functional;
 pub mod gpu;
 pub mod mem;
 pub mod occupancy;
+pub mod perfetto;
+pub mod profile;
 pub mod reuse;
 pub mod sm;
 pub mod stats;
@@ -77,6 +79,11 @@ pub use functional::{
 pub use gpu::{Gpu, SimResult};
 pub use mem::GlobalMemory;
 pub use occupancy::{occupancy, Limiter, Occupancy};
+pub use perfetto::chrome_trace_json;
+pub use profile::{
+    LatencyHist, OccupancySample, PcProfile, SimProfile, SlotCounts, SmProfile, StallCause,
+    WarpSlotProfile,
+};
 pub use stats::{PcMemStat, SimStats, TaxonomyCounts};
 pub use tracer::{trace_redundancy, RedundancyTrace};
 pub use warp::Warp;

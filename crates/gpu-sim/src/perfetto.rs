@@ -1,0 +1,136 @@
+//! Chrome trace-event JSON export of a pipeline trace, loadable in
+//! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! The mapping: one *process* per SM, one *thread* per warp slot. Every
+//! [`PipeEvent`] becomes a complete event (`ph: "X"`) with `ts` = cycle
+//! and `dur` = 1, so a warp's lifetime reads as a row of labelled
+//! single-cycle blocks. When a profile is supplied, its occupancy samples
+//! become counter tracks (`ph: "C"`) per SM. Dropped-event counts land in
+//! `otherData` so a truncated ring is visible in the UI.
+//!
+//! The emitter is hand-rolled `format!` JSON like the rest of the
+//! workspace (no serde); the output is plain ASCII.
+
+use crate::events::{EventLog, PipeEvent};
+use crate::profile::SimProfile;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Renders `events` (and, when given, `profile` occupancy counters) as a
+/// Chrome trace-event JSON object.
+#[must_use]
+pub fn chrome_trace_json(events: &EventLog, profile: Option<&SimProfile>) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |out: &mut String, s: String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(&s);
+    };
+
+    // Metadata: name each SM process and each warp thread that appears.
+    let mut sms: BTreeSet<usize> = BTreeSet::new();
+    let mut warps: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for e in events.iter() {
+        sms.insert(e.sm);
+        warps.insert((e.sm, e.warp));
+    }
+    if let Some(p) = profile {
+        for smp in &p.sms {
+            if !smp.samples.is_empty() {
+                sms.insert(smp.sm);
+            }
+        }
+    }
+    for &sm in &sms {
+        emit(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{sm},\
+                 \"args\":{{\"name\":\"SM {sm}\"}}}}"
+            ),
+        );
+    }
+    for &(sm, warp) in &warps {
+        emit(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{sm},\"tid\":{warp},\
+                 \"args\":{{\"name\":\"warp {warp}\"}}}}"
+            ),
+        );
+    }
+
+    for e in events.iter() {
+        emit(&mut out, complete_event(e));
+    }
+
+    if let Some(p) = profile {
+        for smp in &p.sms {
+            for s in &smp.samples {
+                emit(
+                    &mut out,
+                    format!(
+                        "{{\"ph\":\"C\",\"name\":\"darsie occupancy\",\"pid\":{},\"ts\":{},\
+                         \"args\":{{\"skip_entries\":{},\"live_versions\":{},\
+                         \"waiting_warps\":{}}}}}",
+                        smp.sm, s.cycle, s.skip_entries, s.live_versions, s.waiting_warps
+                    ),
+                );
+            }
+        }
+    }
+
+    let _ = write!(out, "],\"otherData\":{{\"dropped_events\":{}}}}}", events.dropped);
+    out
+}
+
+fn complete_event(e: &PipeEvent) -> String {
+    format!(
+        "{{\"ph\":\"X\",\"name\":\"{:?}\",\"cat\":\"pipeline\",\"ts\":{},\"dur\":1,\
+         \"pid\":{},\"tid\":{},\"args\":{{\"pc\":{}}}}}",
+        e.kind, e.cycle, e.sm, e.warp, e.pc
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventKind;
+    use crate::profile::{OccupancySample, SmProfile};
+
+    #[test]
+    fn trace_has_metadata_events_and_drop_count() {
+        let mut log = EventLog::new(4);
+        log.push(PipeEvent { cycle: 3, sm: 0, warp: 1, pc: 7, kind: EventKind::Issue });
+        log.push(PipeEvent { cycle: 4, sm: 0, warp: 1, pc: 8, kind: EventKind::Skip });
+        let json = chrome_trace_json(&log, None);
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"ph\":\"M\""), "process/thread names: {json}");
+        assert!(json.contains("\"name\":\"SM 0\""), "{json}");
+        assert!(json.contains("\"ph\":\"X\",\"name\":\"Issue\""), "{json}");
+        assert!(json.contains("\"ts\":3"), "{json}");
+        assert!(json.contains("\"dropped_events\":0"), "{json}");
+    }
+
+    #[test]
+    fn profile_samples_become_counters() {
+        let log = EventLog::new(0);
+        let mut smp = SmProfile::new(2, 8, 4);
+        smp.samples.push(OccupancySample {
+            cycle: 256,
+            skip_entries: 3,
+            skip_capacity: 8,
+            live_versions: 5,
+            rename_capacity: 32,
+            resident_warps: 8,
+            waiting_warps: 2,
+        });
+        let prof = SimProfile { sms: vec![smp] };
+        let json = chrome_trace_json(&log, Some(&prof));
+        assert!(json.contains("\"ph\":\"C\""), "{json}");
+        assert!(json.contains("\"skip_entries\":3"), "{json}");
+        assert!(json.contains("\"pid\":2"), "{json}");
+    }
+}

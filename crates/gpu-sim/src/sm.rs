@@ -6,6 +6,7 @@ use crate::config::{GpuConfig, SchedulerPolicy, Technique};
 use crate::events::{EventKind, EventLog, PipeEvent};
 use crate::exec::{execute, ExecContext, ExecEffect};
 use crate::mem::{coalesce_lines, smem_conflict_degree, DramModel, GlobalMemory, TagCache};
+use crate::profile::{OccupancySample, SmProfile, StallCause, MAX_OCCUPANCY_SAMPLES};
 use crate::reuse::ReuseBuffer;
 use crate::stats::SimStats;
 use crate::tb::TbState;
@@ -87,6 +88,8 @@ pub struct Sm {
     pub stats: SimStats,
     /// Pipeline event trace (empty unless `cfg.trace_events`).
     pub events: EventLog,
+    /// Cycle-accounted profile (only filled when `cfg.profile`).
+    pub profile: SmProfile,
     now: u64,
 }
 
@@ -120,7 +123,12 @@ impl Sm {
             used_smem: 0,
             next_age: 0,
             stats: SimStats::default(),
-            events: EventLog::new(200_000),
+            events: EventLog::new(if cfg.trace_events { cfg.trace_capacity } else { 0 }),
+            profile: SmProfile::new(
+                id,
+                (cfg.schedulers_per_sm * cfg.issue_width) as u64,
+                cfg.max_warps_per_sm as usize,
+            ),
             now: 0,
         }
     }
@@ -246,11 +254,48 @@ impl Sm {
         dram: &mut DramModel,
     ) -> u32 {
         self.now = now;
+        if self.cfg.profile {
+            self.profile.cycles += 1;
+            if now.is_multiple_of(self.cfg.profile_sample_interval.max(1)) {
+                self.sample_occupancy(now);
+            }
+        }
         self.count_stall_cycles();
         self.writeback(now);
         let completed = self.issue(now, global, l2, dram);
         self.fetch(now);
         completed
+    }
+
+    /// Snapshots skip-table/renaming occupancy and warp population for the
+    /// profiler's time-series view.
+    fn sample_occupancy(&mut self, now: u64) {
+        if self.profile.samples.len() >= MAX_OCCUPANCY_SAMPLES {
+            self.profile.samples_dropped += 1;
+            return;
+        }
+        let mut s = OccupancySample {
+            cycle: now,
+            skip_entries: 0,
+            skip_capacity: 0,
+            live_versions: 0,
+            rename_capacity: 0,
+            resident_warps: 0,
+            waiting_warps: 0,
+        };
+        for tb in self.tbs.iter().flatten() {
+            s.skip_entries += tb.skip_table.len() as u32;
+            s.skip_capacity += tb.skip_table.capacity() as u32;
+            s.live_versions += tb.rename.live_versions() as u32;
+            s.rename_capacity += tb.rename.capacity() as u32;
+        }
+        for w in self.warps.iter().flatten() {
+            s.resident_warps += 1;
+            if matches!(w.state, WarpState::WaitLeader(..)) {
+                s.waiting_warps += 1;
+            }
+        }
+        self.profile.samples.push(s);
     }
 
     fn count_stall_cycles(&mut self) {
@@ -291,6 +336,16 @@ impl Sm {
             if let Some((pc, instance)) = f.leader {
                 let tb_idx = w.tb;
                 let warp_in_tb = w.warp_in_tb;
+                if self.cfg.profile {
+                    let latency = self.tbs[tb_idx]
+                        .as_ref()
+                        .and_then(|tb| tb.skip_table.find(pc, instance))
+                        .filter(|e| e.leader == warp_in_tb)
+                        .map(|e| now.saturating_sub(e.created));
+                    if let Some(lat) = latency {
+                        self.profile.leader_latency.record(lat);
+                    }
+                }
                 if let Some(tb) = self.tbs[tb_idx].as_mut() {
                     let released = tb.skip_table.leader_writeback(pc, instance, warp_in_tb, now);
                     release_waiting(&mut self.warps, tb, released, pc, instance);
@@ -311,14 +366,22 @@ impl Sm {
     ) -> u32 {
         let mut completed = 0;
         let mut issued_any = false;
+        let width = self.cfg.issue_width;
         // Register banks touched this cycle (operand-collector conflicts).
         let mut banks_used: Vec<u32> = vec![0; self.cfg.rf_banks];
         for s in 0..self.cfg.schedulers_per_sm {
             let candidates = self.warp_candidates(s);
             let mut issued_from = None;
+            let mut sched_issued = 0usize;
+            // `(cause, head pc, warp slot)` blamed for the scheduler's
+            // unfilled slots this cycle (accounting identity: every slot
+            // gets exactly one cause).
+            let mut blame: Option<(StallCause, Option<usize>, Option<usize>)> = None;
             for wslot in candidates {
                 let mut issued = 0;
-                while issued < self.cfg.issue_width {
+                let mut stop: Option<(StallCause, Option<usize>)> = None;
+                let mut control = false;
+                while issued < width {
                     match self.try_issue_head(now, wslot, s, global, l2, dram, &mut banks_used) {
                         IssueOutcome::Issued => {
                             issued += 1;
@@ -328,17 +391,39 @@ impl Sm {
                             issued += 1;
                             issued_any = true;
                             completed += tb_done;
+                            control = true;
                             break;
                         }
-                        IssueOutcome::Stall => break,
+                        IssueOutcome::Stall { cause, pc } => {
+                            stop = Some((cause, pc));
+                            break;
+                        }
                     }
                 }
                 if issued > 0 {
                     issued_from = Some(wslot);
+                    sched_issued = issued;
+                    if self.cfg.profile && issued < width {
+                        blame = Some(if control {
+                            (self.post_control_cause(wslot), None, Some(wslot))
+                        } else {
+                            let (cause, pc) = stop.expect("partial issue stops on a stall");
+                            (cause, pc, Some(wslot))
+                        });
+                    }
                     break;
+                }
+                if self.cfg.profile && blame.is_none() {
+                    // No candidate issued yet: blame the highest-priority
+                    // warp's stall.
+                    let (cause, pc) = stop.expect("zero issue implies a stall");
+                    blame = Some((cause, pc, Some(wslot)));
                 }
             }
             self.gto_last[s] = issued_from;
+            if self.cfg.profile {
+                self.account_slots(s, sched_issued, width, issued_from, blame);
+            }
         }
         if issued_any {
             self.stats.active_cycles += 1;
@@ -350,6 +435,76 @@ impl Sm {
             }
         }
         completed
+    }
+
+    /// Attributes scheduler `s`'s issue slots for this cycle: `issued`
+    /// productive slots, and `width - issued` slots to the blamed cause
+    /// (falling back to an idle scan when no candidate was tried).
+    fn account_slots(
+        &mut self,
+        s: usize,
+        issued: usize,
+        width: usize,
+        issued_from: Option<usize>,
+        blame: Option<(StallCause, Option<usize>, Option<usize>)>,
+    ) {
+        self.profile.slots.add(StallCause::Issued, issued as u64);
+        if let Some(wslot) = issued_from {
+            self.profile.per_warp[wslot].issued += issued as u64;
+        }
+        let missing = (width - issued) as u64;
+        if missing == 0 {
+            return;
+        }
+        let (cause, pc, wslot) = blame.unwrap_or_else(|| self.idle_cause(s));
+        self.profile.slots.add(cause, missing);
+        if let Some(pc) = pc {
+            self.profile.per_pc.entry(pc).or_default().stalls.add(cause, missing);
+        }
+        if let Some(wslot) = wslot {
+            self.profile.per_warp[wslot].stalls.add(cause, missing);
+        }
+    }
+
+    /// Why a warp that ended its issue group on a control instruction left
+    /// the rest of the group unfilled.
+    fn post_control_cause(&self, wslot: usize) -> StallCause {
+        match self.warps[wslot].as_ref() {
+            None => StallCause::IdleNoWarp, // warp exited
+            Some(w) => match w.state {
+                WarpState::AtBarrier => StallCause::Barrier,
+                WarpState::BranchSync(_) => StallCause::BranchSync,
+                WarpState::WaitLeader(..) => StallCause::WaitLeader,
+                WarpState::Done => StallCause::IdleNoWarp,
+                // The branch flushed the I-buffer; fetch must refill it.
+                WarpState::Ready => StallCause::IBufferEmpty,
+            },
+        }
+    }
+
+    /// Why scheduler `s` had no issue candidate at all this cycle: the
+    /// highest-priority parked state among its warps, or idle-no-warp.
+    fn idle_cause(&self, s: usize) -> (StallCause, Option<usize>, Option<usize>) {
+        let mut best: Option<(u32, StallCause, Option<usize>, usize)> = None;
+        for slot in (0..self.warps.len()).filter(|slot| slot % self.cfg.schedulers_per_sm == s) {
+            let Some(w) = self.warps[slot].as_ref() else { continue };
+            let (rank, cause, pc) = match w.state {
+                WarpState::WaitLeader(pc, _) => (0, StallCause::WaitLeader, Some(pc)),
+                WarpState::BranchSync(pc) => (1, StallCause::BranchSync, Some(pc)),
+                WarpState::AtBarrier => (2, StallCause::Barrier, None),
+                // A Ready warp with a non-empty I-buffer would have been a
+                // candidate, so this one is waiting on fetch.
+                WarpState::Ready => (3, StallCause::IBufferEmpty, None),
+                WarpState::Done => continue,
+            };
+            if best.as_ref().is_none_or(|&(r, ..)| rank < r) {
+                best = Some((rank, cause, pc, slot));
+            }
+        }
+        match best {
+            Some((_, cause, pc, slot)) => (cause, pc, Some(slot)),
+            None => (StallCause::IdleNoWarp, None, None),
+        }
     }
 
     /// Ordered candidate warps for scheduler `s` this cycle (highest
@@ -408,7 +563,9 @@ impl Sm {
         // Wrong-path flush: after reconvergence switched paths, buffered
         // entries no longer match the warp's next PC.
         {
-            let Some(w) = self.warps[wslot].as_mut() else { return IssueOutcome::Stall };
+            let Some(w) = self.warps[wslot].as_mut() else {
+                return IssueOutcome::Stall { cause: StallCause::IdleNoWarp, pc: None };
+            };
             let front_pc = w.ibuffer.front().map(|e| match e {
                 IBufEntry::Instr { pc, .. }
                 | IBufEntry::SkipMarker { pc, .. }
@@ -418,18 +575,23 @@ impl Sm {
                 if fpc != npc {
                     w.ibuffer.clear();
                     w.fetch_blocked = false;
-                    return IssueOutcome::Stall;
+                    return IssueOutcome::Stall { cause: StallCause::IBufferEmpty, pc: None };
                 }
             }
         }
-        // Absorb leading zero-cost entries.
+        // Absorb leading zero-cost entries (skip markers / ghosts). When
+        // the buffer then has nothing issuable left, the slot is charged to
+        // the frontend elimination rather than an empty I-buffer.
+        let mut absorbed = 0usize;
         loop {
-            let Some(w) = self.warps[wslot].as_mut() else { return IssueOutcome::Stall };
+            let Some(w) = self.warps[wslot].as_mut() else {
+                return IssueOutcome::Stall { cause: StallCause::IdleNoWarp, pc: None };
+            };
             match w.ibuffer.front() {
-                Some(IBufEntry::SkipMarker { dst, .. }) => {
-                    let dst = *dst;
+                Some(&IBufEntry::SkipMarker { pc, dst, .. }) => {
                     if w.is_pending(dst) {
-                        return IssueOutcome::Stall; // WAW with an older in-flight write
+                        // WAW with an older in-flight write.
+                        return IssueOutcome::Stall { cause: StallCause::Scoreboard, pc: Some(pc) };
                     }
                     let Some(IBufEntry::SkipMarker { pc, dst, values }) = w.ibuffer.pop_front()
                     else {
@@ -443,15 +605,23 @@ impl Sm {
                     let _ = w.record_pass(pc);
                     w.advance();
                     w.reconverge();
+                    absorbed += 1;
+                    if self.cfg.profile {
+                        self.profile.per_pc.entry(pc).or_default().skipped += 1;
+                    }
                 }
                 Some(IBufEntry::Ghost { .. }) => {
                     let Some(&IBufEntry::Ghost { pc }) = w.ibuffer.front() else { unreachable!() };
                     let instr = self.kd.instr(pc).clone();
                     if !w.scoreboard_ready(&instr) {
-                        return IssueOutcome::Stall;
+                        return IssueOutcome::Stall { cause: StallCause::Scoreboard, pc: Some(pc) };
                     }
                     w.ibuffer.pop_front();
                     w.advance();
+                    absorbed += 1;
+                    if self.cfg.profile {
+                        self.profile.per_pc.entry(pc).or_default().skipped += 1;
+                    }
                     // Count the elimination here (a flushed ghost was
                     // wrong-path work the baseline would not execute
                     // either).
@@ -474,16 +644,32 @@ impl Sm {
             }
         }
 
-        let Some(w) = self.warps[wslot].as_ref() else { return IssueOutcome::Stall };
-        if !matches!(w.state, WarpState::Ready | WarpState::WaitLeader(..)) {
-            return IssueOutcome::Stall;
+        // An empty (or non-instruction) front after absorbing markers means
+        // the frontend eliminated this slot's work; otherwise fetch is
+        // simply behind.
+        let drained =
+            if absorbed > 0 { StallCause::SkippedByDarsie } else { StallCause::IBufferEmpty };
+        let Some(w) = self.warps[wslot].as_ref() else {
+            return IssueOutcome::Stall { cause: StallCause::IdleNoWarp, pc: None };
+        };
+        match w.state {
+            WarpState::Ready | WarpState::WaitLeader(..) => {}
+            WarpState::AtBarrier => {
+                return IssueOutcome::Stall { cause: StallCause::Barrier, pc: None };
+            }
+            WarpState::BranchSync(pc) => {
+                return IssueOutcome::Stall { cause: StallCause::BranchSync, pc: Some(pc) };
+            }
+            WarpState::Done => {
+                return IssueOutcome::Stall { cause: StallCause::IdleNoWarp, pc: None };
+            }
         }
         let Some(&IBufEntry::Instr { pc, leader }) = w.ibuffer.front() else {
-            return IssueOutcome::Stall;
+            return IssueOutcome::Stall { cause: drained, pc: None };
         };
         let instr = self.kd.instr(pc).clone();
         if !w.scoreboard_ready(&instr) {
-            return IssueOutcome::Stall;
+            return IssueOutcome::Stall { cause: StallCause::Scoreboard, pc: Some(pc) };
         }
 
         // SILICON-SYNC: block at basic-block boundaries.
@@ -491,20 +677,20 @@ impl Sm {
             && self.kd.bb_start[pc]
             && self.silicon_sync_gate(now, wslot)
         {
-            return IssueOutcome::Stall;
+            return IssueOutcome::Stall { cause: StallCause::Barrier, pc: Some(pc) };
         }
 
         // Execution unit availability.
         let kind = instr.op.kind();
         match kind {
             OpKind::IntAlu | OpKind::FpAlu if self.sp_busy[sched] > now => {
-                return IssueOutcome::Stall;
+                return IssueOutcome::Stall { cause: StallCause::ExecUnitBusy, pc: Some(pc) };
             }
             OpKind::Sfu if self.sfu_busy > now => {
-                return IssueOutcome::Stall;
+                return IssueOutcome::Stall { cause: StallCause::ExecUnitBusy, pc: Some(pc) };
             }
             OpKind::Load | OpKind::Store | OpKind::Atomic if self.lsu_busy > now => {
-                return IssueOutcome::Stall;
+                return IssueOutcome::Stall { cause: StallCause::LsuQueue, pc: Some(pc) };
             }
             _ => {}
         }
@@ -620,6 +806,9 @@ impl Sm {
             w.advance();
             w.reconverge();
             self.stats.instrs_reused.add(self.kd.plan.taxonomy[pc], 1);
+            if self.cfg.profile {
+                self.profile.per_pc.entry(pc).or_default().issued += 1;
+            }
             self.trace(wslot, pc, EventKind::Reuse);
             Ok(())
         } else {
@@ -711,6 +900,9 @@ impl Sm {
         };
         self.stats.instrs_executed += 1;
         self.stats.executed_taxonomy.add(self.kd.plan.taxonomy[pc], 1);
+        if self.cfg.profile {
+            self.profile.per_pc.entry(pc).or_default().issued += 1;
+        }
         self.trace(wslot, pc, EventKind::Issue);
 
         // UV: remember the result for future reuse.
@@ -1292,11 +1484,12 @@ impl Sm {
     /// Bounded leader stall: wait for resources up to a threshold, then
     /// give up and execute the (redundant) instruction normally.
     fn leader_stall_or_give_up(&mut self, wslot: usize) -> bool {
-        const MAX_LEADER_STALL: u32 = 64;
+        let max_stall = self.darsie().map_or(64, |d| d.max_leader_stall);
         let w = self.warps[wslot].as_mut().expect("warp exists");
         w.leader_stall += 1;
-        if w.leader_stall > MAX_LEADER_STALL {
+        if w.leader_stall > max_stall {
             w.leader_stall = 0;
+            self.stats.darsie.leader_giveups += 1;
             true // fall through to a normal fetch of this instruction
         } else {
             false
@@ -1473,11 +1666,13 @@ impl Sm {
     }
 }
 
-/// Outcome of one issue attempt.
+/// Outcome of one issue attempt. `Stall` carries the blamed cause and,
+/// when one is known, the I-buffer head PC — the profiler charges the
+/// lost issue slot to that (cause, PC) pair.
 enum IssueOutcome {
     Issued,
     IssuedControl { tb_done: u32 },
-    Stall,
+    Stall { cause: StallCause, pc: Option<usize> },
 }
 
 /// Releases warps that were waiting on a leader writeback.

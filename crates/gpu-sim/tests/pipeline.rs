@@ -370,7 +370,7 @@ fn event_trace_shows_the_skip_protocol() {
     let out_addr = mem.alloc(256 * 4);
     let launch = LaunchConfig::new(1u32, (16u32, 16u32)).with_params(vec![Value(out_addr as u32)]);
     let cfg = GpuConfig { trace_events: true, ..cfg() };
-    let res = Gpu::new(cfg, Technique::darsie()).launch(&ck, &launch, mem);
+    let mut res = Gpu::new(cfg, Technique::darsie()).launch(&ck, &launch, mem);
     let events = res.events.events();
     assert!(!events.is_empty());
     use gpu_sim::EventKind;

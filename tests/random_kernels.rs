@@ -383,4 +383,46 @@ proptest! {
             );
         }
     }
+
+    /// The profiler's accounting identity holds on arbitrary kernels and
+    /// every technique: each SM attributes every issue slot of every
+    /// cycle to exactly one cause, and the `issued` slots equal the
+    /// instructions the simulator executed or reused.
+    #[test]
+    fn profile_identity_holds_on_random_kernels(
+        steps in prop::collection::vec(arb_step(2), 1..10)
+    ) {
+        let ck = build_kernel(&steps);
+        for tech in [Technique::Base, Technique::darsie(), Technique::Uv] {
+            let mut mem = GlobalMemory::new();
+            let scratch = mem.alloc(1024);
+            let out = mem.alloc(2 * 1024 * 4);
+            let wr = mem.alloc(1024);
+            mem.write_slice_u32(
+                scratch,
+                &(0..256u32).map(|i| i.wrapping_mul(2654435761)).collect::<Vec<_>>(),
+            );
+            let launch = LaunchConfig::new(2u32, Dim3::two_d(16, 16)).with_params(vec![
+                Value(12345),
+                Value(scratch as u32),
+                Value(out as u32),
+                Value(wr as u32),
+            ]);
+            let cfg = GpuConfig { profile: true, ..GpuConfig::test_small() };
+            let r = Gpu::new(cfg, tech.clone()).launch(&ck, &launch, mem);
+            let prof = r.profile.as_ref().expect("profiling enabled");
+            for sm in &prof.sms {
+                prop_assert_eq!(
+                    sm.check_identity(), Ok(()),
+                    "slot accounting under {}", tech.label()
+                );
+            }
+            prop_assert_eq!(
+                prof.slots().get(gpu_sim::StallCause::Issued),
+                r.stats.instrs_executed + r.stats.instrs_reused.total(),
+                "issued slots != executed + reused under {}",
+                tech.label()
+            );
+        }
+    }
 }
