@@ -7,7 +7,7 @@
 //! darsie-sim --list
 //! darsie-sim verify [ABBR ...] [--workload NAME] [--scale test|eval] [--json]
 //! darsie-sim analyze [ABBR ...] [--workload NAME] [--scale test|eval] [--json]
-//! darsie-sim prove [ABBR ...] [--workload NAME] [--scale test|eval] [--json]
+//! darsie-sim prove [ABBR ...] [--workload NAME] [--scale test|eval] [--json] [--threads N]
 //! darsie-sim profile [ABBR ...] [--workload NAME] [--scale test|eval] [--json] [--perfetto PATH]
 //! darsie-sim lints [--json]
 //! ```
@@ -32,7 +32,10 @@
 //! The `prove` subcommand runs the symbolic translation validator: for
 //! each workload it discharges every redundancy-marking and branch-sync
 //! claim over the whole launch family the marking quantifies over, and
-//! reports per-workload proved/disproved/unknown counts. It exits
+//! reports per-workload proved/disproved/unknown counts plus a per-claim
+//! ledger (`--json`) with verdicts, unknown reasons and evaluation costs.
+//! `--threads N` shards the discharge across a thread pool with
+//! byte-identical output; wall time is printed to stderr. It exits
 //! non-zero on any disproof (`S401`) or branch-sync violation (`S403`).
 //!
 //! The `profile` subcommand runs each selected workload under the
@@ -62,7 +65,8 @@ fn usage() -> ! {
         "usage: darsie-sim <ABBR> [options]   |   darsie-sim --list   |   \
          darsie-sim verify [ABBR ...] [--workload NAME] [--scale test|eval] [--json]   |   \
          darsie-sim analyze [ABBR ...] [--workload NAME] [--scale test|eval] [--json]   |   \
-         darsie-sim prove [ABBR ...] [--workload NAME] [--scale test|eval] [--json]   |   \
+         darsie-sim prove [ABBR ...] [--workload NAME] [--scale test|eval] [--json] \
+         [--threads N]   |   \
          darsie-sim profile [ABBR ...] [--workload NAME] [--scale test|eval] [--json] \
          [--perfetto PATH]   |   \
          darsie-sim lints [--json]\n\
@@ -112,32 +116,64 @@ fn unknown_workload(kind: &str, name: &str) -> ! {
 /// Shared `verify`/`analyze` options: scale, output mode and workload
 /// selection (positional abbreviations and/or `--workload NAME` filters
 /// matching the abbreviation or full name, case-insensitively).
+/// `--threads` is parsed here too — only `prove` consumes it; everything
+/// else warns and ignores it.
 struct SubcommandArgs {
     json: bool,
     selected: Vec<Workload>,
+    threads: Option<usize>,
+}
+
+/// Rejects a repeated single-valued flag: taking the last occurrence
+/// silently hides a typo in scripts, so it is a usage error instead.
+fn duplicate_flag(flag: &str) -> ! {
+    eprintln!("duplicate {flag}: each flag may be given at most once");
+    std::process::exit(2);
 }
 
 fn parse_subcommand_args(args: &[String]) -> SubcommandArgs {
-    let mut scale = Scale::Test;
+    let mut scale: Option<Scale> = None;
     let mut json = false;
+    let mut threads: Option<usize> = None;
     let mut abbrs: Vec<String> = Vec::new();
     let mut names: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
+                if scale.is_some() {
+                    duplicate_flag("--scale");
+                }
                 scale = match it.next().map(String::as_str) {
-                    Some("test") => Scale::Test,
-                    Some("eval") => Scale::Eval,
+                    Some("test") => Some(Scale::Test),
+                    Some("eval") => Some(Scale::Eval),
                     _ => usage(),
                 }
             }
-            "--json" => json = true,
+            "--json" => {
+                if json {
+                    duplicate_flag("--json");
+                }
+                json = true;
+            }
+            "--threads" => {
+                if threads.is_some() {
+                    duplicate_flag("--threads");
+                }
+                match it.next().and_then(|n| n.parse::<usize>().ok()).filter(|&n| n >= 1) {
+                    Some(n) => threads = Some(n),
+                    None => {
+                        eprintln!("--threads expects a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--workload" => names.push(it.next().cloned().unwrap_or_else(|| usage())),
             s if !s.starts_with("--") => abbrs.push(s.to_string()),
             _ => usage(),
         }
     }
+    let scale = scale.unwrap_or(Scale::Test);
     let mut selected: Vec<Workload> = abbrs
         .iter()
         .map(|a| by_abbr(a, scale).unwrap_or_else(|| unknown_workload("benchmark", a)))
@@ -156,7 +192,14 @@ fn parse_subcommand_args(args: &[String]) -> SubcommandArgs {
     if selected.is_empty() {
         selected = catalog(scale);
     }
-    SubcommandArgs { json, selected }
+    SubcommandArgs { json, selected, threads }
+}
+
+/// Warns when `--threads` was passed to a subcommand that ignores it.
+fn warn_threads_ignored(threads: Option<usize>, subcommand: &str) {
+    if threads.is_some() {
+        eprintln!("warning: --threads is only used by `prove`; `{subcommand}` ignores it");
+    }
 }
 
 /// `darsie-sim verify`: run every `simt-verify` pass over the selected
@@ -164,7 +207,8 @@ fn parse_subcommand_args(args: &[String]) -> SubcommandArgs {
 /// finding. With `--json`, print one machine-readable document instead of
 /// the human report.
 fn verify_command(args: &[String]) {
-    let SubcommandArgs { json, selected } = parse_subcommand_args(args);
+    let SubcommandArgs { json, selected, threads } = parse_subcommand_args(args);
+    warn_threads_ignored(threads, "verify");
 
     let mut errors = 0usize;
     let mut warnings = 0usize;
@@ -240,15 +284,24 @@ fn verify_command(args: &[String]) {
 /// workloads over their full quantified launch families and exits 1 on
 /// any `S401` disproof or `S403` branch-sync violation.
 fn prove_command(args: &[String]) {
-    let SubcommandArgs { json, selected } = parse_subcommand_args(args);
+    let SubcommandArgs { json, selected, threads } = parse_subcommand_args(args);
+    let threads = threads.unwrap_or(1);
 
     let mut errors = 0usize;
     let mut by_code: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut unknown_reasons: BTreeMap<&'static str, usize> = BTreeMap::new();
     let mut totals = (0usize, 0usize, 0usize);
     let mut records: Vec<String> = Vec::new();
+    let wall = std::time::Instant::now();
     for w in &selected {
-        let p = simt_verify::symex::prove(&w.ck, Some((&w.launch, &w.memory)));
+        let p =
+            simt_verify::symex::prove_with_threads(&w.ck, Some((&w.launch, &w.memory)), threads);
         let s = &p.stats;
+        for c in &p.claims {
+            if let Some(r) = c.unknown_reason {
+                *unknown_reasons.entry(r.label()).or_insert(0) += 1;
+            }
+        }
         errors += p.report.error_count();
         totals.0 += s.proved;
         totals.1 += s.disproved;
@@ -271,10 +324,30 @@ fn prove_command(args: &[String]) {
                     )
                 })
                 .collect();
+            let claims: Vec<String> = p
+                .claims
+                .iter()
+                .map(|c| {
+                    let verdict = match c.verdict {
+                        simt_verify::symex::Verdict::Proved => "proved",
+                        simt_verify::symex::Verdict::Disproved => "disproved",
+                        simt_verify::symex::Verdict::Unknown => "unknown",
+                    };
+                    let reason = c
+                        .unknown_reason
+                        .map_or_else(|| "null".to_string(), |r| format!("\"{}\"", r.label()));
+                    format!(
+                        "{{\"pc\":{},\"kind\":\"{}\",\"family\":\"{}\",\"verdict\":\"{}\",\
+                         \"unknown_reason\":{},\"evals\":{}}}",
+                        c.pc, c.kind, c.family, verdict, reason, c.evals
+                    )
+                })
+                .collect();
             records.push(format!(
                 "{{\"abbr\":\"{}\",\"kernel\":\"{}\",\"block\":[{},{},{}],\
                  \"value_claims\":{},\"branch_claims\":{},\"proved\":{},\"disproved\":{},\
-                 \"unknown\":{},\"complete\":{},\"diagnostics\":[{}]}}",
+                 \"unknown\":{},\"complete\":{},\"fuel_used\":{},\"terms\":{},\
+                 \"claims\":[{}],\"diagnostics\":[{}]}}",
                 json_escape(w.abbr),
                 json_escape(&w.ck.kernel.name),
                 w.block.x,
@@ -286,6 +359,9 @@ fn prove_command(args: &[String]) {
                 s.disproved,
                 s.unknown,
                 s.complete,
+                s.fuel_used,
+                s.terms,
+                claims.join(","),
                 diags.join(",")
             ));
         } else {
@@ -308,13 +384,17 @@ fn prove_command(args: &[String]) {
             }
         }
     }
+    let elapsed = wall.elapsed();
     let code_totals: Vec<String> = by_code.iter().map(|(c, n)| format!("\"{c}\":{n}")).collect();
+    let reason_totals: Vec<String> =
+        unknown_reasons.iter().map(|(r, n)| format!("\"{r}\":{n}")).collect();
     if json {
         println!(
-            "{{\"workloads\":[{}],\"by_code\":{{{}}},\"total_proved\":{},\
-             \"total_disproved\":{},\"total_unknown\":{}}}",
+            "{{\"workloads\":[{}],\"by_code\":{{{}}},\"unknown_reasons\":{{{}}},\
+             \"total_proved\":{},\"total_disproved\":{},\"total_unknown\":{}}}",
             records.join(","),
             code_totals.join(","),
+            reason_totals.join(","),
             totals.0,
             totals.1,
             totals.2
@@ -327,7 +407,17 @@ fn prove_command(args: &[String]) {
             totals.1,
             totals.2
         );
+        if !unknown_reasons.is_empty() {
+            let mut ranked: Vec<(&str, usize)> =
+                unknown_reasons.iter().map(|(r, n)| (*r, *n)).collect();
+            ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+            let human: Vec<String> = ranked.iter().map(|(r, n)| format!("{r}\u{d7}{n}")).collect();
+            println!("top unknown reasons: {}", human.join(", "));
+        }
     }
+    // Wall time goes to stderr so `--json` stdout stays byte-identical
+    // across `--threads N`.
+    eprintln!("prover wall time: {:.3}s ({} thread(s))", elapsed.as_secs_f64(), threads);
     if errors > 0 {
         std::process::exit(1);
     }
@@ -386,7 +476,8 @@ fn mem_check_json(p: &MemPrediction, v: Option<&simt_verify::perf::Validation>) 
 /// report. Exits 1 when refined markings fail the soundness oracle or a
 /// measured memory counter falls outside its predicted bounds.
 fn analyze_command(args: &[String]) {
-    let SubcommandArgs { json, selected } = parse_subcommand_args(args);
+    let SubcommandArgs { json, selected, threads } = parse_subcommand_args(args);
+    warn_threads_ignored(threads, "analyze");
     let cfg = GpuConfig::test_small();
 
     let mut total_oracle_errors = 0usize;
@@ -670,7 +761,8 @@ fn profile_command(args: &[String]) {
             rest.push(a.clone());
         }
     }
-    let SubcommandArgs { json, selected } = parse_subcommand_args(&rest);
+    let SubcommandArgs { json, selected, threads } = parse_subcommand_args(&rest);
+    warn_threads_ignored(threads, "profile");
     let single = selected.len() == 1;
 
     let mut violations = 0usize;

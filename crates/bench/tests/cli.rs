@@ -314,6 +314,61 @@ fn prove_json_schema() {
     assert!(doc.get("total_proved").num() > 0.0);
     assert_eq!(doc.get("total_disproved").num(), 0.0);
     assert_eq!(doc.get("total_unknown").num(), 0.0);
+    // Per-claim ledger: one entry per obligation, every verdict proved on
+    // this catalog workload, reasons null, with deterministic eval costs.
+    assert!(w.get("fuel_used").num() > 0.0);
+    assert!(w.get("terms").num() > 0.0);
+    let ledger = w.get("claims").arr();
+    assert_eq!(ledger.len() as f64, claims);
+    for c in ledger {
+        c.get("pc").num();
+        assert!(matches!(c.get("kind").str(), "value" | "branch"));
+        assert!(!c.get("family").str().is_empty());
+        assert_eq!(c.get("verdict").str(), "proved");
+        assert_eq!(*c.get("unknown_reason"), Json::Null);
+        c.get("evals").num();
+    }
+    assert!(matches!(doc.get("unknown_reasons"), Json::Obj(_)));
+}
+
+/// `--threads N` must not change the document: the discharge engine
+/// shards work but merges results in deterministic claim order, so the
+/// JSON output is byte-identical for any thread count.
+#[test]
+fn prove_threads_output_is_byte_identical() {
+    let (code1, base, _) = run(&["prove", "BIN", "MM", "--scale", "test", "--json"]);
+    assert_eq!(code1, Some(0));
+    for threads in ["1", "2", "7"] {
+        let (code, out, err) =
+            run(&["prove", "BIN", "MM", "--scale", "test", "--json", "--threads", threads]);
+        assert_eq!(code, Some(0));
+        assert_eq!(out, base, "--threads {threads} changed the JSON document");
+        assert!(err.contains("prover wall time"), "wall time must go to stderr");
+    }
+}
+
+/// Repeated single-valued flags are usage errors (exit 2), not
+/// silently-take-the-last; `--threads` outside `prove` warns and is
+/// ignored; a non-positive or malformed `--threads` value exits 2.
+#[test]
+fn flag_validation_rejects_duplicates_and_bad_thread_counts() {
+    for args in [
+        &["prove", "BIN", "--scale", "test", "--json", "--json"][..],
+        &["prove", "BIN", "--scale", "test", "--scale", "test"][..],
+        &["prove", "BIN", "--scale", "test", "--threads", "2", "--threads", "2"][..],
+    ] {
+        let (code, _, err) = run(args);
+        assert_eq!(code, Some(2), "{args:?} must exit 2");
+        assert!(err.contains("duplicate"), "{args:?}: {err}");
+    }
+    for bad in ["0", "-1", "many"] {
+        let (code, _, err) = run(&["prove", "BIN", "--scale", "test", "--threads", bad]);
+        assert_eq!(code, Some(2), "--threads {bad} must exit 2");
+        assert!(err.contains("positive integer"), "--threads {bad}: {err}");
+    }
+    let (code, _, err) = run(&["verify", "BIN", "--scale", "test", "--threads", "4"]);
+    assert_eq!(code, Some(0));
+    assert!(err.contains("only used by `prove`"), "verify must warn: {err}");
 }
 
 /// Golden schema for `profile --json`, plus the headline invariant: the

@@ -29,17 +29,27 @@ pub const NEG_INF: i64 = i64::MIN;
 /// Upper-bound infinity for [`Affine`] intervals.
 pub const POS_INF: i64 = i64::MAX;
 
-/// `a*tid.x + b*tid.y + c` with TB-uniform `c ∈ [lo, hi]`.
+/// `a*tid.x + b*tid.y + c` with `c ∈ [lo, hi]`.
+///
+/// The `uniform` bit is the divergence-awareness of the domain: when set,
+/// `c` is **TB-uniform** — one shared constant for every thread of the
+/// dynamic instance. When clear, each thread may hold its own `c_t` from
+/// the interval (the value went through a divergent write or merge), so
+/// the interval is only a per-thread envelope. An *exact* constant
+/// (`lo == hi`) determines every thread's value regardless of the bit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Affine {
     /// Coefficient of `tid.x`.
     pub a: i64,
     /// Coefficient of `tid.y`.
     pub b: i64,
-    /// Lower bound (inclusive) of the uniform constant.
+    /// Lower bound (inclusive) of the constant.
     pub lo: i64,
-    /// Upper bound (inclusive) of the uniform constant.
+    /// Upper bound (inclusive) of the constant.
     pub hi: i64,
+    /// True when `c` is one shared constant across the threads of the
+    /// dynamic instance (see type-level docs).
+    pub uniform: bool,
 }
 
 /// Abstract value of one register in the affine-interval dataflow.
@@ -119,16 +129,36 @@ impl Affine {
     /// The exact constant `v`.
     #[must_use]
     pub fn constant(v: i64) -> Affine {
-        Affine { a: 0, b: 0, lo: v, hi: v }
+        Affine { a: 0, b: 0, lo: v, hi: v, uniform: true }
     }
 
-    /// True when the value is the same for every thread of the block.
+    /// True when the value has no thread-coordinate component. This is the
+    /// *structural* notion (coefficients only); it says nothing about
+    /// whether `c` is shared across threads — see
+    /// [`is_tb_uniform`](Affine::is_tb_uniform) for the sound cross-thread
+    /// claim.
     #[must_use]
     pub fn is_uniform(self) -> bool {
         self.a == 0 && self.b == 0
     }
 
-    /// True when the uniform constant is a single known value.
+    /// True when the constant is provably one shared value per dynamic
+    /// instance: either the `uniform` bit survived every join and
+    /// transfer, or the constant is exact (a literal is trivially
+    /// shared).
+    #[must_use]
+    pub fn c_uniform(self) -> bool {
+        self.uniform || self.lo == self.hi
+    }
+
+    /// True when the *value* is provably the same for every thread of the
+    /// dynamic instance: no thread coordinates, and a shared constant.
+    #[must_use]
+    pub fn is_tb_uniform(self) -> bool {
+        self.a == 0 && self.b == 0 && self.c_uniform()
+    }
+
+    /// True when the constant is a single known value.
     #[must_use]
     pub fn is_exact(self) -> bool {
         self.lo == self.hi
@@ -170,15 +200,33 @@ impl AffineVal {
     /// A TB-uniform value about which nothing else is known.
     #[must_use]
     pub fn uniform_unknown() -> AffineVal {
-        AffineVal::Aff(Affine { a: 0, b: 0, lo: NEG_INF, hi: POS_INF })
+        AffineVal::Aff(Affine { a: 0, b: 0, lo: NEG_INF, hi: POS_INF, uniform: true })
+    }
+
+    /// Clears the TB-uniform bit: the value keeps its per-thread affine
+    /// envelope but loses the shared-constant claim. Applied to writes in
+    /// divergent regions and to merges under non-uniform guards.
+    #[must_use]
+    pub fn non_uniform(self) -> AffineVal {
+        match self {
+            AffineVal::Aff(f) => AffineVal::Aff(Affine { uniform: false, ..f }),
+            v => v,
+        }
+    }
+
+    /// True when the value is provably one shared constant per dynamic
+    /// instance (bit-aware; see [`Affine::is_tb_uniform`]).
+    #[must_use]
+    pub fn is_tb_uniform(self) -> bool {
+        matches!(self, AffineVal::Aff(f) if f.is_tb_uniform())
     }
 
     /// Abstract value of a special register under `block` dimensions.
     #[must_use]
     pub fn of_special(s: SpecialReg, block_z: u32) -> AffineVal {
         match s {
-            SpecialReg::TidX => AffineVal::Aff(Affine { a: 1, b: 0, lo: 0, hi: 0 }),
-            SpecialReg::TidY => AffineVal::Aff(Affine { a: 0, b: 1, lo: 0, hi: 0 }),
+            SpecialReg::TidX => AffineVal::Aff(Affine { a: 1, b: 0, lo: 0, hi: 0, uniform: true }),
+            SpecialReg::TidY => AffineVal::Aff(Affine { a: 0, b: 1, lo: 0, hi: 0, uniform: true }),
             // The domain is 2D; a flat block pins tid.z to zero, anything
             // else is outside the affine language.
             SpecialReg::TidZ if block_z == 1 => AffineVal::constant(0),
@@ -245,7 +293,11 @@ impl AffineVal {
                 } else {
                     x.hi
                 };
-                AffineVal::Aff(Affine { lo, hi, ..x })
+                // The raw bits AND: a hull mixes the two incoming
+                // constants, which stays shared only when both sides were
+                // shared (divergent mixes arrive here already bit-cleared
+                // by the region-aware transfer).
+                AffineVal::Aff(Affine { lo, hi, uniform: x.uniform && y.uniform, ..x })
             }
         }
     }
@@ -261,7 +313,7 @@ impl AffineVal {
         let (Some(lo), Some(hi)) = (clamp_lo(p.min(q)), clamp_hi(p.max(q))) else {
             return AffineVal::Unknown;
         };
-        AffineVal::Aff(Affine { a, b, lo, hi })
+        AffineVal::Aff(Affine { a, b, lo, hi, uniform: x.c_uniform() })
     }
 
     /// Per-thread min. Decidable when both operands share the same thread
@@ -271,9 +323,12 @@ impl AffineVal {
     #[must_use]
     pub fn min_(self, other: AffineVal) -> AffineVal {
         match (self.affine(), other.affine()) {
-            (Some(x), Some(y)) if x.a == y.a && x.b == y.b => {
-                AffineVal::Aff(Affine { lo: x.lo.min(y.lo), hi: x.hi.min(y.hi), ..x })
-            }
+            (Some(x), Some(y)) if x.a == y.a && x.b == y.b => AffineVal::Aff(Affine {
+                lo: x.lo.min(y.lo),
+                hi: x.hi.min(y.hi),
+                uniform: x.c_uniform() && y.c_uniform(),
+                ..x
+            }),
             _ => AffineVal::Unknown,
         }
     }
@@ -282,9 +337,12 @@ impl AffineVal {
     #[must_use]
     pub fn max_(self, other: AffineVal) -> AffineVal {
         match (self.affine(), other.affine()) {
-            (Some(x), Some(y)) if x.a == y.a && x.b == y.b => {
-                AffineVal::Aff(Affine { lo: x.lo.max(y.lo), hi: x.hi.max(y.hi), ..x })
-            }
+            (Some(x), Some(y)) if x.a == y.a && x.b == y.b => AffineVal::Aff(Affine {
+                lo: x.lo.max(y.lo),
+                hi: x.hi.max(y.hi),
+                uniform: x.c_uniform() && y.c_uniform(),
+                ..x
+            }),
             _ => AffineVal::Unknown,
         }
     }
@@ -295,7 +353,11 @@ impl AffineVal {
     #[must_use]
     pub fn opaque(operands: &[AffineVal]) -> AffineVal {
         if operands.iter().all(|v| v.is_uniform()) {
-            AffineVal::uniform_unknown()
+            if operands.iter().all(|v| v.is_tb_uniform()) {
+                AffineVal::uniform_unknown()
+            } else {
+                AffineVal::uniform_unknown().non_uniform()
+            }
         } else {
             AffineVal::Unknown
         }
@@ -315,7 +377,7 @@ impl std::ops::Add for AffineVal {
         let (Some(lo), Some(hi)) = (add_lo(x.lo, y.lo), add_hi(x.hi, y.hi)) else {
             return AffineVal::Unknown;
         };
-        AffineVal::Aff(Affine { a, b, lo, hi })
+        AffineVal::Aff(Affine { a, b, lo, hi, uniform: x.c_uniform() && y.c_uniform() })
     }
 }
 
@@ -329,7 +391,7 @@ impl std::ops::Neg for AffineVal {
         };
         let lo = if x.hi == POS_INF { NEG_INF } else { -x.hi };
         let hi = if x.lo == NEG_INF { POS_INF } else { -x.lo };
-        AffineVal::Aff(Affine { a, b, lo, hi })
+        AffineVal::Aff(Affine { a, b, lo, hi, uniform: x.c_uniform() })
     }
 }
 
@@ -359,21 +421,29 @@ impl std::ops::Mul for AffineVal {
                     mul_bound(x.hi, 1).checked_mul(i128::from(y.hi)),
                 ];
                 // Infinite inputs or overflow: stay uniform, lose bounds.
+                let shared = x.c_uniform() && y.c_uniform();
+                let wide = AffineVal::Aff(Affine {
+                    a: 0,
+                    b: 0,
+                    lo: NEG_INF,
+                    hi: POS_INF,
+                    uniform: shared,
+                });
                 if x.lo == NEG_INF
                     || x.hi == POS_INF
                     || y.lo == NEG_INF
                     || y.hi == POS_INF
                     || corners.iter().any(Option::is_none)
                 {
-                    return AffineVal::uniform_unknown();
+                    return wide;
                 }
                 let vals: Vec<i128> = corners.iter().map(|c| c.unwrap()).collect();
                 let (Some(lo), Some(hi)) =
                     (clamp_lo(*vals.iter().min().unwrap()), clamp_hi(*vals.iter().max().unwrap()))
                 else {
-                    return AffineVal::uniform_unknown();
+                    return wide;
                 };
-                AffineVal::Aff(Affine { a: 0, b: 0, lo, hi })
+                AffineVal::Aff(Affine { a: 0, b: 0, lo, hi, uniform: shared })
             }
             _ => AffineVal::Unknown,
         }
@@ -444,12 +514,38 @@ impl PredVal {
         }
     }
 
-    /// True when the predicate provably holds the same value in every
-    /// thread of the block.
+    /// Structural uniformity of the operand snapshots (coefficients
+    /// only). Kept for the per-thread envelope consumers; the sound
+    /// cross-thread claim is [`is_tb_uniform`](PredVal::is_tb_uniform).
     #[must_use]
     pub fn is_uniform(self) -> bool {
         match self {
             PredVal::Cmp { lhs, rhs, .. } => lhs.is_uniform() && rhs.is_uniform(),
+            _ => false,
+        }
+    }
+
+    /// True when the predicate provably holds the same truth value in
+    /// every thread of the dynamic instance: both operand snapshots are
+    /// one shared constant (divergence-bit-aware).
+    #[must_use]
+    pub fn is_tb_uniform(self) -> bool {
+        match self {
+            PredVal::Cmp { lhs, rhs, .. } => lhs.is_tb_uniform() && rhs.is_tb_uniform(),
+            _ => false,
+        }
+    }
+
+    /// True when both operand snapshots determine every thread's value
+    /// outright (exact constants per thread), so old and new definitions
+    /// of the predicate agree bit-for-bit.
+    #[must_use]
+    fn is_determined(self) -> bool {
+        match self {
+            PredVal::Cmp { lhs, rhs, .. } => {
+                lhs.affine().is_some_and(Affine::is_exact)
+                    && rhs.affine().is_some_and(Affine::is_exact)
+            }
             _ => false,
         }
     }
@@ -565,11 +661,15 @@ pub fn value_of(st: &FlowState, instr: &Instruction, block_z: u32) -> AffineVal 
         Op::IMax => s(0).max_(s(1)),
         Op::S2R(sp) => AffineVal::of_special(sp, block_z),
         Op::Ld(MemSpace::Param) => AffineVal::uniform_unknown(),
-        // A uniform address loads one word into every lane; the value is
-        // unknown but TB-uniform within this dynamic instance.
+        // A TB-uniform address loads one word into every lane; the value
+        // is unknown but shared within this dynamic instance. A merely
+        // structural-uniform address may differ per thread, so the loaded
+        // word keeps the envelope but not the shared-constant bit.
         Op::Ld(_) => {
-            if s(0).is_uniform() {
+            if s(0).is_tb_uniform() {
                 AffineVal::uniform_unknown()
+            } else if s(0).is_uniform() {
+                AffineVal::uniform_unknown().non_uniform()
             } else {
                 AffineVal::Unknown
             }
@@ -577,10 +677,18 @@ pub fn value_of(st: &FlowState, instr: &Instruction, block_z: u32) -> AffineVal 
         Op::Atom(_) => AffineVal::Unknown,
         Op::Sel(p) => {
             let (a, b) = (s(0), s(1));
+            let pred = st.preds[usize::from(p.0)];
             if a == b {
                 a
-            } else if st.preds[usize::from(p.0)].is_uniform() {
-                a.meet(b, false)
+            } else if pred.is_uniform() {
+                let m = a.meet(b, false);
+                // All threads pick the same arm only when the predicate is
+                // shared, not merely coefficient-free.
+                if pred.is_tb_uniform() {
+                    m
+                } else {
+                    m.non_uniform()
+                }
             } else {
                 // Per-thread mixture of two different affine forms.
                 AffineVal::Unknown
@@ -597,8 +705,28 @@ pub fn value_of(st: &FlowState, instr: &Instruction, block_z: u32) -> AffineVal 
 
 /// Applies one instruction to the state.
 pub fn transfer(st: &mut FlowState, instr: &Instruction, block_z: u32) {
+    transfer_divergent(st, instr, block_z, false);
+}
+
+/// Applies one instruction to the state, knowing whether the instruction
+/// sits inside a divergent region (between a thread-dependent branch and
+/// its reconvergence point). Writes in a divergent region reach only the
+/// active subset of threads, so their results lose the shared-constant
+/// bit and predicate redefinitions degrade like non-uniform guards.
+pub fn transfer_divergent(st: &mut FlowState, instr: &Instruction, block_z: u32, divergent: bool) {
     let guard_pred = instr.guard.map(|g| st.preds[usize::from(g.pred.0)]);
     let guard_uniform = guard_pred.is_some_and(PredVal::is_uniform);
+    // True when every thread of the instance takes the write together:
+    // no guard outside a divergent region, or a guard whose truth is one
+    // shared value.
+    let write_is_total = if divergent {
+        false
+    } else {
+        match guard_pred {
+            None => true,
+            Some(p) => p.is_tb_uniform(),
+        }
+    };
     if let Some(p) = instr.pdst {
         let new = match instr.op {
             Op::Setp(cmp) => {
@@ -616,9 +744,15 @@ pub fn transfer(st: &mut FlowState, instr: &Instruction, block_z: u32) {
             _ => PredVal::Unknown,
         };
         let slot = &mut st.preds[usize::from(p.0)];
-        // A guarded setp mixes old and new bits; predicates have no hull,
-        // so anything but an identical redefinition degrades.
-        *slot = if instr.guard.is_none() || *slot == new { new } else { PredVal::Unknown };
+        // A guarded or divergent-region setp mixes old and new bits;
+        // predicates have no hull, so anything but a redefinition whose
+        // per-thread truth is unchanged (identical snapshot of exact
+        // operands) degrades.
+        *slot = if (instr.guard.is_none() && !divergent) || (*slot == new && new.is_determined()) {
+            new
+        } else {
+            PredVal::Unknown
+        };
     }
     if let Some(d) = instr.dst {
         let v = value_of(st, instr, block_z);
@@ -627,7 +761,7 @@ pub fn transfer(st: &mut FlowState, instr: &Instruction, block_z: u32) {
             AffineVal::Top => AffineVal::Unknown,
             o => o,
         };
-        st.regs[slot] = if instr.guard.is_none() {
+        let merged = if instr.guard.is_none() {
             v
         } else if guard_uniform {
             // All threads together keep old or take new: hull is sound.
@@ -638,6 +772,9 @@ pub fn transfer(st: &mut FlowState, instr: &Instruction, block_z: u32) {
             // Thread-dependent mixture of old and new values.
             AffineVal::Unknown
         };
+        // A partial write leaves inactive threads holding other values;
+        // the envelope survives but the shared-constant claim does not.
+        st.regs[slot] = if write_is_total { merged } else { merged.non_uniform() };
         // The compared register changed: branch edges can no longer
         // refine it through predicates captured before this write.
         for p in &mut st.preds {
@@ -708,9 +845,30 @@ pub fn num_preds(instrs: &[Instruction]) -> usize {
 /// [`MAX_PRECISE_SWEEPS`].
 #[must_use]
 pub fn fixpoint(kernel: &Kernel, cfg: &Cfg, block_z: u32, entry_zeroed: bool) -> Vec<FlowState> {
+    fixpoint_with_divergence(kernel, cfg, block_z, entry_zeroed).0
+}
+
+/// [`fixpoint`], additionally returning the per-block divergent-region
+/// flags: `flags[b]` is true when block `b` lies between some branch
+/// whose predicate is not provably one shared value and that branch's
+/// immediate post-dominator. Writes in flagged blocks reach only active
+/// threads, so [`transfer_divergent`] strips their shared-constant bit;
+/// callers replaying block bodies from the in-states must pass the same
+/// flag to reproduce the fixpoint's values.
+#[must_use]
+pub fn fixpoint_with_divergence(
+    kernel: &Kernel,
+    cfg: &Cfg,
+    block_z: u32,
+    entry_zeroed: bool,
+) -> (Vec<FlowState>, Vec<bool>) {
     let nregs = usize::from(kernel.num_regs);
     let npreds = num_preds(&kernel.instrs);
     let nb = cfg.blocks.len();
+    let pdoms = crate::dom::PostDoms::compute(cfg);
+    // Taint is monotone: a branch once seen divergent stays divergent (its
+    // predicate can only descend the lattice), so regions only grow.
+    let mut divergent = vec![false; nb];
     let mut in_states: Vec<FlowState> =
         (0..nb).map(|_| FlowState::unreachable(nregs, npreds)).collect();
     in_states[0] = FlowState::entry(nregs, npreds, entry_zeroed);
@@ -724,7 +882,7 @@ pub fn fixpoint(kernel: &Kernel, cfg: &Cfg, block_z: u32, entry_zeroed: bool) ->
             }
             let mut st = in_states[b].clone();
             for pc in cfg.blocks[b].range() {
-                transfer(&mut st, &kernel.instrs[pc], block_z);
+                transfer_divergent(&mut st, &kernel.instrs[pc], block_z, divergent[b]);
             }
             let block = &cfg.blocks[b];
             let term = block.range().last();
@@ -732,6 +890,22 @@ pub fn fixpoint(kernel: &Kernel, cfg: &Cfg, block_z: u32, entry_zeroed: bool) ->
                 Op::Bra { .. } => kernel.instrs[pc].guard,
                 _ => None,
             });
+            if let Some(g) = branch_guard {
+                if block.succs.len() == 2 && block.succs[0] != block.succs[1] {
+                    let pv = st.preds[usize::from(g.pred.0)];
+                    // Top (never defined) is the zero-initialized register:
+                    // uniformly false, not divergent.
+                    let is_divergent = !matches!(pv, PredVal::Top) && !pv.is_tb_uniform();
+                    if is_divergent {
+                        for r in divergent_region(cfg, b, pdoms.ipdom[b]) {
+                            if !divergent[r] {
+                                divergent[r] = true;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
             for (i, &succ) in block.succs.iter().enumerate() {
                 let mut out = st.clone();
                 if let Some(g) = branch_guard {
@@ -749,7 +923,28 @@ pub fn fixpoint(kernel: &Kernel, cfg: &Cfg, block_z: u32, entry_zeroed: bool) ->
             break;
         }
     }
-    in_states
+    (in_states, divergent)
+}
+
+/// Blocks strictly between `branch_block` and its immediate
+/// post-dominator `join`: everything reachable from the branch's
+/// successors without passing through `join`.
+fn divergent_region(cfg: &Cfg, branch_block: usize, join: usize) -> Vec<usize> {
+    let mut seen = vec![false; cfg.len()];
+    seen[join] = true;
+    let mut stack: Vec<usize> = cfg.blocks[branch_block].succs.clone();
+    let mut region = Vec::new();
+    while let Some(b) = stack.pop() {
+        if seen[b] {
+            continue;
+        }
+        seen[b] = true;
+        region.push(b);
+        for &s in &cfg.blocks[b].succs {
+            stack.push(s);
+        }
+    }
+    region
 }
 
 #[cfg(test)]
@@ -757,7 +952,7 @@ mod tests {
     use super::*;
 
     fn aff(a: i64, b: i64, lo: i64, hi: i64) -> AffineVal {
-        AffineVal::Aff(Affine { a, b, lo, hi })
+        AffineVal::Aff(Affine { a, b, lo, hi, uniform: true })
     }
 
     #[test]
@@ -796,10 +991,10 @@ mod tests {
 
     #[test]
     fn range_spans_threads_and_interval() {
-        let f = Affine { a: 4, b: 64, lo: 8, hi: 12 };
+        let f = Affine { a: 4, b: 64, lo: 8, hi: 12, uniform: true };
         // tx in [0,16), ty in [0,4): 4*15 + 64*3 + 12 = 264.
         assert_eq!(f.range(16, 4), (8, 264));
-        let g = Affine { a: -4, b: 0, lo: 0, hi: 0 };
+        let g = Affine { a: -4, b: 0, lo: 0, hi: 0, uniform: true };
         assert_eq!(g.range(8, 1), (-28, 0));
     }
 
@@ -816,8 +1011,8 @@ mod tests {
 
     #[test]
     fn eval_requires_exact_constant() {
-        let f = Affine { a: 4, b: 32, lo: 8, hi: 8 };
+        let f = Affine { a: 4, b: 32, lo: 8, hi: 8, uniform: true };
         assert_eq!(f.eval(3, 2), Some(4 * 3 + 32 * 2 + 8));
-        assert_eq!(Affine { a: 1, b: 0, lo: 0, hi: 4 }.eval(1, 0), None);
+        assert_eq!(Affine { a: 1, b: 0, lo: 0, hi: 4, uniform: true }.eval(1, 0), None);
     }
 }

@@ -120,6 +120,225 @@ impl PostDoms {
     }
 }
 
+/// Immediate (forward) dominators of every block, rooted at the entry.
+#[derive(Debug, Clone)]
+pub struct Doms {
+    /// `idom[b]` is the immediate dominator of block `b` (the entry
+    /// dominates itself). Blocks unreachable from the entry are pinned to
+    /// the entry.
+    pub idom: Vec<BlockId>,
+}
+
+impl Doms {
+    /// Computes forward dominators of `cfg` with the Cooper–Harvey–Kennedy
+    /// algorithm, rooted at block 0.
+    #[must_use]
+    pub fn compute(cfg: &Cfg) -> Doms {
+        let n = cfg.len();
+        let entry: BlockId = 0;
+        const UNDEF: usize = usize::MAX;
+
+        // Postorder of the forward graph rooted at the entry. The root
+        // finishes last, so it receives the highest postorder number;
+        // intersect() climbs idom links toward higher numbers.
+        let mut po = vec![UNDEF; n];
+        let mut order: Vec<BlockId> = Vec::with_capacity(n);
+        {
+            let mut visited = vec![false; n];
+            let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+            visited[entry] = true;
+            while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+                if *i < cfg.blocks[b].succs.len() {
+                    let s = cfg.blocks[b].succs[*i];
+                    *i += 1;
+                    if !visited[s] {
+                        visited[s] = true;
+                        stack.push((s, 0));
+                    }
+                } else {
+                    po[b] = order.len();
+                    order.push(b);
+                    stack.pop();
+                }
+            }
+        }
+
+        let mut idom = vec![UNDEF; n];
+        idom[entry] = entry;
+
+        let intersect = |idom: &[usize], mut a: usize, mut b: usize| -> usize {
+            while a != b {
+                while po[a] < po[b] {
+                    a = idom[a];
+                }
+                while po[b] < po[a] {
+                    b = idom[b];
+                }
+            }
+            a
+        };
+
+        let rpo: Vec<BlockId> = order.iter().rev().copied().collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &rpo {
+                if b == entry {
+                    continue;
+                }
+                let mut new_idom = UNDEF;
+                for &p in &cfg.blocks[b].preds {
+                    if po[p] != UNDEF && idom[p] != UNDEF {
+                        new_idom =
+                            if new_idom == UNDEF { p } else { intersect(&idom, new_idom, p) };
+                    }
+                }
+                if new_idom != UNDEF && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        // Unreachable blocks: pin to the entry.
+        for d in idom.iter_mut() {
+            if *d == UNDEF {
+                *d = entry;
+            }
+        }
+        Doms { idom }
+    }
+
+    /// True when `a` dominates `b`.
+    #[must_use]
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = self.idom[cur];
+            if next == cur {
+                return false;
+            }
+            cur = next;
+        }
+    }
+}
+
+/// One natural loop the symbolic engine can summarize: a single back edge
+/// `latch -> header` where the header dominates the latch, the latch ends
+/// in a guarded branch targeting the header's first instruction, and every
+/// other edge leaving a body block stays inside the body (so the branch's
+/// fall-through is the unique loop exit).
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// Block whose first instruction is the loop entry.
+    pub header: BlockId,
+    /// Block containing the back-edge branch.
+    pub latch: BlockId,
+    /// Program counter of the guarded back-edge branch (last instruction of
+    /// the latch).
+    pub back_edge_pc: usize,
+    /// First instruction of the header (the branch target).
+    pub header_pc: usize,
+    /// Blocks in the loop body, header and latch included.
+    pub body: Vec<BlockId>,
+}
+
+/// All summarizable natural loops of a kernel, indexed by back-edge pc.
+#[derive(Debug, Clone, Default)]
+pub struct NaturalLoops {
+    /// Loops in discovery order (by back-edge pc).
+    pub loops: Vec<NaturalLoop>,
+}
+
+impl NaturalLoops {
+    /// Finds single-back-edge natural loops whose only exit is the back
+    /// edge's fall-through. Loops that share a header with another back
+    /// edge, or whose body has a side exit, are skipped — the symbolic
+    /// engine falls back to unrolling those.
+    #[must_use]
+    pub fn compute(kernel: &simt_isa::Kernel, cfg: &Cfg, doms: &Doms) -> NaturalLoops {
+        let mut back_edges: Vec<(BlockId, BlockId, usize)> = Vec::new();
+        for (pc, i) in kernel.instrs.iter().enumerate() {
+            if let Op::Bra { target } = i.op {
+                if i.guard.is_some() {
+                    let latch = cfg.block_of[pc];
+                    // The back edge must be the block's last instruction and
+                    // target a block header that dominates the latch.
+                    if pc + 1 != cfg.blocks[latch].end {
+                        continue;
+                    }
+                    if target >= cfg.block_of.len() {
+                        continue;
+                    }
+                    let header = cfg.block_of[target];
+                    // The branch must land on the block's first instruction.
+                    if cfg.blocks[header].start != target {
+                        continue;
+                    }
+                    if doms.dominates(header, latch) {
+                        back_edges.push((latch, header, pc));
+                    }
+                }
+            }
+        }
+        let mut loops = Vec::new();
+        'edges: for &(latch, header, pc) in &back_edges {
+            // One back edge per header only.
+            if back_edges.iter().filter(|&&(_, h, _)| h == header).count() != 1 {
+                continue;
+            }
+            // Body = {header} ∪ blocks reaching the latch without passing
+            // the header (standard natural-loop body, walked backwards).
+            let mut in_body = vec![false; cfg.len()];
+            in_body[header] = true;
+            let mut stack = vec![latch];
+            while let Some(b) = stack.pop() {
+                if in_body[b] {
+                    continue;
+                }
+                in_body[b] = true;
+                for &p in &cfg.blocks[b].preds {
+                    stack.push(p);
+                }
+            }
+            // Every edge out of the body must be the back-edge branch's
+            // fall-through; any other side exit disqualifies the loop.
+            for b in 0..cfg.len() {
+                if !in_body[b] {
+                    continue;
+                }
+                for &s in &cfg.blocks[b].succs {
+                    if in_body[s] {
+                        continue;
+                    }
+                    let is_latch_fallthrough =
+                        b == latch && cfg.blocks[latch].succs.get(1) == Some(&s);
+                    if !is_latch_fallthrough {
+                        continue 'edges;
+                    }
+                }
+            }
+            let body: Vec<BlockId> = (0..cfg.len()).filter(|&b| in_body[b]).collect();
+            loops.push(NaturalLoop {
+                header,
+                latch,
+                back_edge_pc: pc,
+                header_pc: cfg.blocks[header].start,
+                body,
+            });
+        }
+        NaturalLoops { loops }
+    }
+
+    /// The loop whose back-edge branch sits at `pc`, if any.
+    #[must_use]
+    pub fn at_back_edge(&self, pc: usize) -> Option<&NaturalLoop> {
+        self.loops.iter().find(|l| l.back_edge_pc == pc)
+    }
+}
+
 /// Per-branch reconvergence points: for each conditional branch instruction,
 /// the instruction index where diverged warp halves re-join (the first
 /// instruction of the branch block's immediate post-dominator).
@@ -239,6 +458,87 @@ mod tests {
         }
         // The body block does not post-dominate the entry.
         assert!(!pd.post_dominates(1, 0));
+    }
+
+    #[test]
+    fn forward_dominators_and_natural_loop_of_do_while() {
+        let mut b = KernelBuilder::new("nl");
+        let i = b.mov(0u32);
+        b.do_while(|b| {
+            b.iadd_to(i, i, 1u32);
+            let p = b.setp(CmpOp::Lt, i, 8u32);
+            Guard::if_true(p)
+        });
+        b.store(simt_isa::MemSpace::Global, 0u32, i, 0);
+        let k = b.finish();
+        let cfg = Cfg::build(&k);
+        let doms = Doms::compute(&cfg);
+        // Entry dominates everything.
+        for blk in 0..cfg.len() {
+            assert!(doms.dominates(0, blk), "entry dominates block {blk}");
+        }
+        let loops = NaturalLoops::compute(&k, &cfg, &doms);
+        assert_eq!(loops.loops.len(), 1, "one natural loop");
+        let l = &loops.loops[0];
+        let branch_pc = k.instrs.iter().position(|x| x.op.is_branch()).unwrap();
+        assert_eq!(l.back_edge_pc, branch_pc);
+        assert_eq!(
+            l.header_pc,
+            match k.instrs[branch_pc].op {
+                Op::Bra { target } => target,
+                _ => unreachable!(),
+            }
+        );
+        assert!(l.body.contains(&l.header) && l.body.contains(&l.latch));
+        assert!(loops.at_back_edge(branch_pc).is_some());
+        assert!(loops.at_back_edge(branch_pc + 1).is_none());
+    }
+
+    #[test]
+    fn loop_with_side_exit_is_not_summarizable() {
+        // A loop body containing a guarded exit before the back edge: the
+        // body has two ways out, so NaturalLoops must skip it.
+        let mut b = KernelBuilder::new("side");
+        let t = b.special(SpecialReg::TidX);
+        let i = b.mov(0u32);
+        let top = b.here();
+        b.iadd_to(i, i, 1u32);
+        let q = b.setp(CmpOp::Eq, i, t);
+        b.if_then(Guard::if_true(q), |b| {
+            b.store(simt_isa::MemSpace::Global, 0u32, i, 0);
+        });
+        let p = b.setp(CmpOp::Lt, i, 8u32);
+        b.branch_back_if(top, Guard::if_true(p));
+        b.store(simt_isa::MemSpace::Global, 4u32, i, 0);
+        let k = b.finish();
+        let cfg = Cfg::build(&k);
+        let doms = Doms::compute(&cfg);
+        let loops = NaturalLoops::compute(&k, &cfg, &doms);
+        // The inner if_then is fine (not a loop); the back edge itself is a
+        // well-formed single-exit loop, so it IS summarizable. What must
+        // never appear is a loop keyed on the if_then's branch.
+        let if_pc = k
+            .instrs
+            .iter()
+            .position(|x| x.op.is_branch() && x.guard.is_some())
+            .expect("guarded branch");
+        assert!(loops.at_back_edge(if_pc).is_none(), "forward branch is not a back edge");
+        for l in &loops.loops {
+            assert!(doms.dominates(l.header, l.latch));
+        }
+    }
+
+    #[test]
+    fn straight_line_kernel_has_no_loops() {
+        let mut b = KernelBuilder::new("sl");
+        let t = b.special(SpecialReg::TidX);
+        let a = b.shl_imm(t, 2);
+        b.store(simt_isa::MemSpace::Global, a, t, 0);
+        let k = b.finish();
+        let cfg = Cfg::build(&k);
+        let doms = Doms::compute(&cfg);
+        let loops = NaturalLoops::compute(&k, &cfg, &doms);
+        assert!(loops.loops.is_empty());
     }
 
     #[test]

@@ -43,12 +43,12 @@ pub mod pass;
 pub mod refine;
 pub mod term;
 
-pub use affine::{Affine, AffineVal};
+pub use affine::{Affine, AffineVal, NEG_INF, POS_INF};
 pub use analysis::{analyze, Analysis, AnalysisOptions};
 pub use blame::{blame, Blame, BlameChain, BlameSeed};
 pub use cfg::{BasicBlock, BlockId, Cfg};
 pub use class::{AbsClass, Pat, Red, Taxonomy};
-pub use dom::{PostDoms, ReconvergenceTable, RECONVERGE_AT_EXIT};
+pub use dom::{Doms, NaturalLoop, NaturalLoops, PostDoms, ReconvergenceTable, RECONVERGE_AT_EXIT};
 pub use pass::{compile, compile_with_options, promotes_tid_y, CompiledKernel, LaunchPlan};
 pub use refine::{refine, RefineReason, Refined, Upgrade};
 pub use term::{fold_alu, Deps, EvalCtx, TermArena, TermId, TermNode};

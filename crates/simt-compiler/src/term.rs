@@ -110,6 +110,12 @@ pub enum TermNode {
     Special(SpecialReg),
     /// A fresh opaque value (atomic results); `id` keeps instances apart.
     Havoc(u32),
+    /// A loop-summary symbol: the value of a register modified by a
+    /// summarized natural loop, after an arbitrary number of iterations.
+    /// Unlike [`Havoc`](TermNode::Havoc), it carries the dependency set
+    /// the loop's dataflow closed over, so uniformity proofs survive
+    /// summarization. `id` keeps generations apart.
+    Summary(u32),
     /// An ALU operation over up to three operands (absent operands are
     /// the constant 0, matching the functional executor).
     Alu {
@@ -231,6 +237,7 @@ pub struct TermArena {
     deps: Vec<Deps>,
     memo: HashMap<TermNode, TermId>,
     next_havoc: u32,
+    next_summary: u32,
 }
 
 impl TermArena {
@@ -328,6 +335,18 @@ impl TermArena {
         self.intern(TermNode::Havoc(id), AffineVal::Unknown, Deps::OTHER)
     }
 
+    /// Interns a fresh loop-summary symbol carrying `deps`. A summary
+    /// with no thread dependencies abstracts a TB-uniform (but otherwise
+    /// unknown) value; any other dependency set escapes the affine
+    /// domain but keeps the dependency lattice precise.
+    pub fn summary(&mut self, deps: Deps) -> TermId {
+        let id = self.next_summary;
+        self.next_summary += 1;
+        let affine =
+            if deps.is_empty() { AffineVal::uniform_unknown() } else { AffineVal::Unknown };
+        self.intern(TermNode::Summary(id), affine, deps)
+    }
+
     fn union3(&self, a: TermId, b: TermId, c: TermId) -> Deps {
         self.deps(a).union(self.deps(b)).union(self.deps(c))
     }
@@ -415,7 +434,10 @@ impl TermArena {
         }
         let uniform = self.affine(a).is_uniform() && self.affine(b).is_uniform();
         let affine = if uniform {
-            AffineVal::Aff(crate::affine::Affine { a: 0, b: 0, lo: 0, hi: 1 })
+            // The truth value is shared across threads only when both
+            // operand constants are (divergence bit).
+            let shared = self.affine(a).is_tb_uniform() && self.affine(b).is_tb_uniform();
+            AffineVal::Aff(crate::affine::Affine { a: 0, b: 0, lo: 0, hi: 1, uniform: shared })
         } else {
             AffineVal::Unknown
         };
@@ -508,7 +530,7 @@ impl TermArena {
                     SpecialReg::WarpId => ctx.warp,
                 })
             }
-            TermNode::Havoc(_) => None,
+            TermNode::Havoc(_) | TermNode::Summary(_) => None,
             TermNode::Alu { op, a, b, c } => {
                 let (a, b, c) = (self.eval(a, ctx)?, self.eval(b, ctx)?, self.eval(c, ctx)?);
                 fold_alu(op, a, b, c)
@@ -567,6 +589,7 @@ impl TermArena {
             TermNode::Const(v) => format!("{}", v as i32),
             TermNode::Special(s) => format!("{s}"),
             TermNode::Havoc(i) => format!("havoc{i}"),
+            TermNode::Summary(i) => format!("sum{i}"),
             TermNode::Alu { op, a, b, c } => {
                 let n = op.num_srcs();
                 let mut parts = vec![self.render_depth(a, depth - 1)];

@@ -8,10 +8,18 @@
 //! [`simt_compiler::term`]). Control flow follows the compiler's own
 //! reconvergence table: a branch whose predicate folds to a constant is
 //! followed directly; otherwise both arms run to the immediate
-//! postdominator and the states merge pointwise with `ite` terms, so
-//! loops with symbolic trip counts unroll up to the fork budget. From the
-//! merged state every marked instruction and skippable branch yields
-//! proof obligations over the term's dependency set:
+//! postdominator and the states merge pointwise with `ite` terms. A
+//! back-edge of a *natural loop* whose trip count stays symbolic is
+//! summarized instead of unrolled: a havoc-and-invariant fixpoint over
+//! the loop body finds the registers the loop may modify and the
+//! dependency closure they settle into, the exit state replaces them
+//! with opaque summary terms carrying that closure (plus the trip
+//! condition's own deps — the iteration count is data), and visits
+//! recorded inside the body are retroactively tainted the same way.
+//! Loops the summarizer declines (irreducible, side exit, no
+//! convergence) still fork-unroll up to the budget. From the merged
+//! state every marked instruction and skippable branch yields proof
+//! obligations over the term's dependency set:
 //!
 //! | claim | quantified over | obligation |
 //! |---|---|---|
@@ -26,13 +34,19 @@
 //! `ntid.x * ntid.y ≤ warp size` leaves a single warp per threadblock and
 //! cross-warp redundancy has nothing to compare.
 //!
-//! Claims the term domain cannot discharge fall back to the affine
-//! fixpoint ([`affine::fixpoint`]), which is already launch-generic —
-//! but only its *exact* verdicts are trusted: the interval meet hulls
-//! different per-path constants at control-flow joins, so a non-exact
-//! "uniform" interval may still hide warp-divergent values and proves
-//! nothing here. Guarded writes likewise fall to the term domain, which
-//! models the unwritten lanes explicitly.
+//! Claims the term domain cannot discharge fall back to the
+//! divergence-aware affine fixpoint
+//! ([`affine::fixpoint_with_divergence`]), which is already
+//! launch-generic. The interval meet hulls different per-path constants
+//! at control-flow joins, so a non-exact interval alone proves nothing —
+//! but the domain's TB-uniform *bit* does: it is set only on values
+//! whose constant is one shared pick per dynamic instance, writes inside
+//! divergent regions and merges under non-uniform guards clear it, and
+//! joins AND it. A structurally-uniform value with the bit set is
+//! thread-invariant by construction, so the fallback discharges
+//! `Family::All` claims from uniformity alone, exact or not. Guarded
+//! writes likewise fall to the term domain, which models the unwritten
+//! lanes explicitly.
 //! Claims neither prover discharges are *attacked*: the recorded terms
 //! are evaluated concretely over a small family of two-warp candidate
 //! blocks, and any cross-warp mismatch is replayed through the
@@ -41,11 +55,22 @@
 //! reported. Unresolved claims degrade to the conservative `S402`
 //! warning; concrete divergence of a skippable branch predicate is
 //! `S403`.
+//!
+//! Discharge is embarrassingly parallel: obligations are judged against
+//! the *frozen* post-run state (term arena, visits, affine flows), so
+//! [`prove_with_threads`] shards them across a scoped thread pool in
+//! contiguous chunks and re-assembles results in claim order — the
+//! report, stats and per-claim ledger are byte-identical for any thread
+//! count. Each [`ClaimRecord`] carries its verdict, the reason an
+//! unknown stayed open ([`UnknownReason`]), and the deterministic count
+//! of concrete evaluations counterexample hunting spent on it.
 
 use crate::{oracle, Diagnostic, Diagnostics, LintCode};
 use gpu_sim::GlobalMemory;
 use simt_compiler::affine::{self, AffineVal};
-use simt_compiler::{CompiledKernel, Deps, EvalCtx, Red, TermArena, TermId, RECONVERGE_AT_EXIT};
+use simt_compiler::{
+    CompiledKernel, Deps, Doms, EvalCtx, NaturalLoops, Red, TermArena, TermId, RECONVERGE_AT_EXIT,
+};
 use simt_isa::{Instruction, LaunchConfig, Marking, MemSpace, Op, Operand, Value};
 use std::collections::HashMap;
 
@@ -158,10 +183,15 @@ fn branch_claim(ck: &CompiledKernel, pc: usize) -> Option<Family> {
 
 /// One recorded execution of an obligation site: the term the site
 /// produced and the path condition under which this visit happens.
+/// `extra` is dependency taint added after the fact — when a loop the
+/// visit sits inside is summarized, the loop's closed-over sources and
+/// trip-condition deps are unioned in, because the recorded term only
+/// describes the first unrolled iteration.
 #[derive(Clone, Copy)]
 struct Visit {
     path: TermId,
     term: TermId,
+    extra: Deps,
 }
 
 /// Register/predicate file over terms; one per explored path segment.
@@ -178,10 +208,35 @@ enum Flow {
     Exited,
 }
 
+/// Why a claim (or the whole symbolic run) stayed open. Reported
+/// per-claim so regressions in prover power are diagnosable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnknownReason {
+    /// The instruction-retirement or term-arena budget ran out.
+    FuelExhausted,
+    /// Branch-fork nesting exceeded [`MAX_FORK_DEPTH`].
+    ForkBudget,
+    /// The run completed (or hit an unmodeled construct), but the term
+    /// and affine domains could not discharge the obligation.
+    TermEscape,
+}
+
+impl UnknownReason {
+    /// Stable machine-readable label, used by `prove --json`.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            UnknownReason::FuelExhausted => "fuel-exhausted",
+            UnknownReason::ForkBudget => "fork-budget",
+            UnknownReason::TermEscape => "term-domain-escape",
+        }
+    }
+}
+
 /// Budget exhaustion: fuel, fork depth, arena size, or an unmodeled
 /// construct (thread-partial `exit`). The run so far remains usable for
 /// counterexample hunting, but proofs require completion.
-struct Exhausted;
+struct Exhausted(UnknownReason);
 
 struct Engine<'a> {
     ck: &'a CompiledKernel,
@@ -194,10 +249,25 @@ struct Engine<'a> {
     branch_sites: Vec<bool>,
     value_visits: HashMap<usize, Vec<Visit>>,
     branch_visits: HashMap<usize, Vec<Visit>>,
+    /// Summarizable natural loops, keyed by their back-edge branch.
+    loops: NaturalLoops,
+    /// `is_header[pc]` marks the first instruction of a loop header.
+    is_header: Vec<bool>,
+    /// Register/predicate state observed at each loop header, used as
+    /// the base frame for the havoc-and-invariant summary.
+    header_snap: HashMap<usize, SymState>,
+    /// False during summary trial runs, which must not record visits.
+    recording: bool,
 }
 
 impl<'a> Engine<'a> {
     fn new(ck: &'a CompiledKernel, value_sites: Vec<bool>, branch_sites: Vec<bool>) -> Engine<'a> {
+        let doms = Doms::compute(&ck.cfg);
+        let loops = NaturalLoops::compute(&ck.kernel, &ck.cfg, &doms);
+        let mut is_header = vec![false; ck.kernel.instrs.len()];
+        for l in &loops.loops {
+            is_header[l.header_pc] = true;
+        }
         Engine {
             ck,
             t: TermArena::new(),
@@ -207,6 +277,10 @@ impl<'a> Engine<'a> {
             branch_sites,
             value_visits: HashMap::new(),
             branch_visits: HashMap::new(),
+            loops,
+            is_header,
+            header_snap: HashMap::new(),
+            recording: true,
         }
     }
 
@@ -282,9 +356,12 @@ impl<'a> Engine<'a> {
                 return Ok(Flow::Exited);
             }
             if self.fuel == 0 || self.t.len() > MAX_TERMS {
-                return Err(Exhausted);
+                return Err(Exhausted(UnknownReason::FuelExhausted));
             }
             self.fuel -= 1;
+            if self.is_header[pc] {
+                self.header_snap.insert(pc, st.clone());
+            }
             let instr = self.ck.kernel.instrs[pc].clone();
             let cond = instr.guard.map(|g| {
                 let p = st.preds[g.pred.index()];
@@ -298,15 +375,23 @@ impl<'a> Engine<'a> {
                 Op::Bra { target } => {
                     let one = self.t.constant(1);
                     let c = cond.unwrap_or(one);
-                    if instr.guard.is_some() && self.branch_sites[pc] {
-                        self.branch_visits.entry(pc).or_default().push(Visit { path, term: c });
+                    if instr.guard.is_some() && self.branch_sites[pc] && self.recording {
+                        self.branch_visits.entry(pc).or_default().push(Visit {
+                            path,
+                            term: c,
+                            extra: Deps::NONE,
+                        });
                     }
                     match self.t.as_const(c) {
                         Some(0) => pc += 1,
                         Some(_) => pc = target,
                         None => {
+                            if let Some(exit) = self.try_summarize(st, pc, c, path, depth)? {
+                                pc = exit;
+                                continue;
+                            }
                             if depth >= MAX_FORK_DEPTH {
-                                return Err(Exhausted);
+                                return Err(Exhausted(UnknownReason::ForkBudget));
                             }
                             let join = match self.ck.recon.recon[pc] {
                                 Some(j) => j,
@@ -351,7 +436,7 @@ impl<'a> Engine<'a> {
                     }
                     // A thread-partial exit tears the warp apart; the
                     // term domain has no mask concept, so give up.
-                    Some(None) => return Err(Exhausted),
+                    Some(None) => return Err(Exhausted(UnknownReason::TermEscape)),
                 },
                 Op::Bar => {
                     pc += 1;
@@ -399,16 +484,169 @@ impl<'a> Engine<'a> {
                     // Record the post-instruction register, exactly what
                     // the oracle's observer snapshots (a false guard
                     // leaves the old value, and so does the `ite`).
-                    if self.value_sites[pc] {
-                        self.value_visits
-                            .entry(pc)
-                            .or_default()
-                            .push(Visit { path, term: st.regs[d.index()] });
+                    if self.value_sites[pc] && self.recording {
+                        self.value_visits.entry(pc).or_default().push(Visit {
+                            path,
+                            term: st.regs[d.index()],
+                            extra: Deps::NONE,
+                        });
                     }
                 }
             }
             pc += 1;
         }
+    }
+
+    /// Attempts to replace the natural loop whose back edge is the
+    /// symbolic branch at `pc` with a havoc-and-invariant summary, so a
+    /// symbolic trip count no longer forces bounded unrolling.
+    ///
+    /// The dependency sets of everything the body modifies are closed by
+    /// iterating havocked trial runs of the body (visit recording
+    /// suppressed): each modified register/predicate is replaced by a
+    /// fresh [`TermArena::summary`] symbol carrying its current set, the
+    /// body is re-run from the header, and any new sources the run
+    /// surfaces widen the sets until they are inductive. The live state
+    /// then gets fresh summary symbols tagged with the closed sets plus
+    /// the trip-condition deps (the iteration count a value was left at
+    /// depends on who kept looping), and every visit recorded inside the
+    /// body is tainted the same way — its term only described the first
+    /// iteration. Returns the loop's unique exit pc on success; `None`
+    /// declines (irreducible shape, side exit) and the caller falls back
+    /// to fork-based unrolling.
+    // Indices walk four parallel state vectors in lockstep; iterator
+    // chains would obscure that.
+    #[allow(clippy::needless_range_loop)]
+    fn try_summarize(
+        &mut self,
+        st: &mut SymState,
+        pc: usize,
+        cond: TermId,
+        path: TermId,
+        depth: usize,
+    ) -> Result<Option<usize>, Exhausted> {
+        let Some(lp) = self.loops.at_back_edge(pc) else {
+            return Ok(None);
+        };
+        let lp = lp.clone();
+        let Some(snap) = self.header_snap.get(&lp.header_pc).cloned() else {
+            return Ok(None);
+        };
+        let guard = self.ck.kernel.instrs[pc].guard.expect("back edge is guarded");
+
+        // Seed the modified sets from the concrete iteration just run
+        // (snapshot at the header -> `st` at the back edge).
+        let (nregs, npreds) = (st.regs.len(), st.preds.len());
+        let mut reg_d: Vec<Option<Deps>> = vec![None; nregs];
+        let mut pred_d: Vec<Option<Deps>> = vec![None; npreds];
+        for r in 0..nregs {
+            if snap.regs[r] != st.regs[r] {
+                reg_d[r] = Some(self.t.deps(snap.regs[r]).union(self.t.deps(st.regs[r])));
+            }
+        }
+        for p in 0..npreds {
+            if snap.preds[p] != st.preds[p] {
+                pred_d[p] = Some(self.t.deps(snap.preds[p]).union(self.t.deps(st.preds[p])));
+            }
+        }
+        let mut cond_d = self.t.deps(cond);
+
+        let was_recording = self.recording;
+        self.recording = false;
+        let mut converged = false;
+        let mut outcome = Ok(());
+        // The deps lattice is tiny, so the widening loop converges in a
+        // handful of passes; the cap only guards against a logic bug.
+        for _ in 0..64 {
+            let mut trial = snap.clone();
+            for r in 0..nregs {
+                if let Some(d) = reg_d[r] {
+                    trial.regs[r] = self.t.summary(d);
+                }
+            }
+            for p in 0..npreds {
+                if let Some(d) = pred_d[p] {
+                    trial.preds[p] = self.t.summary(d);
+                }
+            }
+            let init = trial.clone();
+            match self.run(&mut trial, lp.header_pc, pc, path, depth + 1) {
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+                // A guarded `exit` escaped the body: not a single-exit
+                // loop after all, so decline.
+                Ok(Flow::Exited) => break,
+                Ok(Flow::Fell) => {}
+            }
+            let mut changed = false;
+            for r in 0..nregs {
+                if trial.regs[r] != init.regs[r] || reg_d[r].is_some() {
+                    let nd = self.t.deps(trial.regs[r]).union(reg_d[r].unwrap_or(Deps::NONE));
+                    if reg_d[r] != Some(nd) {
+                        reg_d[r] = Some(nd);
+                        changed = true;
+                    }
+                }
+            }
+            for p in 0..npreds {
+                if trial.preds[p] != init.preds[p] || pred_d[p].is_some() {
+                    let nd = self.t.deps(trial.preds[p]).union(pred_d[p].unwrap_or(Deps::NONE));
+                    if pred_d[p] != Some(nd) {
+                        pred_d[p] = Some(nd);
+                        changed = true;
+                    }
+                }
+            }
+            let pv = trial.preds[guard.pred.index()];
+            let nc = cond_d.union(self.t.deps(pv));
+            if nc != cond_d {
+                cond_d = nc;
+                changed = true;
+            }
+            if !changed {
+                converged = true;
+                break;
+            }
+        }
+        self.recording = was_recording;
+        outcome?;
+        if !converged {
+            return Ok(None);
+        }
+
+        // Install the summary exit state: every value the loop touches
+        // becomes a fresh symbol over its closed sources plus the trip
+        // condition's (how many iterations ran is itself data).
+        let mut taint = cond_d;
+        for d in reg_d.iter().chain(pred_d.iter()).flatten() {
+            taint = taint.union(*d);
+        }
+        for r in 0..nregs {
+            if let Some(d) = reg_d[r] {
+                st.regs[r] = self.t.summary(d.union(cond_d));
+            }
+        }
+        for p in 0..npreds {
+            if let Some(d) = pred_d[p] {
+                st.preds[p] = self.t.summary(d.union(cond_d));
+            }
+        }
+        // Retroactively taint in-body visits: their recorded terms came
+        // from the first unrolled iteration only.
+        for &b in &lp.body {
+            for vpc in self.ck.cfg.blocks[b].range() {
+                for vs in [&mut self.value_visits, &mut self.branch_visits] {
+                    if let Some(visits) = vs.get_mut(&vpc) {
+                        for v in visits {
+                            v.extra = v.extra.union(taint);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Some(pc + 1))
     }
 }
 
@@ -438,6 +676,30 @@ pub struct ProveStats {
     pub unknown: usize,
     /// True when symbolic execution covered every path within budget.
     pub complete: bool,
+    /// Instructions the symbolic engine retired (deterministic cost).
+    pub fuel_used: usize,
+    /// Terms interned by the symbolic engine (deterministic cost).
+    pub terms: usize,
+}
+
+/// One obligation's entry in the proof ledger: where it sits, how it
+/// quantifies, what happened to it, and — when it stayed open — why.
+/// `evals` counts the concrete term evaluations counterexample hunting
+/// spent on it, a deterministic per-claim cost measure.
+#[derive(Debug, Clone, Copy)]
+pub struct ClaimRecord {
+    /// Instruction the claim is attached to.
+    pub pc: usize,
+    /// `"value"` (marked instruction) or `"branch"` (skippable branch).
+    pub kind: &'static str,
+    /// Launch family the claim quantifies over.
+    pub family: &'static str,
+    /// Outcome of the discharge attempt.
+    pub verdict: Verdict,
+    /// Why the claim stayed open; `None` unless `verdict` is `Unknown`.
+    pub unknown_reason: Option<UnknownReason>,
+    /// Concrete term evaluations spent hunting a counterexample.
+    pub evals: usize,
 }
 
 /// Result of [`prove`]: the lint report plus the proof ledger.
@@ -446,6 +708,8 @@ pub struct Prove {
     pub report: Diagnostics,
     /// Proved / disproved / unknown counts.
     pub stats: ProveStats,
+    /// Per-claim outcomes, in instruction order (value before branch).
+    pub claims: Vec<ClaimRecord>,
 }
 
 /// Proves (or refutes) every redundancy marking and branch-sync claim of
@@ -455,6 +719,57 @@ pub struct Prove {
 /// otherwise a zeroed memory and empty parameter list are used.
 #[must_use]
 pub fn prove(ck: &CompiledKernel, reference: Option<(&LaunchConfig, &GlobalMemory)>) -> Prove {
+    prove_with_threads(ck, reference, 1)
+}
+
+/// What kind of obligation a [`ClaimTask`] discharges.
+#[derive(Clone, Copy)]
+enum ClaimKind {
+    Value,
+    Branch,
+}
+
+/// One obligation queued for discharge.
+#[derive(Clone, Copy)]
+struct ClaimTask {
+    pc: usize,
+    kind: ClaimKind,
+    family: Family,
+}
+
+/// What one discharge attempt produced, before merging into the report.
+struct ClaimOutcome {
+    verdict: Verdict,
+    diag: Option<Diagnostic>,
+    evals: usize,
+}
+
+/// Everything a discharge worker needs, shared read-only across the
+/// [`std::thread::scope`] pool.
+struct JudgeCtx<'a> {
+    ck: &'a CompiledKernel,
+    t: &'a TermArena,
+    value_visits: &'a HashMap<usize, Vec<Visit>>,
+    branch_visits: &'a HashMap<usize, Vec<Visit>>,
+    aff_val: &'a [Option<AffineVal>],
+    aff_guard_uniform: &'a [bool],
+    reachable: &'a [bool],
+    ref_params: &'a [u32],
+    ref_memory: &'a GlobalMemory,
+    complete: bool,
+}
+
+/// [`prove`] with the claim-discharge stage sharded over `threads`
+/// worker threads. Claims are independent of one another, so the work
+/// splits into contiguous chunks whose results are re-joined in claim
+/// order — the report, stats and ledger are byte-identical for every
+/// thread count.
+#[must_use]
+pub fn prove_with_threads(
+    ck: &CompiledKernel,
+    reference: Option<(&LaunchConfig, &GlobalMemory)>,
+    threads: usize,
+) -> Prove {
     let n = ck.kernel.instrs.len();
     let vclaims: Vec<Option<Family>> = (0..n).map(|pc| value_claim(ck, pc)).collect();
     let bclaims: Vec<Option<Family>> = (0..n).map(|pc| branch_claim(ck, pc)).collect();
@@ -471,11 +786,15 @@ pub fn prove(ck: &CompiledKernel, reference: Option<(&LaunchConfig, &GlobalMemor
         regs: vec![zero; ck.kernel.num_regs as usize],
         preds: vec![zero; affine::num_preds(&ck.kernel.instrs)],
     };
-    let complete = eng.run(&mut st, 0, RECONVERGE_AT_EXIT, one, 0).is_ok();
-    let Engine { mut t, value_visits, branch_visits, .. } = eng;
+    let run_res = eng.run(&mut st, 0, RECONVERGE_AT_EXIT, one, 0);
+    let complete = run_res.is_ok();
+    let incomplete_reason = run_res.err().map(|Exhausted(r)| r);
+    let fuel_used = FUEL - eng.fuel;
+    let Engine { t, value_visits, branch_visits, .. } = eng;
 
-    // Pass 2: the launch-generic affine fixpoint as a fallback prover.
-    let flows = affine::fixpoint(&ck.kernel, &ck.cfg, 1, true);
+    // Pass 2: the launch-generic, divergence-aware affine fixpoint as a
+    // fallback prover.
+    let (flows, divergent) = affine::fixpoint_with_divergence(&ck.kernel, &ck.cfg, 1, true);
     let mut aff_val: Vec<Option<AffineVal>> = vec![None; n];
     let mut aff_guard_uniform = vec![false; n];
     let mut reachable = vec![false; n];
@@ -488,7 +807,7 @@ pub fn prove(ck: &CompiledKernel, reference: Option<(&LaunchConfig, &GlobalMemor
             reachable[pc] = true;
             let instr = &ck.kernel.instrs[pc];
             if let Some(g) = instr.guard {
-                aff_guard_uniform[pc] = pred_exact_uniform(fs.preds[g.pred.index()]);
+                aff_guard_uniform[pc] = fs.preds[g.pred.index()].is_tb_uniform();
             }
             // Guarded writes mix old and new bits per thread; only the
             // term domain models the unwritten lanes, so the affine
@@ -496,7 +815,7 @@ pub fn prove(ck: &CompiledKernel, reference: Option<(&LaunchConfig, &GlobalMemor
             if instr.op.writes_dst() && instr.dst.is_some() && instr.guard.is_none() {
                 aff_val[pc] = Some(affine::value_of(&fs, instr, 1));
             }
-            affine::transfer(&mut fs, instr, 1);
+            affine::transfer_divergent(&mut fs, instr, 1, divergent[b]);
         }
     }
 
@@ -512,52 +831,93 @@ pub fn prove(ck: &CompiledKernel, reference: Option<(&LaunchConfig, &GlobalMemor
         }
     }
 
-    let mut report = Diagnostics::new(ck.kernel.name.clone());
-    let mut stats = ProveStats { complete, ..ProveStats::default() };
-
+    let mut tasks: Vec<ClaimTask> = Vec::new();
     for pc in 0..n {
         if let Some(family) = vclaims[pc] {
-            stats.value_claims += 1;
-            let verdict = judge_value(
-                ck,
-                pc,
-                family,
-                complete,
-                &mut t,
-                &value_visits,
-                &aff_val,
-                &reachable,
-                &ref_params,
-                &ref_memory,
-                &mut report,
-            );
-            count(&mut stats, verdict);
+            tasks.push(ClaimTask { pc, kind: ClaimKind::Value, family });
         }
         if let Some(family) = bclaims[pc] {
-            stats.branch_claims += 1;
-            let verdict = judge_branch(
-                pc,
-                family,
-                complete,
-                &mut t,
-                &branch_visits,
-                &aff_guard_uniform,
-                &reachable,
-                &ref_params,
-                &ref_memory,
-                &mut report,
-            );
-            count(&mut stats, verdict);
+            tasks.push(ClaimTask { pc, kind: ClaimKind::Branch, family });
         }
     }
-    Prove { report, stats }
+
+    let ctx = JudgeCtx {
+        ck,
+        t: &t,
+        value_visits: &value_visits,
+        branch_visits: &branch_visits,
+        aff_val: &aff_val,
+        aff_guard_uniform: &aff_guard_uniform,
+        reachable: &reachable,
+        ref_params: &ref_params,
+        ref_memory: &ref_memory,
+        complete,
+    };
+    let workers = threads.clamp(1, tasks.len().max(1));
+    let outcomes: Vec<ClaimOutcome> = if workers <= 1 {
+        tasks.iter().map(|c| judge_claim(&ctx, c)).collect()
+    } else {
+        let chunk = tasks.len().div_ceil(workers);
+        let mut shards: Vec<Vec<ClaimOutcome>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = tasks
+                .chunks(chunk)
+                .map(|part| {
+                    let ctx = &ctx;
+                    s.spawn(move || part.iter().map(|c| judge_claim(ctx, c)).collect::<Vec<_>>())
+                })
+                .collect();
+            shards = handles.into_iter().map(|h| h.join().expect("judge worker")).collect();
+        });
+        shards.into_iter().flatten().collect()
+    };
+
+    let mut report = Diagnostics::new(ck.kernel.name.clone());
+    let mut stats = ProveStats { complete, fuel_used, terms: t.len(), ..ProveStats::default() };
+    let mut claims = Vec::with_capacity(tasks.len());
+    for (task, out) in tasks.iter().zip(outcomes) {
+        let kind = match task.kind {
+            ClaimKind::Value => {
+                stats.value_claims += 1;
+                "value"
+            }
+            ClaimKind::Branch => {
+                stats.branch_claims += 1;
+                "branch"
+            }
+        };
+        match out.verdict {
+            Verdict::Proved => stats.proved += 1,
+            Verdict::Disproved => stats.disproved += 1,
+            Verdict::Unknown => stats.unknown += 1,
+        }
+        if let Some(d) = out.diag {
+            report.push(d);
+        }
+        let unknown_reason = (out.verdict == Verdict::Unknown).then(|| {
+            if complete {
+                UnknownReason::TermEscape
+            } else {
+                incomplete_reason.unwrap_or(UnknownReason::TermEscape)
+            }
+        });
+        claims.push(ClaimRecord {
+            pc: task.pc,
+            kind,
+            family: task.family.describe(),
+            verdict: out.verdict,
+            unknown_reason,
+            evals: out.evals,
+        });
+    }
+    Prove { report, stats, claims }
 }
 
-fn count(stats: &mut ProveStats, v: Verdict) {
-    match v {
-        Verdict::Proved => stats.proved += 1,
-        Verdict::Disproved => stats.disproved += 1,
-        Verdict::Unknown => stats.unknown += 1,
+/// Discharges one obligation against the shared proof context.
+fn judge_claim(ctx: &JudgeCtx<'_>, task: &ClaimTask) -> ClaimOutcome {
+    match task.kind {
+        ClaimKind::Value => judge_value(ctx, task.pc, task.family),
+        ClaimKind::Branch => judge_branch(ctx, task.pc, task.family),
     }
 }
 
@@ -572,7 +932,9 @@ struct Witness {
 /// Evaluates each failing visit over two-warp candidate blocks, looking
 /// for a lane whose value differs between the warps (for branch claims,
 /// any two threads that disagree). Only threads satisfying the visit's
-/// path condition count.
+/// path condition count. `evals` accumulates the number of per-thread
+/// term evaluations attempted — a deterministic cost measure.
+#[allow(clippy::too_many_arguments)]
 fn hunt(
     t: &TermArena,
     visits: &[Visit],
@@ -581,6 +943,7 @@ fn hunt(
     params: &[u32],
     memory: &GlobalMemory,
     cross_warp_only: bool,
+    evals: &mut usize,
 ) -> Option<Witness> {
     let read = |addr: u64| memory.read_u32(addr);
     for &(bx, by) in dims {
@@ -588,7 +951,8 @@ fn hunt(
             if !fail {
                 continue;
             }
-            let eval_at = |warp: u32, lane: u32| -> Option<u32> {
+            let mut eval_at = |warp: u32, lane: u32| -> Option<u32> {
+                *evals += 1;
                 let ctx = EvalCtx {
                     block: (bx, by),
                     warp_size: 32,
@@ -643,74 +1007,55 @@ fn hunt(
     None
 }
 
-/// True when the affine abstraction pins a *single concrete constant*
-/// for every thread. Plain `is_uniform` is not enough for a proof: the
-/// interval meet hulls different per-path constants at control-flow
-/// joins, so a non-exact "uniform" interval may still differ across
-/// warps that took different paths.
-fn exact_uniform(v: AffineVal) -> bool {
-    v.affine().is_some_and(|f| f.is_uniform() && f.is_exact())
+/// True when the affine abstraction pins a *single shared value* for
+/// every thread of the dynamic instance: either an exact constant, or a
+/// non-exact interval whose TB-uniformity bit survived every join and
+/// transfer (so whatever the value is, all threads hold the same one).
+fn shared_uniform(v: AffineVal) -> bool {
+    v.affine().is_some_and(simt_compiler::Affine::is_tb_uniform)
 }
 
-/// True when the predicate's truth value is pinned by exact uniform
-/// operands — the same concrete comparison in every thread of every
-/// family launch.
-fn pred_exact_uniform(pv: affine::PredVal) -> bool {
-    match pv {
-        affine::PredVal::Cmp { lhs, rhs, .. } => exact_uniform(lhs) && exact_uniform(rhs),
-        _ => false,
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn judge_value(
-    ck: &CompiledKernel,
-    pc: usize,
-    family: Family,
-    complete: bool,
-    t: &mut TermArena,
-    visits: &HashMap<usize, Vec<Visit>>,
-    aff_val: &[Option<AffineVal>],
-    reachable: &[bool],
-    ref_params: &[u32],
-    ref_memory: &GlobalMemory,
-    report: &mut Diagnostics,
-) -> Verdict {
-    if !reachable[pc] || family == Family::PromotedXY {
+fn judge_value(ctx: &JudgeCtx<'_>, pc: usize, family: Family) -> ClaimOutcome {
+    let JudgeCtx { ck, t, ref_params, ref_memory, complete, .. } = *ctx;
+    let mut evals = 0usize;
+    let proved = |evals| ClaimOutcome { verdict: Verdict::Proved, diag: None, evals };
+    if !ctx.reachable[pc] || family == Family::PromotedXY {
         // Dead code proves anything; single-warp TBs have no second warp
         // to diverge from.
-        return Verdict::Proved;
+        return proved(evals);
     }
-    // Affine prover: launch-generic by construction. Only *exact*
-    // constants are proofs — the interval meet hulls different per-path
-    // constants at joins, so a non-exact a = b = 0 interval can still
-    // hide a warp-divergent value (e.g. a counter after a warp-dependent
-    // loop exit).
-    if let Some(av) = aff_val[pc] {
+    // Affine prover: launch-generic by construction. A proof needs the
+    // value *shared*: exact, or carrying the TB-uniformity bit — a bare
+    // non-exact interval may still hide warp-divergent values hulled at
+    // a join.
+    if let Some(av) = ctx.aff_val[pc] {
         let affine_proof = match family {
-            Family::All => exact_uniform(av),
-            // a*tid.x + c with a pinned c is a lane function under the
+            Family::All => shared_uniform(av),
+            // a*tid.x + c with a shared c is a lane function under the
             // px promotion.
-            Family::PromotedX => av.affine().is_some_and(|f| f.b == 0 && f.is_exact()),
+            Family::PromotedX => av.affine().is_some_and(|f| f.b == 0 && f.c_uniform()),
             Family::PromotedXY => true,
         };
         if affine_proof {
-            return Verdict::Proved;
+            return proved(evals);
         }
     }
     let allowed = family.allowed_value_deps();
     let empty = Vec::new();
-    let vs = visits.get(&pc).unwrap_or(&empty);
-    let failing: Vec<bool> = vs.iter().map(|v| !t.deps(v.term).subset_of(allowed)).collect();
+    let vs = ctx.value_visits.get(&pc).unwrap_or(&empty);
+    let failing: Vec<bool> =
+        vs.iter().map(|v| !t.deps(v.term).union(v.extra).subset_of(allowed)).collect();
     if complete && !failing.iter().any(|&f| f) {
         // Every dynamic instance of this pc, on every path, is a function
         // of the allowed sources only (or the pc never executes).
-        return Verdict::Proved;
+        return proved(evals);
     }
     // Attack: concrete candidate dims, then confirm through the oracle.
-    if let Some(w) = hunt(t, vs, &failing, family.candidate_dims(), ref_params, ref_memory, true) {
+    if let Some(w) =
+        hunt(t, vs, &failing, family.candidate_dims(), ref_params, ref_memory, true, &mut evals)
+    {
         if let Some(confirming) = replay(ck, pc, w.block, ref_params, ref_memory) {
-            report.push(Diagnostic::new(
+            let diag = Diagnostic::new(
                 LintCode::DisprovedMarking,
                 Some(pc),
                 format!(
@@ -725,8 +1070,8 @@ fn judge_value(
                     w.values.1,
                     t.render(w.term),
                 ),
-            ));
-            return Verdict::Disproved;
+            );
+            return ClaimOutcome { verdict: Verdict::Disproved, diag: Some(diag), evals };
         }
     }
     let why = if complete {
@@ -734,48 +1079,39 @@ fn judge_value(
             .iter()
             .zip(&failing)
             .filter(|&(_, &f)| f)
-            .map(|(v, _)| t.deps(v.term))
+            .map(|(v, _)| t.deps(v.term).union(v.extra))
             .fold(Deps::NONE, Deps::union);
         format!("value depends on {d} (allowed {})", allowed)
     } else {
         "symbolic execution budget exhausted before covering every path".to_string()
     };
-    report.push(Diagnostic::new(
+    let diag = Diagnostic::new(
         LintCode::UnprovableMarking,
         Some(pc),
         format!("{} marking not provable for {}: {why}", marking_name(ck, pc), family.describe(),),
-    ));
-    Verdict::Unknown
+    );
+    ClaimOutcome { verdict: Verdict::Unknown, diag: Some(diag), evals }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn judge_branch(
-    pc: usize,
-    family: Family,
-    complete: bool,
-    t: &mut TermArena,
-    visits: &HashMap<usize, Vec<Visit>>,
-    aff_guard_uniform: &[bool],
-    reachable: &[bool],
-    ref_params: &[u32],
-    ref_memory: &GlobalMemory,
-    report: &mut Diagnostics,
-) -> Verdict {
-    if !reachable[pc] || family == Family::PromotedXY {
-        return Verdict::Proved;
+fn judge_branch(ctx: &JudgeCtx<'_>, pc: usize, family: Family) -> ClaimOutcome {
+    let JudgeCtx { t, ref_params, ref_memory, complete, .. } = *ctx;
+    let mut evals = 0usize;
+    let proved = |evals| ClaimOutcome { verdict: Verdict::Proved, diag: None, evals };
+    if !ctx.reachable[pc] || family == Family::PromotedXY {
+        return proved(evals);
     }
-    if aff_guard_uniform[pc] {
-        return Verdict::Proved;
+    if ctx.aff_guard_uniform[pc] {
+        return proved(evals);
     }
     let empty = Vec::new();
-    let vs = visits.get(&pc).unwrap_or(&empty);
-    let failing: Vec<bool> = vs.iter().map(|v| !t.deps(v.term).is_empty()).collect();
+    let vs = ctx.branch_visits.get(&pc).unwrap_or(&empty);
+    let failing: Vec<bool> = vs.iter().map(|v| !t.deps(v.term).union(v.extra).is_empty()).collect();
     if complete && !failing.iter().any(|&f| f) {
-        return Verdict::Proved;
+        return proved(evals);
     }
     let dims = family.candidate_dims();
-    if let Some(w) = hunt(t, vs, &failing, dims, ref_params, ref_memory, false) {
-        report.push(Diagnostic::new(
+    if let Some(w) = hunt(t, vs, &failing, dims, ref_params, ref_memory, false, &mut evals) {
+        let diag = Diagnostic::new(
             LintCode::BranchSyncViolation,
             Some(pc),
             format!(
@@ -787,26 +1123,26 @@ fn judge_branch(
                 w.values.1,
                 t.render(w.term),
             ),
-        ));
-        return Verdict::Disproved;
+        );
+        return ClaimOutcome { verdict: Verdict::Disproved, diag: Some(diag), evals };
     }
     let why = if complete {
         let d = vs
             .iter()
             .zip(&failing)
             .filter(|&(_, &f)| f)
-            .map(|(v, _)| t.deps(v.term))
+            .map(|(v, _)| t.deps(v.term).union(v.extra))
             .fold(Deps::NONE, Deps::union);
         format!("predicate depends on {d}")
     } else {
         "symbolic execution budget exhausted before covering every path".to_string()
     };
-    report.push(Diagnostic::new(
+    let diag = Diagnostic::new(
         LintCode::UnprovableMarking,
         Some(pc),
         format!("branch uniformity not provable for {}: {why}", family.describe()),
-    ));
-    Verdict::Unknown
+    );
+    ClaimOutcome { verdict: Verdict::Unknown, diag: Some(diag), evals }
 }
 
 /// Replays a candidate block shape through the differential oracle (the

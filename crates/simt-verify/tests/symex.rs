@@ -159,11 +159,93 @@ fn prove_without_reference_still_disproves_forgeries() {
     assert_eq!(p.report.with_code(LintCode::DisprovedMarking).len(), 1, "{}", p.report.render());
 }
 
-/// A symbolic-trip-count loop (`while (i < warpid) i++`) exhausts the
-/// fork budget. The forged DR on the increment is genuinely unsound, but
-/// the recorded per-iteration terms are constants, so no witness exists;
-/// the honest verdict is `S402` from budget exhaustion — never a false
-/// proof, never an unconfirmed disproof.
+/// The summarization payoff: a reduction loop whose trip count is a
+/// launch parameter proves outright instead of exhausting the fork
+/// budget — the body's dependency sets close to empty, so the (true)
+/// DR on the accumulator discharges for every launch.
+#[test]
+fn symbolic_trip_reduction_proves_clean() {
+    let f = fixtures::symex_loop_reduction();
+    let p = symex::prove(&f.ck, Some((&f.launch, &f.memory)));
+    assert!(p.stats.complete, "summarization must cover the parameter-trip loop");
+    assert!(p.report.is_clean() && p.report.warning_count() == 0, "{}", p.report.render());
+    assert_eq!(p.stats.unknown, 0, "{}", p.report.render());
+    assert_eq!(p.stats.proved, p.stats.value_claims + p.stats.branch_claims);
+}
+
+/// Summarization's negative control: the same loop with a warp-dependent
+/// trip count completes but must stay `S402` — the trip-condition taint
+/// reaches the forged claim, and no concrete witness exists.
+#[test]
+fn warp_trip_control_stays_unknown() {
+    let f = fixtures::symex_warp_trip_control();
+    let p = symex::prove(&f.ck, Some((&f.launch, &f.memory)));
+    assert!(p.stats.complete, "summarization must still cover the warp-trip loop");
+    assert!(p.report.with_code(LintCode::DisprovedMarking).is_empty(), "{}", p.report.render());
+    let s402 = p.report.with_code(LintCode::UnprovableMarking);
+    assert_eq!(s402.len(), 1, "{}", p.report.render());
+    assert!(s402[0].message.contains("warpid"), "{}", s402[0].message);
+}
+
+/// The uniformity-bit payoff: with the symbolic engine aborted by a
+/// thread-partial exit, only the affine fallback is left — and the
+/// claimed value's interval is uniform without being exact. The
+/// TB-uniform bit must carry the proof.
+#[test]
+fn uniform_base_proves_via_the_uniformity_bit() {
+    let f = fixtures::symex_uniform_base();
+    let p = symex::prove(&f.ck, Some((&f.launch, &f.memory)));
+    assert!(!p.stats.complete, "the partial exit must abort the term domain");
+    assert!(p.report.is_clean() && p.report.warning_count() == 0, "{}", p.report.render());
+    assert_eq!(p.stats.unknown, 0, "{}", p.report.render());
+}
+
+/// The uniformity bit's negative control: the same uniform value behind
+/// a thread-divergent guard must not be proved (the write is partial)
+/// and cannot be refuted (both concrete sides read zero) — an honest
+/// `S402`, with the ledger blaming the term-domain escape.
+#[test]
+fn divergent_write_control_stays_unknown() {
+    let f = fixtures::symex_divergent_write_control();
+    let p = symex::prove(&f.ck, Some((&f.launch, &f.memory)));
+    assert!(p.stats.complete);
+    assert!(p.report.with_code(LintCode::DisprovedMarking).is_empty(), "{}", p.report.render());
+    let s402 = p.report.with_code(LintCode::UnprovableMarking);
+    assert_eq!(s402.len(), 1, "{}", p.report.render());
+    let claim = p.claims.iter().find(|c| c.verdict == symex::Verdict::Unknown).unwrap();
+    assert_eq!(claim.unknown_reason, Some(symex::UnknownReason::TermEscape));
+}
+
+/// Sharding the discharge stage must not change a single byte of the
+/// outcome: same verdicts, same ledger, same diagnostics in the same
+/// order for any worker count.
+#[test]
+fn parallel_discharge_is_deterministic() {
+    for f in fixtures::symex() {
+        let base = symex::prove_with_threads(&f.ck, Some((&f.launch, &f.memory)), 1);
+        for threads in [2, 3, 8] {
+            let par = symex::prove_with_threads(&f.ck, Some((&f.launch, &f.memory)), threads);
+            assert_eq!(par.stats.proved, base.stats.proved, "{}", f.name);
+            assert_eq!(par.stats.disproved, base.stats.disproved, "{}", f.name);
+            assert_eq!(par.stats.unknown, base.stats.unknown, "{}", f.name);
+            assert_eq!(par.claims.len(), base.claims.len(), "{}", f.name);
+            for (a, b) in par.claims.iter().zip(&base.claims) {
+                assert_eq!(a.pc, b.pc, "{}", f.name);
+                assert_eq!(a.verdict, b.verdict, "{}", f.name);
+                assert_eq!(a.evals, b.evals, "{}", f.name);
+            }
+            assert_eq!(par.report.render(), base.report.render(), "{}", f.name);
+        }
+    }
+}
+
+/// A warp-dependent-trip loop (`while (i < warpid) i++`) used to exhaust
+/// the fork budget; loop summarization now covers it, so the run is
+/// *complete* — but the forged DR on the increment must still degrade to
+/// `S402`: the loop's trip condition depends on `warpid`, and that taint
+/// flows into every in-loop visit. The recorded first-iteration terms
+/// are constants, so no concrete witness exists — never a false proof,
+/// never an unconfirmed disproof.
 #[test]
 fn symbolic_loop_degrades_to_unknown() {
     use simt_isa::{CmpOp, Guard, KernelBuilder, MemSpace, SpecialReg};
@@ -185,11 +267,16 @@ fn symbolic_loop_degrades_to_unknown() {
         ck.kernel.instrs.iter().position(|ins| ins.op == Op::IAdd && ins.dst == Some(i)).unwrap();
     ck.markings[pc] = Marking::Redundant;
     let res = symex::prove(&ck, None);
-    assert!(!res.stats.complete, "the symbolic loop must exhaust the budget");
+    assert!(res.stats.complete, "loop summarization must cover the symbolic loop");
     assert!(res.report.with_code(LintCode::DisprovedMarking).is_empty());
+    let unprovable = res.report.with_code(LintCode::UnprovableMarking);
+    assert!(unprovable.iter().any(|d| d.pc == Some(pc)), "{}", res.report.render());
     assert!(
-        res.report.with_code(LintCode::UnprovableMarking).iter().any(|d| d.pc == Some(pc)),
-        "{}",
+        unprovable.iter().any(|d| d.pc == Some(pc) && d.message.contains("warpid")),
+        "the S402 must blame the warp-dependent trip count: {}",
         res.report.render()
     );
+    let claim = res.claims.iter().find(|c| c.pc == pc).expect("claim ledger entry");
+    assert_eq!(claim.verdict, symex::Verdict::Unknown);
+    assert_eq!(claim.unknown_reason, Some(symex::UnknownReason::TermEscape));
 }

@@ -38,6 +38,10 @@
 //! | [`symex_opaque_control`] | clean (same kernel, honest markings) |
 //! | [`symex_forged_uniform_branch`] | `S403` (forged uniform class on a `tid.x` branch) |
 //! | [`symex_uniform_branch`] | clean (genuinely uniform `ntid.x` branch) |
+//! | [`symex_loop_reduction`] | proved (symbolic-trip reduction; needs loop summarization) |
+//! | [`symex_warp_trip_control`] | `S402` (warp-dependent trip count taints the counter) |
+//! | [`symex_uniform_base`] | proved (uniform-not-exact base pointer; needs the TB-uniform bit) |
+//! | [`symex_divergent_write_control`] | `S402` (uniform value, divergent write: bit must not fire) |
 
 use gpu_sim::GlobalMemory;
 use simt_compiler::{compile, AbsClass, CompiledKernel};
@@ -471,6 +475,109 @@ pub fn symex_uniform_branch() -> Fixture {
     finish("symex_uniform_branch", b)
 }
 
+/// A reduction loop whose trip count is a launch parameter: every
+/// thread walks the same array prefix and accumulates the same partial
+/// sums, so the (forged) DR on the accumulator is *true* — but bounded
+/// unrolling can never retire a symbolic trip count. Loop summarization
+/// must close the body's dependency sets (all empty: the data comes
+/// through a TB-uniform address) and prove the claim outright.
+#[must_use]
+pub fn symex_loop_reduction() -> Fixture {
+    let mut b = KernelBuilder::new("symex_loop_reduction");
+    let base = b.param(0);
+    let n = b.param(1);
+    let acc = b.alloc();
+    b.mov_to(acc, 0u32);
+    let i = b.alloc();
+    b.mov_to(i, 0u32);
+    b.do_while(|b| {
+        let off = b.shl_imm(i, 2);
+        let addr = b.iadd(base, off);
+        let v = b.load(MemSpace::Global, addr, 0);
+        b.iadd_to(acc, acc, v);
+        b.iadd_to(i, i, 1u32);
+        let p = b.setp(CmpOp::Lt, i, n);
+        Guard::if_true(p)
+    });
+    writeback(&mut b, acc);
+    let mut fx = finish("symex_loop_reduction", b);
+    let pc = pc_of(&fx.ck, |ins| ins.op == Op::IAdd && ins.dst == Some(acc));
+    fx.ck.markings[pc] = Marking::Redundant;
+    fx
+}
+
+/// The summarization negative control: the same loop shape but with a
+/// *warp-dependent* trip count (`while (i < warpid)`). Summarization
+/// still covers it — the run completes — but the trip-condition taint
+/// (`warpid`) flows into every in-loop visit, so the forged DR on the
+/// counter must stay an honest `S402`: the first-iteration terms are
+/// constants, so no concrete witness exists either.
+#[must_use]
+pub fn symex_warp_trip_control() -> Fixture {
+    let mut b = KernelBuilder::new("symex_warp_trip_control");
+    let w = b.special(SpecialReg::WarpId);
+    let i = b.alloc();
+    b.mov_to(i, 0u32);
+    b.do_while(|b| {
+        b.iadd_to(i, i, 1u32);
+        let p = b.setp(CmpOp::Lt, i, w);
+        Guard::if_true(p)
+    });
+    writeback(&mut b, i);
+    let mut fx = finish("symex_warp_trip_control", b);
+    let pc = pc_of(&fx.ck, |ins| ins.op == Op::IAdd && ins.dst == Some(i));
+    fx.ck.markings[pc] = Marking::Redundant;
+    fx
+}
+
+/// A TB-uniform-but-not-exact value the affine fallback must now prove
+/// via the uniformity bit: a thread-partial guarded `exit` aborts the
+/// symbolic engine (the term domain has no mask concept), and the value
+/// — loaded through a base pointer that is uniform without being any
+/// one known constant — has no exact interval. The divergence-aware
+/// domain carries the TB-uniform bit through the parameter load and the
+/// dependent global load, discharging the (true) DR claim.
+#[must_use]
+pub fn symex_uniform_base() -> Fixture {
+    let mut b = KernelBuilder::new("symex_uniform_base");
+    let t = b.special(SpecialReg::TidX);
+    let p = b.setp(CmpOp::Gt, t, 4096u32);
+    b.emit(Instruction::new(Op::Exit, None, None, vec![]).with_guard(Guard::if_true(p)));
+    let base = b.param(0);
+    let v = b.load(MemSpace::Global, base, 0);
+    writeback(&mut b, v);
+    let mut fx = finish("symex_uniform_base", b);
+    let pc = pc_of(&fx.ck, |ins| ins.op == Op::Ld(MemSpace::Global) && ins.dst == Some(v));
+    fx.ck.markings[pc] = Marking::Redundant;
+    fx
+}
+
+/// The uniformity-bit negative control: a TB-uniform value written only
+/// on a thread-divergent path, then *read after the join*, where every
+/// thread holds a path-dependent mix. The divergent-region write must
+/// clear the TB-uniform bit (else the affine domain would falsely prove
+/// the forged DR), the term domain sees the `tid.x` dependence, and the
+/// concrete witness values coincide (the unset parameter reads as zero
+/// on both sides) — so the honest verdict is `S402`, never a proof.
+#[must_use]
+pub fn symex_divergent_write_control() -> Fixture {
+    let mut b = KernelBuilder::new("symex_divergent_write_control");
+    let t = b.special(SpecialReg::TidX);
+    let p = b.setp(CmpOp::Lt, t, 16u32);
+    let secret = b.param(1);
+    let v = b.alloc();
+    b.mov_to(v, 0u32);
+    b.if_then(Guard::if_true(p), |b| {
+        b.mov_to(v, secret);
+    });
+    let y = b.iadd(v, 0u32);
+    writeback(&mut b, y);
+    let mut fx = finish("symex_divergent_write_control", b);
+    let pc = pc_of(&fx.ck, |ins| ins.op == Op::IAdd && ins.dst == Some(y));
+    fx.ck.markings[pc] = Marking::Redundant;
+    fx
+}
+
 /// The translation-validation fixtures, in documentation order.
 #[must_use]
 pub fn symex() -> Vec<Fixture> {
@@ -481,5 +588,9 @@ pub fn symex() -> Vec<Fixture> {
         symex_opaque_control(),
         symex_forged_uniform_branch(),
         symex_uniform_branch(),
+        symex_loop_reduction(),
+        symex_warp_trip_control(),
+        symex_uniform_base(),
+        symex_divergent_write_control(),
     ]
 }
