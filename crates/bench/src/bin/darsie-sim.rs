@@ -9,6 +9,8 @@
 //! darsie-sim analyze [ABBR ...] [--workload NAME] [--scale test|eval] [--json]
 //! darsie-sim prove [ABBR ...] [--workload NAME] [--scale test|eval] [--json] [--threads N]
 //! darsie-sim profile [ABBR ...] [--workload NAME] [--scale test|eval] [--json] [--perfetto PATH]
+//! darsie-sim estimate [ABBR ...] [--workload NAME] [--scale test|eval] [--json]
+//! darsie-sim bench [ABBR ...] [--workload NAME] [--scale test|eval] [--json]
 //! darsie-sim lints [--json]
 //! ```
 //!
@@ -48,6 +50,20 @@
 //! `--perfetto PATH` the DARSIE run's pipeline events are written as
 //! Chrome trace-event JSON loadable in <https://ui.perfetto.dev>.
 //!
+//! The `estimate` subcommand is the differential gate for the static
+//! cycle-bound cost model: for each selected workload it runs the
+//! WCET-style estimator and the cycle simulator side by side, under both
+//! the baseline and DARSIE, and exits non-zero if any measured cycle
+//! count falls outside its static `[min, max]` bracket (`E202`).
+//! Unboundable loop trip counts (`E201`) leave the upper bound open and
+//! are reported as warnings, not failures.
+//!
+//! The `bench` subcommand takes one benchmark-trajectory snapshot:
+//! per workload and technique it records simulated cycles, wall time,
+//! simulated cycles per second, skip counts and the static cycle bracket,
+//! plus the DARSIE-over-Base speedup. With `--json` the snapshot is also
+//! written to `BENCH_<date>.json` for CI to archive as an artifact.
+//!
 //! The `lints` subcommand prints the registry of every lint the verifier
 //! can emit — code, severity, producing pass and a one-line description —
 //! generated from the `LintCode` enum itself so it can never go stale.
@@ -69,6 +85,8 @@ fn usage() -> ! {
          [--threads N]   |   \
          darsie-sim profile [ABBR ...] [--workload NAME] [--scale test|eval] [--json] \
          [--perfetto PATH]   |   \
+         darsie-sim estimate [ABBR ...] [--workload NAME] [--scale test|eval] [--json]   |   \
+         darsie-sim bench [ABBR ...] [--workload NAME] [--scale test|eval] [--json]   |   \
          darsie-sim lints [--json]\n\
          options:\n\
            --technique base|uv|dac|darsie|darsie-ignore-store|darsie-no-cf-sync|silicon-sync\n\
@@ -113,15 +131,18 @@ fn unknown_workload(kind: &str, name: &str) -> ! {
     std::process::exit(2);
 }
 
-/// Shared `verify`/`analyze` options: scale, output mode and workload
-/// selection (positional abbreviations and/or `--workload NAME` filters
-/// matching the abbreviation or full name, case-insensitively).
-/// `--threads` is parsed here too — only `prove` consumes it; everything
-/// else warns and ignores it.
+/// Shared subcommand options: scale, output mode and workload selection
+/// (positional abbreviations and/or `--workload NAME` filters matching
+/// the abbreviation or full name, case-insensitively). Every subcommand
+/// goes through this one parser so unknown-abbreviation rejection (exit
+/// 2, listing the valid names) and `--workload` semantics cannot drift
+/// between them. `--threads` is parsed here too — only `prove` consumes
+/// it; everything else warns and ignores it.
 struct SubcommandArgs {
     json: bool,
     selected: Vec<Workload>,
     threads: Option<usize>,
+    scale: Scale,
 }
 
 /// Rejects a repeated single-valued flag: taking the last occurrence
@@ -132,6 +153,17 @@ fn duplicate_flag(flag: &str) -> ! {
 }
 
 fn parse_subcommand_args(args: &[String]) -> SubcommandArgs {
+    parse_subcommand_args_with(args, |_, _| false)
+}
+
+/// The shared parser, with a hook for subcommand-specific flags: `extra`
+/// sees every otherwise-unknown `--flag` (plus the argument iterator, so
+/// it can consume a value) and returns whether it recognized it. Flags
+/// the hook rejects are a usage error, same as everywhere else.
+fn parse_subcommand_args_with(
+    args: &[String],
+    mut extra: impl FnMut(&str, &mut std::slice::Iter<String>) -> bool,
+) -> SubcommandArgs {
     let mut scale: Option<Scale> = None;
     let mut json = false;
     let mut threads: Option<usize> = None;
@@ -170,7 +202,11 @@ fn parse_subcommand_args(args: &[String]) -> SubcommandArgs {
             }
             "--workload" => names.push(it.next().cloned().unwrap_or_else(|| usage())),
             s if !s.starts_with("--") => abbrs.push(s.to_string()),
-            _ => usage(),
+            s => {
+                if !extra(s, &mut it) {
+                    usage()
+                }
+            }
         }
     }
     let scale = scale.unwrap_or(Scale::Test);
@@ -192,7 +228,7 @@ fn parse_subcommand_args(args: &[String]) -> SubcommandArgs {
     if selected.is_empty() {
         selected = catalog(scale);
     }
-    SubcommandArgs { json, selected, threads }
+    SubcommandArgs { json, selected, threads, scale }
 }
 
 /// Warns when `--threads` was passed to a subcommand that ignores it.
@@ -207,7 +243,7 @@ fn warn_threads_ignored(threads: Option<usize>, subcommand: &str) {
 /// finding. With `--json`, print one machine-readable document instead of
 /// the human report.
 fn verify_command(args: &[String]) {
-    let SubcommandArgs { json, selected, threads } = parse_subcommand_args(args);
+    let SubcommandArgs { json, selected, threads, .. } = parse_subcommand_args(args);
     warn_threads_ignored(threads, "verify");
 
     let mut errors = 0usize;
@@ -284,7 +320,7 @@ fn verify_command(args: &[String]) {
 /// workloads over their full quantified launch families and exits 1 on
 /// any `S401` disproof or `S403` branch-sync violation.
 fn prove_command(args: &[String]) {
-    let SubcommandArgs { json, selected, threads } = parse_subcommand_args(args);
+    let SubcommandArgs { json, selected, threads, .. } = parse_subcommand_args(args);
     let threads = threads.unwrap_or(1);
 
     let mut errors = 0usize;
@@ -476,7 +512,7 @@ fn mem_check_json(p: &MemPrediction, v: Option<&simt_verify::perf::Validation>) 
 /// report. Exits 1 when refined markings fail the soundness oracle or a
 /// measured memory counter falls outside its predicted bounds.
 fn analyze_command(args: &[String]) {
-    let SubcommandArgs { json, selected, threads } = parse_subcommand_args(args);
+    let SubcommandArgs { json, selected, threads, .. } = parse_subcommand_args(args);
     warn_threads_ignored(threads, "analyze");
     let cfg = GpuConfig::test_small();
 
@@ -752,16 +788,17 @@ fn perfetto_path(base: &str, abbr: &str, single: bool) -> String {
 /// Chrome trace-event JSON of the DARSIE run's pipeline events.
 fn profile_command(args: &[String]) {
     let mut perfetto: Option<String> = None;
-    let mut rest: Vec<String> = Vec::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == "--perfetto" {
+    let SubcommandArgs { json, selected, threads, .. } =
+        parse_subcommand_args_with(args, |flag, it| {
+            if flag != "--perfetto" {
+                return false;
+            }
+            if perfetto.is_some() {
+                duplicate_flag("--perfetto");
+            }
             perfetto = Some(it.next().cloned().unwrap_or_else(|| usage()));
-        } else {
-            rest.push(a.clone());
-        }
-    }
-    let SubcommandArgs { json, selected, threads } = parse_subcommand_args(&rest);
+            true
+        });
     warn_threads_ignored(threads, "profile");
     let single = selected.len() == 1;
 
@@ -847,6 +884,249 @@ fn profile_command(args: &[String]) {
     }
 }
 
+/// Serializes one lint diagnostic the same way `verify --json` does.
+fn diag_json(d: &simt_verify::Diagnostic) -> String {
+    format!(
+        "{{\"code\":\"{}\",\"severity\":\"{}\",\"pc\":{},\"message\":\"{}\"}}",
+        d.code,
+        d.severity,
+        d.pc.map_or_else(|| "null".to_string(), |pc| pc.to_string()),
+        json_escape(&d.message)
+    )
+}
+
+/// `darsie-sim estimate`: the differential gate for the static
+/// cycle-bound cost model. Runs the estimator and the cycle simulator
+/// side by side for each selected workload under Base and DARSIE, and
+/// exits 1 if any measured cycle count escapes its static `[min, max]`
+/// bracket (`E202`). Unboundable trip counts (`E201`) leave the bracket
+/// one-sided and are reported but do not fail the gate.
+fn estimate_command(args: &[String]) {
+    let SubcommandArgs { json, selected, threads, .. } = parse_subcommand_args(args);
+    warn_threads_ignored(threads, "estimate");
+    let cfg = GpuConfig::test_small();
+
+    let mut violations = 0usize;
+    let mut unbounded = 0usize;
+    let mut width_sum = 0f64;
+    let mut width_n = 0usize;
+    let mut records: Vec<String> = Vec::new();
+    for w in &selected {
+        let mut tech_records: Vec<String> = Vec::new();
+        for technique in [Technique::Base, Technique::darsie()] {
+            let est = simt_verify::cost::estimate(&w.ck, &w.launch, &cfg, &technique);
+            let measured = w.run_unchecked(&cfg, technique.clone()).stats.cycles;
+            let violation = simt_verify::cost::validate(&est, measured);
+            if violation.is_some() {
+                violations += 1;
+            }
+            unbounded += est.loops.iter().filter(|l| l.trips.is_err()).count();
+            if let Some(hi) = est.max_cycles {
+                width_sum += (hi - est.min_cycles) as f64 / measured.max(1) as f64;
+                width_n += 1;
+            }
+            if json {
+                let loops: Vec<String> = est
+                    .loops
+                    .iter()
+                    .map(|l| match &l.trips {
+                        Ok((lo, hi)) => format!(
+                            "{{\"back_edge_pc\":{},\"min_trips\":{lo},\"max_trips\":{hi}}}",
+                            l.back_edge_pc
+                        ),
+                        Err(e) => format!(
+                            "{{\"back_edge_pc\":{},\"unbounded\":\"{}\"}}",
+                            l.back_edge_pc,
+                            json_escape(e)
+                        ),
+                    })
+                    .collect();
+                let diags: Vec<String> =
+                    est.report.items.iter().chain(violation.iter()).map(diag_json).collect();
+                let b = est.breakdown;
+                tech_records.push(format!(
+                    "{{\"technique\":\"{}\",\"min_cycles\":{},\"max_cycles\":{},\
+                     \"measured_cycles\":{measured},\"in_bracket\":{},\
+                     \"predicted_skip_fraction\":{:.4},\"loops\":[{}],\
+                     \"breakdown\":{{\"fetch_bound\":{},\"issue_bound\":{},\"lsu_bound\":{},\
+                     \"chain_bound\":{},\"fetch_serial\":{},\"issue_serial\":{},\
+                     \"lsu_serial\":{},\"sfu_serial\":{},\"dram_serial\":{},\"exposed\":{},\
+                     \"darsie_slack\":{},\"tbs_per_sm\":{},\"waves\":{}}},\
+                     \"diagnostics\":[{}]}}",
+                    technique.label(),
+                    est.min_cycles,
+                    est.max_cycles.map_or_else(|| "null".to_string(), |h| h.to_string()),
+                    est.contains(measured),
+                    est.predicted_skip_fraction,
+                    loops.join(","),
+                    b.fetch_bound,
+                    b.issue_bound,
+                    b.lsu_bound,
+                    b.chain_bound,
+                    b.fetch_serial,
+                    b.issue_serial,
+                    b.lsu_serial,
+                    b.sfu_serial,
+                    b.dram_serial,
+                    b.exposed,
+                    b.darsie_slack,
+                    b.tbs_per_sm,
+                    b.waves,
+                    diags.join(",")
+                ));
+            } else {
+                let bracket = est.max_cycles.map_or_else(
+                    || format!("[{}, unbounded)", est.min_cycles),
+                    |hi| format!("[{}, {}]", est.min_cycles, hi),
+                );
+                let width = est.max_cycles.map_or_else(String::new, |hi| {
+                    format!("  width {:.1}x", (hi - est.min_cycles) as f64 / measured.max(1) as f64)
+                });
+                println!(
+                    "estimate {:8} {:12} {:>8} cycles in {:20}{}  skip {:4.1}%{}",
+                    w.abbr,
+                    technique.label(),
+                    measured,
+                    bracket,
+                    width,
+                    100.0 * est.predicted_skip_fraction,
+                    if est.contains(measured) { "" } else { "  BOUND VIOLATION" }
+                );
+                if !est.report.items.is_empty() {
+                    print!("{}", est.report.render());
+                }
+                if let Some(v) = &violation {
+                    println!("  {v}");
+                }
+            }
+        }
+        if json {
+            records.push(format!(
+                "{{\"abbr\":\"{}\",\"kernel\":\"{}\",\"techniques\":[{}]}}",
+                json_escape(w.abbr),
+                json_escape(&w.ck.kernel.name),
+                tech_records.join(",")
+            ));
+        }
+    }
+    let mean_width = if width_n > 0 { width_sum / width_n as f64 } else { 0.0 };
+    if json {
+        println!(
+            "{{\"workloads\":[{}],\"totals\":{{\"bound_violations\":{violations},\
+             \"unbounded_loops\":{unbounded},\"mean_bracket_width\":{mean_width:.3}}}}}",
+            records.join(",")
+        );
+    } else {
+        println!(
+            "estimated {} workload(s) x 2 technique(s): {violations} bound violation(s), \
+             {unbounded} unbounded loop(s), mean bracket width {mean_width:.1}x measured",
+            selected.len()
+        );
+    }
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// The current UTC date as `YYYY-MM-DD`, from the system clock via the
+/// standard civil-from-days conversion (no date-crate dependency).
+fn utc_date() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// `darsie-sim bench`: one point on the benchmark trajectory. Runs each
+/// selected workload under Base and DARSIE, recording simulated cycles,
+/// wall time, simulated cycles per second, skip counts and the static
+/// cycle bracket, plus the DARSIE speedup. With `--json` the snapshot is
+/// printed to stdout *and* written to `BENCH_<date>.json` so CI can
+/// archive it as an artifact.
+fn bench_command(args: &[String]) {
+    let SubcommandArgs { json, selected, threads, scale } = parse_subcommand_args(args);
+    warn_threads_ignored(threads, "bench");
+    let cfg = GpuConfig::test_small();
+
+    let mut records: Vec<String> = Vec::new();
+    for w in &selected {
+        let mut cycles_by_tech = [0u64; 2];
+        let mut tech_records: Vec<String> = Vec::new();
+        for (i, technique) in [Technique::Base, Technique::darsie()].into_iter().enumerate() {
+            let est = simt_verify::cost::estimate(&w.ck, &w.launch, &cfg, &technique);
+            let start = std::time::Instant::now();
+            let r = w.run_unchecked(&cfg, technique.clone());
+            let wall = start.elapsed().as_secs_f64();
+            let cycles = r.stats.cycles;
+            cycles_by_tech[i] = cycles;
+            let rate = cycles as f64 / wall.max(1e-9);
+            if json {
+                tech_records.push(format!(
+                    "{{\"technique\":\"{}\",\"cycles\":{cycles},\"wall_seconds\":{wall:.6},\
+                     \"sim_cycles_per_sec\":{rate:.0},\"instructions_skipped\":{},\
+                     \"instructions_executed\":{},\"static_min_cycles\":{},\
+                     \"static_max_cycles\":{}}}",
+                    technique.label(),
+                    r.stats.instrs_skipped.total(),
+                    r.stats.instrs_executed,
+                    est.min_cycles,
+                    est.max_cycles.map_or_else(|| "null".to_string(), |h| h.to_string()),
+                ));
+            } else {
+                println!(
+                    "bench {:8} {:12} {:>8} cycles  {:>8.3}s wall  {:>10.0} cyc/s  \
+                     bracket [{}, {}]",
+                    w.abbr,
+                    technique.label(),
+                    cycles,
+                    wall,
+                    rate,
+                    est.min_cycles,
+                    est.max_cycles.map_or_else(|| "?".to_string(), |h| h.to_string()),
+                );
+            }
+        }
+        let speedup = cycles_by_tech[0] as f64 / cycles_by_tech[1].max(1) as f64;
+        if json {
+            records.push(format!(
+                "{{\"abbr\":\"{}\",\"kernel\":\"{}\",\"techniques\":[{}],\
+                 \"darsie_speedup\":{speedup:.4}}}",
+                json_escape(w.abbr),
+                json_escape(&w.ck.kernel.name),
+                tech_records.join(",")
+            ));
+        } else {
+            println!("bench {:8} {:12} speedup {speedup:.2}x", w.abbr, "darsie/base");
+        }
+    }
+    if json {
+        let date = utc_date();
+        let doc = format!(
+            "{{\"date\":\"{date}\",\"scale\":\"{}\",\"workloads\":[{}]}}",
+            if matches!(scale, Scale::Test) { "test" } else { "eval" },
+            records.join(",")
+        );
+        let path = format!("BENCH_{date}.json");
+        if let Err(e) = std::fs::write(&path, format!("{doc}\n")) {
+            eprintln!("cannot write benchmark snapshot {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("{doc}");
+        eprintln!("benchmark snapshot written to {path}");
+    } else {
+        println!("benchmarked {} workload(s)", selected.len());
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--list") {
@@ -876,6 +1156,14 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("profile") {
         profile_command(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("estimate") {
+        estimate_command(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("bench") {
+        bench_command(&args[1..]);
         return;
     }
     if args.first().map(String::as_str) == Some("lints") {

@@ -213,7 +213,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> String {
 /// abbreviations so the caller never has to guess.
 #[test]
 fn unknown_workload_name_fails_and_lists_valid_names() {
-    for sub in ["verify", "analyze", "prove", "profile"] {
+    for sub in ["verify", "analyze", "prove", "profile", "estimate", "bench"] {
         let (code, _, err) = run(&[sub, "--workload", "nosuch"]);
         assert_eq!(code, Some(2), "{sub}: exit code");
         assert!(err.contains("unknown workload `nosuch`"), "{sub}: {err}");
@@ -226,7 +226,7 @@ fn unknown_workload_name_fails_and_lists_valid_names() {
 /// Positional abbreviations get the same treatment.
 #[test]
 fn unknown_positional_abbr_fails_and_lists_valid_names() {
-    for sub in ["verify", "analyze", "prove", "profile"] {
+    for sub in ["verify", "analyze", "prove", "profile", "estimate", "bench"] {
         let (code, _, err) = run(&[sub, "NOSUCH"]);
         assert_eq!(code, Some(2), "{sub}: exit code");
         assert!(err.contains("unknown benchmark `NOSUCH`"), "{sub}: {err}");
@@ -510,7 +510,110 @@ fn lints_json_schema() {
             r.get("code").str()
         })
         .collect();
-    for c in ["V001", "V201", "V301", "P101", "S401", "S402", "S403"] {
+    for c in ["V001", "V201", "V301", "P101", "S401", "S402", "S403", "E201", "E202"] {
         assert!(codes.contains(&c), "lint registry is missing {c}");
     }
+}
+
+/// Golden schema for `estimate --json`, plus the headline invariant: the
+/// measured cycles sit inside the static bracket for both techniques
+/// (zero `E202`) and every catalog loop has a two-sided bound.
+#[test]
+fn estimate_json_schema() {
+    let (code, out, _) = run(&["estimate", "BIN", "--scale", "test", "--json"]);
+    assert_eq!(code, Some(0));
+    let doc = Json::parse(out.trim());
+    let ws = doc.get("workloads").arr();
+    assert_eq!(ws.len(), 1);
+    let w = &ws[0];
+    assert_eq!(w.get("abbr").str(), "BIN");
+    assert!(!w.get("kernel").str().is_empty());
+    let techs = w.get("techniques").arr();
+    assert_eq!(techs.len(), 2, "Base and DARSIE");
+    let labels: Vec<&str> = techs.iter().map(|t| t.get("technique").str()).collect();
+    assert_eq!(labels, ["BASE", "DARSIE"]);
+    for t in techs {
+        let min = t.get("min_cycles").num();
+        let max = t.get("max_cycles").num();
+        let measured = t.get("measured_cycles").num();
+        assert!(t.get("in_bracket").bool());
+        assert!(min <= measured && measured <= max, "{measured} outside [{min}, {max}]");
+        let skip = t.get("predicted_skip_fraction").num();
+        assert!((0.0..=1.0).contains(&skip));
+        for l in t.get("loops").arr() {
+            l.get("back_edge_pc").num();
+            let lo = l.get("min_trips").num();
+            let hi = l.get("max_trips").num();
+            assert!(lo >= 1.0 && lo <= hi);
+        }
+        let b = t.get("breakdown");
+        for key in [
+            "fetch_bound",
+            "issue_bound",
+            "lsu_bound",
+            "chain_bound",
+            "fetch_serial",
+            "issue_serial",
+            "lsu_serial",
+            "sfu_serial",
+            "dram_serial",
+            "exposed",
+            "darsie_slack",
+            "tbs_per_sm",
+            "waves",
+        ] {
+            b.get(key).num();
+        }
+        assert_eq!(t.get("diagnostics").arr().len(), 0, "BIN estimates clean");
+    }
+    // DARSIE predicts actual savings on BIN.
+    assert!(techs[1].get("predicted_skip_fraction").num() > 0.0);
+    let t = doc.get("totals");
+    assert_eq!(t.get("bound_violations").num(), 0.0);
+    assert_eq!(t.get("unbounded_loops").num(), 0.0);
+    assert!(t.get("mean_bracket_width").num() > 0.0);
+}
+
+/// Golden schema for `bench --json`, and the snapshot side effect: the
+/// document on stdout is also written verbatim to `BENCH_<date>.json` in
+/// the working directory.
+#[test]
+fn bench_json_schema_and_snapshot_file() {
+    let dir = std::env::temp_dir().join("darsie-sim-bench-test");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_darsie-sim"))
+        .args(["bench", "BIN", "--scale", "test", "--json"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn darsie-sim");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    let doc = Json::parse(stdout.trim());
+    let date = doc.get("date").str().to_string();
+    assert_eq!(date.len(), 10, "YYYY-MM-DD");
+    assert_eq!(doc.get("scale").str(), "test");
+    let ws = doc.get("workloads").arr();
+    assert_eq!(ws.len(), 1);
+    let w = &ws[0];
+    assert_eq!(w.get("abbr").str(), "BIN");
+    assert!(!w.get("kernel").str().is_empty());
+    assert!(w.get("darsie_speedup").num() > 0.0);
+    let techs = w.get("techniques").arr();
+    assert_eq!(techs.len(), 2, "Base and DARSIE");
+    let labels: Vec<&str> = techs.iter().map(|t| t.get("technique").str()).collect();
+    assert_eq!(labels, ["BASE", "DARSIE"]);
+    for t in techs {
+        assert!(t.get("cycles").num() > 0.0);
+        assert!(t.get("wall_seconds").num() >= 0.0);
+        assert!(t.get("sim_cycles_per_sec").num() > 0.0);
+        t.get("instructions_skipped").num();
+        assert!(t.get("instructions_executed").num() > 0.0);
+        let min = t.get("static_min_cycles").num();
+        let max = t.get("static_max_cycles").num();
+        assert!(min <= t.get("cycles").num() && t.get("cycles").num() <= max);
+    }
+    let snapshot = dir.join(format!("BENCH_{date}.json"));
+    let text = std::fs::read_to_string(&snapshot).expect("snapshot file written");
+    std::fs::remove_file(&snapshot).ok();
+    assert_eq!(text.trim(), stdout.trim(), "snapshot must match stdout document");
 }

@@ -67,6 +67,7 @@ pub mod reuse;
 pub mod sm;
 pub mod stats;
 pub mod tb;
+pub mod timing;
 pub mod tracer;
 pub mod warp;
 

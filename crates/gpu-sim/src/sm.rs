@@ -10,10 +10,11 @@ use crate::profile::{OccupancySample, SmProfile, StallCause, MAX_OCCUPANCY_SAMPL
 use crate::reuse::ReuseBuffer;
 use crate::stats::SimStats;
 use crate::tb::TbState;
+use crate::timing;
 use crate::warp::{IBufEntry, Warp, WarpState};
 use darsie::{DarsieConfig, PcCoalescer, ProbeOutcome};
 use simt_compiler::{CompiledKernel, LaunchPlan};
-use simt_isa::{Dim3, LaunchConfig, MemSpace, Op, OpKind, Reg};
+use simt_isa::{Dim3, LaunchConfig, MemSpace, Op, Reg};
 use std::sync::Arc;
 
 /// Everything static about the running kernel, shared by all SMs.
@@ -681,15 +682,14 @@ impl Sm {
         }
 
         // Execution unit availability.
-        let kind = instr.op.kind();
-        match kind {
-            OpKind::IntAlu | OpKind::FpAlu if self.sp_busy[sched] > now => {
+        match timing::exec_unit(instr.op.kind()) {
+            timing::ExecUnit::Sp if self.sp_busy[sched] > now => {
                 return IssueOutcome::Stall { cause: StallCause::ExecUnitBusy, pc: Some(pc) };
             }
-            OpKind::Sfu if self.sfu_busy > now => {
+            timing::ExecUnit::Sfu if self.sfu_busy > now => {
                 return IssueOutcome::Stall { cause: StallCause::ExecUnitBusy, pc: Some(pc) };
             }
-            OpKind::Load | OpKind::Store | OpKind::Atomic if self.lsu_busy > now => {
+            timing::ExecUnit::Lsu if self.lsu_busy > now => {
                 return IssueOutcome::Stall { cause: StallCause::LsuQueue, pc: Some(pc) };
             }
             _ => {}
@@ -927,20 +927,16 @@ impl Sm {
             ExecEffect::None => {
                 let w = self.warps[wslot].as_mut().expect("warp exists");
                 w.reconverge();
-                let (lat, unit_kind) = match instr.op.kind() {
-                    OpKind::IntAlu => (self.cfg.int_latency, 0),
-                    OpKind::FpAlu => (self.cfg.fp_latency, 0),
-                    OpKind::Sfu => (self.cfg.sfu_latency, 1),
-                    _ => (self.cfg.int_latency, 0),
-                };
-                match unit_kind {
-                    0 => {
-                        self.sp_busy[sched] = now + 1;
-                        self.stats.alu_ops += 1;
+                let kind = instr.op.kind();
+                let lat = timing::exec_latency(&self.cfg, kind);
+                match timing::exec_unit(kind) {
+                    timing::ExecUnit::Sfu => {
+                        self.sfu_busy = now + timing::unit_issue_interval(&self.cfg, kind);
+                        self.stats.sfu_ops += 1;
                     }
                     _ => {
-                        self.sfu_busy = now + self.cfg.sfu_interval;
-                        self.stats.sfu_ops += 1;
+                        self.sp_busy[sched] = now + timing::unit_issue_interval(&self.cfg, kind);
+                        self.stats.alu_ops += 1;
                     }
                 }
                 self.finish_issue(now + lat, wslot, pc, leader, instr);
@@ -1177,13 +1173,13 @@ impl Sm {
                 let by_pc = self.stats.mem_by_pc.entry(pc).or_default();
                 by_pc.smem_accesses += 1;
                 by_pc.smem_conflict_extra += u64::from(degree - 1);
-                self.lsu_busy = now + u64::from(degree);
-                now + self.cfg.smem_latency + u64::from(degree - 1)
+                self.lsu_busy = now + timing::smem_occupancy(degree);
+                now + timing::smem_latency(&self.cfg, degree)
             }
             MemSpace::Param => {
                 self.stats.mem_ops += 1;
-                self.lsu_busy = now + 1;
-                now + self.cfg.l1_latency / 2
+                self.lsu_busy = now + timing::PARAM_OCCUPANCY;
+                now + timing::param_latency(&self.cfg)
             }
             MemSpace::Global => {
                 self.stats.mem_ops += 1;
@@ -1192,37 +1188,37 @@ impl Sm {
                 let by_pc = self.stats.mem_by_pc.entry(pc).or_default();
                 by_pc.global_accesses += 1;
                 by_pc.global_transactions += lines.len() as u64;
-                self.lsu_busy = now + lines.len() as u64;
-                let mut worst = now + self.cfg.l1_latency;
+                self.lsu_busy = now + timing::global_occupancy(lines.len() as u64);
+                let mut worst = now + timing::l1_hit_latency(&self.cfg);
                 for &line in &lines {
                     let t = if is_store || is_atomic {
                         // Write-through: invalidate L1, go to L2.
                         self.l1d.invalidate(line);
                         if l2.access(line) {
                             self.stats.l2_hits += 1;
-                            now + self.cfg.l1_latency + self.cfg.l2_latency
+                            now + timing::l2_hit_latency(&self.cfg)
                         } else {
                             self.stats.l2_misses += 1;
-                            dram.schedule(now, self.cfg.l1_latency + self.cfg.dram_latency)
+                            dram.schedule(now, timing::dram_line_latency(&self.cfg))
                         }
                     } else if self.l1d.access(line) {
                         self.stats.l1_hits += 1;
-                        now + self.cfg.l1_latency
+                        now + timing::l1_hit_latency(&self.cfg)
                     } else {
                         self.stats.l1_misses += 1;
                         if l2.access(line) {
                             self.stats.l2_hits += 1;
-                            now + self.cfg.l1_latency + self.cfg.l2_latency
+                            now + timing::l2_hit_latency(&self.cfg)
                         } else {
                             self.stats.l2_misses += 1;
-                            dram.schedule(now, self.cfg.l1_latency + self.cfg.dram_latency)
+                            dram.schedule(now, timing::dram_line_latency(&self.cfg))
                         }
                     };
                     worst = worst.max(t);
                 }
                 if is_atomic {
                     self.stats.atomic_ops += 1;
-                    worst += addrs.len() as u64 / 4; // serialization cost
+                    worst += timing::atomic_serialization(addrs.len());
                 }
                 // Stores complete immediately from the warp's perspective
                 // (no register writeback); loads wait for data.
@@ -1430,7 +1426,7 @@ impl Sm {
         if !self.icache.access(line) {
             self.stats.icache_misses += 1;
             let w = self.warps[wslot].as_mut().expect("warp exists");
-            w.fetch_ready_at = now + self.cfg.l2_latency;
+            w.fetch_ready_at = now + timing::fetch_miss_penalty(&self.cfg);
             return true;
         }
 

@@ -42,6 +42,7 @@ pub mod dom;
 pub mod pass;
 pub mod refine;
 pub mod term;
+pub mod trip;
 
 pub use affine::{Affine, AffineVal, NEG_INF, POS_INF};
 pub use analysis::{analyze, Analysis, AnalysisOptions};
@@ -52,3 +53,4 @@ pub use dom::{Doms, NaturalLoop, NaturalLoops, PostDoms, ReconvergenceTable, REC
 pub use pass::{compile, compile_with_options, promotes_tid_y, CompiledKernel, LaunchPlan};
 pub use refine::{refine, RefineReason, Refined, Upgrade};
 pub use term::{fold_alu, Deps, EvalCtx, TermArena, TermId, TermNode};
+pub use trip::{infer_trips, LoopTrip, TripCounts, MAX_TRIPS};

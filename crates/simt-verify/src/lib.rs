@@ -37,6 +37,7 @@
 //! [`Diagnostics`] aggregates them into a report. The `darsie-sim verify`
 //! subcommand runs all three passes over the shipped workloads.
 
+pub mod cost;
 pub mod dataflow;
 pub mod divergence;
 pub mod oracle;
@@ -131,6 +132,14 @@ pub enum LintCode {
     /// the promotion family, breaking the single-control-flow-history
     /// requirement.
     BranchSyncViolation,
+    /// `E201` — a natural loop's trip count has no static bound under
+    /// this launch (non-affine counter, data-dependent exit, or no exit
+    /// within the search cap), so the cycle upper bound is unbounded.
+    TripUnbounded,
+    /// `E202` — differential validation found a measured cycle count
+    /// outside the static `[min, max]` bracket: the cost model or the
+    /// simulator is wrong.
+    CycleBoundViolation,
 }
 
 impl LintCode {
@@ -155,6 +164,8 @@ impl LintCode {
             LintCode::DisprovedMarking => "S401",
             LintCode::UnprovableMarking => "S402",
             LintCode::BranchSyncViolation => "S403",
+            LintCode::TripUnbounded => "E201",
+            LintCode::CycleBoundViolation => "E202",
         }
     }
 
@@ -170,11 +181,12 @@ impl LintCode {
             | LintCode::SharedRaceStatic
             | LintCode::SharedRaceDynamic
             | LintCode::DisprovedMarking
-            | LintCode::BranchSyncViolation => Severity::Error,
+            | LintCode::BranchSyncViolation
+            | LintCode::CycleBoundViolation => Severity::Error,
             LintCode::MaybeUninitRead | LintCode::UnreachableBlock => Severity::Warning,
             LintCode::DeadWrite | LintCode::SharedAddrUnknown => Severity::Warning,
             LintCode::SharedBankConflict | LintCode::GlobalUncoalesced => Severity::Warning,
-            LintCode::UnprovableMarking => Severity::Warning,
+            LintCode::UnprovableMarking | LintCode::TripUnbounded => Severity::Warning,
             LintCode::MemUnpredictable => Severity::Note,
         }
     }
@@ -182,7 +194,7 @@ impl LintCode {
     /// Every lint, in report order. The `darsie-sim lints` registry and
     /// the README-drift test iterate this, so adding a variant without
     /// extending it is a compile error (the length is checked too).
-    pub const ALL: [LintCode; 17] = [
+    pub const ALL: [LintCode; 19] = [
         LintCode::UninitRead,
         LintCode::MaybeUninitRead,
         LintCode::UnreachableBlock,
@@ -200,6 +212,8 @@ impl LintCode {
         LintCode::DisprovedMarking,
         LintCode::UnprovableMarking,
         LintCode::BranchSyncViolation,
+        LintCode::TripUnbounded,
+        LintCode::CycleBoundViolation,
     ];
 
     /// The pass that emits this lint (the README table's "Pass" column).
@@ -221,6 +235,7 @@ impl LintCode {
             LintCode::DisprovedMarking
             | LintCode::UnprovableMarking
             | LintCode::BranchSyncViolation => "symex",
+            LintCode::TripUnbounded | LintCode::CycleBoundViolation => "cost",
         }
     }
 
@@ -262,6 +277,12 @@ impl LintCode {
             }
             LintCode::BranchSyncViolation => {
                 "skippable branch predicate provably diverges for some family launch"
+            }
+            LintCode::TripUnbounded => {
+                "loop trip count has no static bound, so the cycle bracket is one-sided"
+            }
+            LintCode::CycleBoundViolation => {
+                "measured cycles fall outside the static [min, max] bracket"
             }
         }
     }
@@ -401,6 +422,7 @@ pub fn verify_full(
 ) -> Diagnostics {
     let mut report = verify_launch(ck, launch);
     report.merge(races::check(ck, launch));
+    report.merge(cost::check(ck, launch));
     report.merge(symex::check(ck, launch, &memory));
     report.merge(oracle::check(ck, launch, memory));
     report

@@ -199,6 +199,32 @@ fn bound_access(
 /// per-warp lane grouping by `warp_size`.
 #[must_use]
 pub fn predict(ck: &CompiledKernel, launch: &LaunchConfig, warp_size: u32) -> Vec<MemPrediction> {
+    predict_inner(ck, launch, warp_size, false)
+}
+
+/// Like [`predict`], but when the execution mask is not exactly
+/// thread-affine (and only then) the access is bounded over the *full*
+/// thread block instead of reported unpredictable: any executing subset
+/// touches at most the lines (conflicts at most the degree) of the whole
+/// warp, so the returned maximum is a sound mask-agnostic envelope. The
+/// minimum is widened to 0 (the mask may be empty). The cost model's
+/// upper bound consumes this; the `P1xx` lints keep the exact
+/// [`predict`].
+#[must_use]
+pub fn predict_envelope(
+    ck: &CompiledKernel,
+    launch: &LaunchConfig,
+    warp_size: u32,
+) -> Vec<MemPrediction> {
+    predict_inner(ck, launch, warp_size, true)
+}
+
+fn predict_inner(
+    ck: &CompiledKernel,
+    launch: &LaunchConfig,
+    warp_size: u32,
+    mask_free: bool,
+) -> Vec<MemPrediction> {
     let (bx, by, bz) = (launch.block.x.max(1), launch.block.y.max(1), launch.block.z.max(1));
     let threads = launch.threads_per_block();
     let instrs = &ck.kernel.instrs;
@@ -237,7 +263,15 @@ pub fn predict(ck: &CompiledKernel, launch: &LaunchConfig, warp_size: u32) -> Ve
             if let Some(g) = a.guard {
                 constraints.push(g);
             }
-            let kind = match (executing_threads(&constraints, bx, by, threads), a.addr) {
+            // Mask-free envelope: an unknown mask executes some subset of
+            // the block's threads, and any subset's degree/lines are
+            // bounded by the full warp's — min widens to 0 (empty mask).
+            let (lanes, masked) = match executing_threads(&constraints, bx, by, threads) {
+                Some(lanes) => (Some(lanes), false),
+                None if mask_free => (Some((0..threads).collect()), true),
+                None => (None, false),
+            };
+            let kind = match (lanes, a.addr) {
                 (None, _) => MemPredKind::Unpredictable {
                     reason: "execution mask depends on a predicate that is not exactly \
                              thread-affine"
@@ -252,10 +286,13 @@ pub fn predict(ck: &CompiledKernel, launch: &LaunchConfig, warp_size: u32) -> Ve
                         Err(reason) => MemPredKind::Unpredictable { reason },
                         Ok((min_v, max_v, widest)) if shared => {
                             let _ = widest;
-                            MemPredKind::SharedConflict { min_degree: min_v, max_degree: max_v }
+                            MemPredKind::SharedConflict {
+                                min_degree: if masked { 0 } else { min_v },
+                                max_degree: max_v,
+                            }
                         }
                         Ok((min_v, max_v, widest)) => MemPredKind::GlobalCoalesce {
-                            min_lines: min_v,
+                            min_lines: if masked { 0 } else { min_v },
                             max_lines: max_v,
                             ideal_lines: (widest * 4).div_ceil(128).max(1),
                         },

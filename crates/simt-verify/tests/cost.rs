@@ -1,0 +1,288 @@
+//! Differential validation of the static cost model (`cost.rs`): the
+//! measured simulator cycles of every catalog workload must fall inside
+//! the static `[min, max]` bracket under both Base and DARSIE (zero
+//! `E202`), the bracket must stay usefully tight on average, and the trip
+//! inference behind it must agree with pinned fixture counts and with the
+//! symbolic prover's `S402` verdicts on the loop fixtures.
+
+use gpu_sim::{GlobalMemory, Gpu, GpuConfig, Technique};
+use proptest::prelude::*;
+use simt_compiler::{compile, CompiledKernel};
+use simt_isa::{CmpOp, Dim3, Guard, KernelBuilder, LaunchConfig, MemSpace, SpecialReg, Value};
+use simt_verify::cost::{check, estimate, validate};
+use workloads::{catalog, fixtures, Scale};
+
+/// Measured simulator cycles for one fixture under one technique.
+fn measure(fx: &fixtures::Fixture, technique: &Technique) -> u64 {
+    Gpu::new(GpuConfig::test_small(), technique.clone())
+        .launch(&fx.ck, &fx.launch, fx.memory.clone())
+        .stats
+        .cycles
+}
+
+/// The trip verdicts of one fixture's loops, in loop-discovery order.
+fn trips_of(fx: &fixtures::Fixture) -> Vec<Result<(u64, u64), String>> {
+    let gc = GpuConfig::test_small();
+    estimate(&fx.ck, &fx.launch, &gc, &Technique::Base).loops.into_iter().map(|l| l.trips).collect()
+}
+
+/// Every catalog workload, Base and DARSIE: measured cycles inside the
+/// bracket, and mean bracket width at most 4x the measured cycles.
+#[test]
+fn catalog_cycles_inside_bracket() {
+    let gc = GpuConfig::test_small();
+    let mut widths: Vec<f64> = Vec::new();
+    let mut failures = Vec::new();
+    for technique in [Technique::Base, Technique::darsie()] {
+        for w in catalog(Scale::Test) {
+            let est = estimate(&w.ck, &w.launch, &gc, &technique);
+            let measured = w.run_unchecked(&gc, technique.clone()).stats.cycles;
+            let hi = est.max_cycles;
+            if let Some(d) = validate(&est, measured) {
+                failures.push(format!("{} {}: {}", w.abbr, technique.label(), d.message));
+            }
+            match hi {
+                Some(hi) => {
+                    #[allow(clippy::cast_precision_loss)]
+                    widths.push((hi - est.min_cycles) as f64 / measured as f64);
+                }
+                None => failures.push(format!(
+                    "{} {}: unexpected unbounded upper bound",
+                    w.abbr,
+                    technique.label()
+                )),
+            }
+        }
+    }
+    assert!(failures.is_empty(), "E202 violations:\n{}", failures.join("\n"));
+    let mean = widths.iter().sum::<f64>() / widths.len() as f64;
+    assert!(mean <= 4.0, "mean bracket width {mean:.2}x exceeds 4x measured");
+}
+
+/// The estimator fixtures have hand-computable trip counts, and the
+/// solver must pin them exactly — constant, launch-parameter, nested and
+/// geometric (doubling) induction.
+#[test]
+fn fixture_trip_counts_are_pinned() {
+    assert!(trips_of(&fixtures::cost_straight_line()).is_empty());
+    assert_eq!(trips_of(&fixtures::cost_const_loop()), vec![Ok((8, 8))]);
+    assert_eq!(trips_of(&fixtures::cost_param_loop()), vec![Ok((6, 6))]);
+    let mut nested: Vec<(u64, u64)> = trips_of(&fixtures::cost_nested_loop())
+        .into_iter()
+        .map(|t| t.expect("nested loops are bounded"))
+        .collect();
+    nested.sort_unstable();
+    assert_eq!(nested, vec![(2, 2), (4, 4)]);
+    assert_eq!(trips_of(&fixtures::cost_geometric_loop()), vec![Ok((4, 4))]);
+}
+
+/// The deliberately unboundable control: `E201` from both `estimate` and
+/// the standalone `check` lint pass, no upper bound, and a minimum that
+/// still holds against the measured run.
+#[test]
+fn unbounded_control_is_one_sided_with_e201() {
+    let fx = fixtures::cost_unbounded_control();
+    let gc = GpuConfig::test_small();
+    let est = estimate(&fx.ck, &fx.launch, &gc, &Technique::Base);
+    assert!(est.loops.iter().any(|l| l.trips.is_err()), "loop must be unbounded");
+    assert!(est.max_cycles.is_none(), "unbounded loop must leave the bracket one-sided");
+    assert!(est.report.items.iter().any(|d| d.code.code() == "E201"));
+    assert!(check(&fx.ck, &fx.launch).items.iter().any(|d| d.code.code() == "E201"));
+    let measured = measure(&fx, &Technique::Base);
+    assert!(validate(&est, measured).is_none(), "one-sided bracket must still contain {measured}");
+}
+
+/// Every estimator fixture's measured cycles sit inside the static
+/// bracket under both techniques — the same differential invariant the
+/// catalog test holds, on kernels small enough to audit by hand.
+#[test]
+fn fixture_cycles_inside_bracket() {
+    let gc = GpuConfig::test_small();
+    for technique in [Technique::Base, Technique::darsie()] {
+        for fx in fixtures::cost() {
+            let est = estimate(&fx.ck, &fx.launch, &gc, &technique);
+            let measured = measure(&fx, &technique);
+            assert!(
+                validate(&est, measured).is_none(),
+                "{}: measured {measured} outside [{}, {:?}]",
+                fx.name,
+                est.min_cycles,
+                est.max_cycles
+            );
+        }
+    }
+}
+
+/// Trip handling agrees with the symbolic prover's summarizer on the
+/// `tests/symex.rs` loop fixtures: where the warp-dependent trip count
+/// keeps the prover at an honest `S402`, the cost model owes an `E201`;
+/// where summarization proves the launch-parameter reduction, the cost
+/// model pins the same loop exactly once the parameter is in the launch.
+#[test]
+fn trip_verdicts_agree_with_the_symex_summarizer() {
+    let gc = GpuConfig::test_small();
+
+    let fx = fixtures::symex_warp_trip_control();
+    let est = estimate(&fx.ck, &fx.launch, &gc, &Technique::Base);
+    assert!(est.report.items.iter().any(|d| d.code.code() == "E201"));
+    let p = simt_verify::symex::prove(&fx.ck, Some((&fx.launch, &fx.memory)));
+    assert!(p.report.items.iter().any(|d| d.code.code() == "S402"));
+
+    let mut fx = fixtures::symex_loop_reduction();
+    fx.launch.params.push(Value(5));
+    let est = estimate(&fx.ck, &fx.launch, &gc, &Technique::Base);
+    assert_eq!(
+        est.loops.iter().map(|l| l.trips.clone()).collect::<Vec<_>>(),
+        vec![Ok((5, 5))],
+        "launch-parameter bound must resolve exactly"
+    );
+    let p = simt_verify::symex::prove(&fx.ck, Some((&fx.launch, &fx.memory)));
+    assert_eq!(p.stats.disproved, 0);
+    assert!(p.report.items.iter().all(|d| d.code.code() != "S402"));
+}
+
+/// One generated statement for the random-kernel soundness property.
+/// Register operands index the value pool modulo its length.
+#[derive(Debug, Clone)]
+enum Stmt {
+    /// `pool.push(pool[a] + pool[b])`
+    Add(usize, usize),
+    /// `pool.push(pool[a] + imm)`
+    AddImm(usize, u32),
+    /// `pool.push(pool[a] & mask)` — deliberately non-affine.
+    And(usize, u32),
+    /// `pool.push(pool[a] << n)`, `n < 4`.
+    Shl(usize, u32),
+    /// `if (pool[c] cmp imm) { pool[d] += pool[a] }` — a possibly
+    /// divergent diamond the estimator must cover on both legs.
+    IfAdd { c: usize, lt: bool, imm: u32, d: usize, a: usize },
+}
+
+/// Builds a kernel from a recipe: a global load seeds the pool, the
+/// statements run either straight-line or wrapped in a `trips`-bounded
+/// do-while, and the last pool value is stored to `out[linear tid]`.
+fn build(stmts: &[Stmt], trips: Option<u32>, block: Dim3) -> CompiledKernel {
+    let mut b = KernelBuilder::new("random_cost");
+    let tx = b.special(SpecialReg::TidX);
+    let ty = b.special(SpecialReg::TidY);
+    let inp = b.param(1);
+    let off = b.shl_imm(tx, 2);
+    let laddr = b.iadd(inp, off);
+    let ld = b.load(MemSpace::Global, laddr, 0);
+    let mut pool = vec![tx, ty, ld];
+    let apply = |b: &mut KernelBuilder, pool: &mut Vec<simt_isa::Reg>| {
+        let pick = |pool: &Vec<simt_isa::Reg>, i: usize| pool[i % pool.len()];
+        for s in stmts {
+            match *s {
+                Stmt::Add(a, c) => {
+                    let r = b.iadd(pick(pool, a), pick(pool, c));
+                    pool.push(r);
+                }
+                Stmt::AddImm(a, imm) => {
+                    let r = b.iadd(pick(pool, a), imm);
+                    pool.push(r);
+                }
+                Stmt::And(a, mask) => {
+                    let r = b.and(pick(pool, a), mask);
+                    pool.push(r);
+                }
+                Stmt::Shl(a, n) => {
+                    let r = b.shl_imm(pick(pool, a), n % 4);
+                    pool.push(r);
+                }
+                Stmt::IfAdd { c, lt, imm, d, a } => {
+                    let cmp = if lt { CmpOp::Lt } else { CmpOp::Eq };
+                    let p = b.setp(cmp, pick(pool, c), imm);
+                    let dst = pick(pool, d);
+                    let src = pick(pool, a);
+                    b.if_then(Guard::if_true(p), |b| {
+                        b.iadd_to(dst, src, 1u32);
+                    });
+                }
+            }
+        }
+    };
+    if let Some(n) = trips {
+        let i = b.alloc();
+        b.mov_to(i, 0u32);
+        b.do_while(|b| {
+            apply(b, &mut pool);
+            b.iadd_to(i, i, 1u32);
+            let p = b.setp(CmpOp::Lt, i, n);
+            Guard::if_true(p)
+        });
+    } else {
+        apply(&mut b, &mut pool);
+    }
+    let last = *pool.last().unwrap();
+    let lin = b.imad(ty, block.x, tx);
+    let soff = b.shl_imm(lin, 2);
+    let out = b.param(0);
+    let saddr = b.iadd(out, soff);
+    b.store(MemSpace::Global, saddr, last, 0);
+    compile(b.finish())
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let ix = || 0usize..8;
+    prop_oneof![
+        (ix(), ix()).prop_map(|(a, c)| Stmt::Add(a, c)),
+        (ix(), 0u32..64).prop_map(|(a, imm)| Stmt::AddImm(a, imm)),
+        (ix(), 1u32..16).prop_map(|(a, mask)| Stmt::And(a, mask)),
+        (ix(), 0u32..4).prop_map(|(a, n)| Stmt::Shl(a, n)),
+        (ix(), any::<bool>(), 0u32..64, ix(), ix()).prop_map(|(c, lt, imm, d, a)| Stmt::IfAdd {
+            c,
+            lt,
+            imm,
+            d,
+            a
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random structured kernels (divergent diamonds, non-affine values,
+    /// optional constant-trip loops, promoting and non-promoting blocks):
+    /// the measured cycles always land inside the static bracket, and a
+    /// loop-free or constant-trip kernel is never unbounded.
+    #[test]
+    fn random_kernel_cycles_inside_bracket(
+        stmts in prop::collection::vec(stmt_strategy(), 1..10),
+        raw_trips in 0u32..6,
+        two_d in any::<bool>(),
+        input in prop::collection::vec(0u32..1000, 64),
+    ) {
+        // 0 means "no loop"; 1..6 wraps the statements in a do-while.
+        let trips = (raw_trips > 0).then_some(raw_trips);
+        let block = if two_d { Dim3::two_d(16, 4) } else { Dim3::one_d(64) };
+        let ck = build(&stmts, trips, block);
+        let gc = GpuConfig::test_small();
+        for technique in [Technique::Base, Technique::darsie()] {
+            let mut memory = GlobalMemory::new();
+            let out = memory.alloc(64 * 4);
+            let inp = memory.alloc(64 * 4);
+            memory.write_slice_u32(inp, &input);
+            let launch = LaunchConfig::new(1u32, block)
+                .with_params(vec![Value(out as u32), Value(inp as u32)]);
+            let est = estimate(&ck, &launch, &gc, &technique);
+            prop_assert!(
+                est.max_cycles.is_some(),
+                "constant-trip kernel reported unbounded: {:?}",
+                est.loops
+            );
+            let measured = Gpu::new(gc.clone(), technique.clone())
+                .launch(&ck, &launch, memory)
+                .stats
+                .cycles;
+            prop_assert!(
+                validate(&est, measured).is_none(),
+                "{} measured {measured} outside [{}, {:?}] (trips {trips:?})",
+                technique.label(),
+                est.min_cycles,
+                est.max_cycles
+            );
+        }
+    }
+}

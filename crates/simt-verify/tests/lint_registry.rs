@@ -26,7 +26,8 @@ fn every_lint_code_is_documented_in_the_readme() {
 }
 
 /// The registry is duplicate-free and its codes follow the band naming
-/// convention the docs rely on (`V...`, `P...`, `S...` + 3 digits).
+/// convention the docs rely on (`V...`, `P...`, `S...`, `E...` + 3
+/// digits).
 #[test]
 fn registry_codes_are_unique_and_well_formed() {
     let mut seen = BTreeSet::new();
@@ -34,7 +35,7 @@ fn registry_codes_are_unique_and_well_formed() {
         let c = l.code();
         assert!(seen.insert(c), "duplicate lint code {c}");
         assert_eq!(c.len(), 4, "{c}: band letter + 3 digits");
-        assert!(matches!(c.as_bytes()[0], b'V' | b'P' | b'S'), "{c}: unknown band");
+        assert!(matches!(c.as_bytes()[0], b'V' | b'P' | b'S' | b'E'), "{c}: unknown band");
         assert!(c[1..].bytes().all(|b| b.is_ascii_digit()), "{c}: digits after the band");
         assert!(!l.doc().is_empty() && !l.pass().is_empty(), "{c}: missing docs");
     }

@@ -42,6 +42,15 @@
 //! | [`symex_warp_trip_control`] | `S402` (warp-dependent trip count taints the counter) |
 //! | [`symex_uniform_base`] | proved (uniform-not-exact base pointer; needs the TB-uniform bit) |
 //! | [`symex_divergent_write_control`] | `S402` (uniform value, divergent write: bit must not fire) |
+//!
+//! | Fixture | Expected trip counts | Expected lint |
+//! |---|---|---|
+//! | [`cost_straight_line`] | no loops | none |
+//! | [`cost_const_loop`] | `[8, 8]` | none |
+//! | [`cost_param_loop`] | `[6, 6]` (launch parameter 1) | none |
+//! | [`cost_nested_loop`] | outer `[4, 4]`, inner `[2, 2]` | none |
+//! | [`cost_geometric_loop`] | `[4, 4]` (doubling counter) | none |
+//! | [`cost_unbounded_control`] | unbounded (data-dependent bound) | `E201` |
 
 use gpu_sim::GlobalMemory;
 use simt_compiler::{compile, AbsClass, CompiledKernel};
@@ -576,6 +585,146 @@ pub fn symex_divergent_write_control() -> Fixture {
     let pc = pc_of(&fx.ck, |ins| ins.op == Op::IAdd && ins.dst == Some(y));
     fx.ck.markings[pc] = Marking::Redundant;
     fx
+}
+
+/// Straight-line estimator fixture: no loops, so every block is visited
+/// exactly once and the cycle bracket is a tight envelope around pure
+/// issue cost. The baseline for hand-checking the cost model.
+#[must_use]
+pub fn cost_straight_line() -> Fixture {
+    let mut b = KernelBuilder::new("cost_straight_line");
+    let t = b.special(SpecialReg::TidX);
+    let a = b.iadd(t, 3u32);
+    let c = b.shl_imm(a, 1);
+    let y = b.isub(c, t);
+    writeback(&mut b, y);
+    finish("cost_straight_line", b)
+}
+
+/// Constant-trip loop: the do-while body increments `i` from 0 and
+/// continues while `i < 8`, so the affine solver must pin exactly
+/// `[8, 8]` body visits.
+#[must_use]
+pub fn cost_const_loop() -> Fixture {
+    let mut b = KernelBuilder::new("cost_const_loop");
+    let acc = b.alloc();
+    b.mov_to(acc, 0u32);
+    let i = b.alloc();
+    b.mov_to(i, 0u32);
+    b.do_while(|b| {
+        b.iadd_to(acc, acc, 3u32);
+        b.iadd_to(i, i, 1u32);
+        let p = b.setp(CmpOp::Lt, i, 8u32);
+        Guard::if_true(p)
+    });
+    writeback(&mut b, acc);
+    finish("cost_const_loop", b)
+}
+
+/// Launch-parameter trip count: the loop bound is parameter 1, resolved
+/// at launch time to 6, so the solver must pin `[6, 6]` — a bound that
+/// exists only per-launch, never per-kernel.
+#[must_use]
+pub fn cost_param_loop() -> Fixture {
+    let mut b = KernelBuilder::new("cost_param_loop");
+    let n = b.param(1);
+    let acc = b.alloc();
+    b.mov_to(acc, 0u32);
+    let i = b.alloc();
+    b.mov_to(i, 0u32);
+    b.do_while(|b| {
+        b.iadd_to(acc, acc, 5u32);
+        b.iadd_to(i, i, 1u32);
+        let p = b.setp(CmpOp::Lt, i, n);
+        Guard::if_true(p)
+    });
+    writeback(&mut b, acc);
+    let mut fx = finish("cost_param_loop", b);
+    fx.launch.params.push(Value(6));
+    fx
+}
+
+/// Nested loops: outer `[4, 4]`, inner `[2, 2]`, so the inner body's
+/// visit count is the product 8. The inner counter is re-zeroed inside
+/// the outer body — the induction recognizer must not confuse the reset
+/// with the step.
+#[must_use]
+pub fn cost_nested_loop() -> Fixture {
+    let mut b = KernelBuilder::new("cost_nested_loop");
+    let acc = b.alloc();
+    b.mov_to(acc, 0u32);
+    let i = b.alloc();
+    b.mov_to(i, 0u32);
+    let j = b.alloc();
+    b.do_while(|b| {
+        b.mov_to(j, 0u32);
+        b.do_while(|b| {
+            b.iadd_to(acc, acc, 1u32);
+            b.iadd_to(j, j, 1u32);
+            let p = b.setp(CmpOp::Lt, j, 2u32);
+            Guard::if_true(p)
+        });
+        b.iadd_to(i, i, 1u32);
+        let p = b.setp(CmpOp::Lt, i, 4u32);
+        Guard::if_true(p)
+    });
+    writeback(&mut b, acc);
+    finish("cost_nested_loop", b)
+}
+
+/// Geometric induction: the counter starts at 1 and doubles each
+/// iteration (`i += i`), continuing while `i < 16` — the FW butterfly
+/// shape. An affine-only solver calls this unbounded; the geometric
+/// recognizer must pin `[4, 4]`.
+#[must_use]
+pub fn cost_geometric_loop() -> Fixture {
+    let mut b = KernelBuilder::new("cost_geometric_loop");
+    let acc = b.alloc();
+    b.mov_to(acc, 0u32);
+    let i = b.alloc();
+    b.mov_to(i, 1u32);
+    b.do_while(|b| {
+        b.iadd_to(acc, acc, i);
+        b.iadd_to(i, i, i);
+        let p = b.setp(CmpOp::Lt, i, 16u32);
+        Guard::if_true(p)
+    });
+    writeback(&mut b, acc);
+    finish("cost_geometric_loop", b)
+}
+
+/// The deliberately unboundable negative control: the loop bound is a
+/// value loaded from memory, which no launch-time constant can resolve.
+/// The estimator owes an `E201` and a one-sided bracket (sound minimum,
+/// no maximum). Dynamically harmless: the buffer is zero-filled, so the
+/// do-while exits after one visit.
+#[must_use]
+pub fn cost_unbounded_control() -> Fixture {
+    let mut b = KernelBuilder::new("cost_unbounded_control");
+    let out = b.param(0);
+    let v = b.load(MemSpace::Global, out, 0);
+    let i = b.alloc();
+    b.mov_to(i, 0u32);
+    b.do_while(|b| {
+        b.iadd_to(i, i, 1u32);
+        let p = b.setp(CmpOp::Lt, i, v);
+        Guard::if_true(p)
+    });
+    writeback(&mut b, i);
+    finish("cost_unbounded_control", b)
+}
+
+/// The cost-estimator fixtures, in documentation order.
+#[must_use]
+pub fn cost() -> Vec<Fixture> {
+    vec![
+        cost_straight_line(),
+        cost_const_loop(),
+        cost_param_loop(),
+        cost_nested_loop(),
+        cost_geometric_loop(),
+        cost_unbounded_control(),
+    ]
 }
 
 /// The translation-validation fixtures, in documentation order.

@@ -43,7 +43,7 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         let mut b = Bencher { iters: self.sample_size as u64, elapsed_ns: 0 };
         f(&mut b);
-        let mean = if b.iters == 0 { 0 } else { b.elapsed_ns / b.iters };
+        let mean = b.elapsed_ns.checked_div(b.iters).unwrap_or(0);
         println!("bench {}/{}: {} iters, mean {} ns/iter", self.name, id, b.iters, mean);
         self
     }
